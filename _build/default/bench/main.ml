@@ -1,0 +1,395 @@
+(* The benchmark harness: one experiment per figure/claim of the paper (see
+   DESIGN.md Section 3 and EXPERIMENTS.md for the index).
+
+   The paper is a position paper with no measured evaluation, so E1 and E2
+   regenerate its two figures as executable artifacts and the remaining
+   experiments quantify the Section 3 infrastructure requirements, three
+   ablations, and the interpreted runtime overhead. Output: one row per benchmark, nanoseconds per run estimated
+   by OLS over monotonic-clock samples. *)
+
+open Bechamel
+open Toolkit
+
+let v_names names =
+  Transform.Params.V_list (List.map (fun n -> Transform.Params.V_ident n) names)
+
+(* ---- workload builders -------------------------------------------------- *)
+
+let synthetic = Fixtures.synthetic
+
+(* the Fig. 2 banking pipeline, reusable *)
+let fig2_project () =
+  let project = Core.Project.create (Fixtures.banking ()) in
+  let refine project concern params =
+    match Core.Pipeline.refine project ~concern ~params with
+    | Ok (project, _) -> project
+    | Error e -> failwith e
+  in
+  let project =
+    refine project "distribution" [ ("remote", v_names [ "Account"; "Teller" ]) ]
+  in
+  let project =
+    refine project "transactions" [ ("transactional", v_names [ "Account" ]) ]
+  in
+  refine project "security" [ ("secured", v_names [ "Teller" ]) ]
+
+let tx_cmt_for target =
+  Transform.Cmt.specialize_exn Concerns.Transactions.transformation
+    [ ("transactional", v_names [ target ]) ]
+
+(* ---- E1: Fig. 1 — one refinement step ----------------------------------- *)
+
+let e1_tests =
+  let step m =
+    (* specialize GMT -> CMT, checked apply, generate CAC from the same S *)
+    let cmt = tx_cmt_for "C0" in
+    match Transform.Engine.apply cmt m with
+    | Ok outcome ->
+        let cac =
+          Aspects.Generator.from_cmt Concerns.Transactions.generic_aspect ~seq:1
+            cmt
+        in
+        ignore outcome;
+        ignore cac
+    | Error f -> failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)
+  in
+  List.map
+    (fun n ->
+      let m = synthetic n in
+      Test.make
+        ~name:(Printf.sprintf "fig1/refine-step:%d-classes" n)
+        (Staged.stage (fun () -> step m)))
+    [ 10; 50; 100; 200 ]
+
+(* ---- E2: Fig. 2 — full three-concern pipeline ---------------------------- *)
+
+let e2_tests =
+  [
+    Test.make ~name:"fig2/pipeline:refine-3-concerns"
+      (Staged.stage (fun () -> ignore (fig2_project ())));
+    Test.make ~name:"fig2/pipeline:build-artifacts"
+      (let project = fig2_project () in
+       Staged.stage (fun () ->
+           match Core.Pipeline.build project with
+           | Ok a -> ignore a
+           | Error e -> failwith e));
+    Test.make ~name:"fig2/pipeline:end-to-end"
+      (Staged.stage (fun () ->
+           let project = fig2_project () in
+           match Core.Pipeline.build project with
+           | Ok a -> ignore a
+           | Error e -> failwith e));
+    Test.make ~name:"fig2/pipeline:pim-construction-baseline"
+      (Staged.stage (fun () -> ignore (Fixtures.banking ())));
+    Test.make ~name:"fig2/pipeline:coloring"
+      (let project = fig2_project () in
+       Staged.stage (fun () -> ignore (Core.Project.coloring project)));
+  ]
+
+(* ---- E3: OCL precondition evaluation cost -------------------------------- *)
+
+let e3_tests =
+  let precondition =
+    Ocl.Constraint_.make ~name:"fresh"
+      "Set{'C0', 'C1'}->forAll(n | Class.allInstances()->exists(c | c.name = n))"
+  in
+  let heavy =
+    Ocl.Constraint_.make ~name:"heavy"
+      "Class.allInstances()->forAll(c | c.operations->forAll(o | \
+       o.parameters->forAll(p | p.type <> '')))"
+  in
+  List.concat_map
+    (fun n ->
+      let m = synthetic n in
+      [
+        Test.make
+          ~name:(Printf.sprintf "ocl/eval:precondition:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Ocl.Constraint_.check m precondition)));
+        Test.make
+          ~name:(Printf.sprintf "ocl/eval:nested-forall:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Ocl.Constraint_.check m heavy)));
+      ])
+    [ 10; 50; 100 ]
+  @ [
+      Test.make ~name:"ocl/eval:parse-only"
+        (Staged.stage (fun () ->
+             ignore
+               (Ocl.Parser.parse
+                  "Class.allInstances()->forAll(c | c.attributes->forAll(a | \
+                   a.lower >= 0))")));
+    ]
+
+(* ---- E4: XMI round-trip throughput ---------------------------------------- *)
+
+let e4_tests =
+  List.concat_map
+    (fun n ->
+      let m = synthetic n in
+      let text = Xmi.Export.to_string m in
+      [
+        Test.make
+          ~name:(Printf.sprintf "xmi/roundtrip:export:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Xmi.Export.to_string m)));
+        Test.make
+          ~name:(Printf.sprintf "xmi/roundtrip:import:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Xmi.Import.from_string text)));
+      ])
+    [ 10; 50; 100 ]
+
+(* ---- E5: weaving cost vs number of aspects --------------------------------- *)
+
+let e5_tests =
+  let program = Code.Generator.generate (synthetic 50) in
+  let logging_set =
+    match
+      Transform.Params.build Concerns.Logging.formals
+        [ ("targets", Transform.Params.V_list [ Transform.Params.V_string "*" ]) ]
+    with
+    | Ok set -> set
+    | Error _ -> assert false
+  in
+  let logging_aspect i =
+    {
+      Aspects.Generator.aspect =
+        Aspects.Generic.specialize_with_set Concerns.Logging.generic_aspect
+          logging_set;
+      from_transformation = Printf.sprintf "T.logging#%d" i;
+      seq = i;
+    }
+  in
+  List.map
+    (fun k ->
+      let aspects = List.init k (fun i -> logging_aspect (i + 1)) in
+      Test.make
+        ~name:(Printf.sprintf "weave/scale:%d-aspects" k)
+        (Staged.stage (fun () -> ignore (Weaver.Weave.weave aspects program))))
+    [ 1; 2; 4; 8 ]
+  @ List.map
+      (fun n ->
+        let program_n = Code.Generator.generate (synthetic n) in
+        let aspects = [ logging_aspect 1 ] in
+        Test.make
+          ~name:(Printf.sprintf "weave/scale:program-size:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Weaver.Weave.weave aspects program_n))))
+      [ 10; 50; 100 ]
+  @ [
+      Test.make ~name:"weave/scale:join-point-enumeration"
+        (Staged.stage (fun () ->
+             ignore (Weaver.Joinpoint.execution_shadows program)));
+    ]
+
+(* ---- E6: repository commit/undo/redo/diff ----------------------------------- *)
+
+let e6_tests =
+  let base = synthetic 20 in
+  let chain =
+    let rec build acc m i =
+      if i = 0 then List.rev acc
+      else
+        let m', _ =
+          Mof.Builder.add_class m ~owner:(Mof.Model.root m)
+            ~name:(Printf.sprintf "V%d" i)
+        in
+        build (m' :: acc) m' (i - 1)
+    in
+    build [] base 20
+  in
+  let full_repo =
+    List.fold_left
+      (fun repo m -> Repository.Repo.commit ~message:"step" m repo)
+      (Repository.Repo.init base) chain
+  in
+  [
+    Test.make ~name:"repo/history:commit-chain-20"
+      (Staged.stage (fun () ->
+           ignore
+             (List.fold_left
+                (fun repo m -> Repository.Repo.commit ~message:"step" m repo)
+                (Repository.Repo.init base) chain)));
+    Test.make ~name:"repo/history:undo-redo-roundtrip"
+      (Staged.stage (fun () ->
+           let r = Option.get (Repository.Repo.undo full_repo) in
+           let r = Option.get (Repository.Repo.undo r) in
+           let r = Option.get (Repository.Repo.redo r) in
+           ignore (Option.get (Repository.Repo.redo r))));
+    Test.make ~name:"repo/history:diff-ends"
+      (Staged.stage (fun () ->
+           ignore (Repository.Repo.diff_between full_repo ~from_id:0 ~to_id:20)));
+    Test.make ~name:"repo/history:render-log"
+      (Staged.stage (fun () -> ignore (Repository.History.render full_repo)));
+  ]
+
+(* ---- E7: ablation — cost of pre/postcondition checking ----------------------- *)
+
+let e7_tests =
+  List.concat_map
+    (fun n ->
+      let m = synthetic n in
+      let cmt = tx_cmt_for "C0" in
+      [
+        Test.make
+          ~name:(Printf.sprintf "ablation/precheck:with-checks:%d-classes" n)
+          (Staged.stage (fun () ->
+               match Transform.Engine.apply cmt m with
+               | Ok _ -> ()
+               | Error f ->
+                   failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)));
+        Test.make
+          ~name:(Printf.sprintf "ablation/precheck:no-checks:%d-classes" n)
+          (Staged.stage (fun () ->
+               match
+                 Transform.Engine.apply ~checks:Transform.Engine.no_checks cmt m
+               with
+               | Ok _ -> ()
+               | Error f ->
+                   failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)));
+      ])
+    [ 10; 50; 100 ]
+
+(* ---- E8: ablation — aspect route vs monolithic generation -------------------- *)
+
+let e8_tests =
+  let project = fig2_project () in
+  let reconfigured () =
+    (* change one concern's parameters: the paper's architecture only
+       regenerates that aspect and re-weaves *)
+    let p = Option.get (Core.Pipeline.undo project) in
+    match
+      Core.Pipeline.refine p ~concern:"security"
+        ~params:
+          [
+            ("secured", v_names [ "Teller" ]);
+            ( "roles",
+              Transform.Params.V_list [ Transform.Params.V_string "auditor" ] );
+          ]
+    with
+    | Ok (p, _) -> p
+    | Error e -> failwith e
+  in
+  [
+    Test.make ~name:"ablation/monolithic:aspect-route-build"
+      (Staged.stage (fun () ->
+           match Core.Pipeline.build project with
+           | Ok a -> ignore a
+           | Error e -> failwith e));
+    Test.make ~name:"ablation/monolithic:monolithic-codegen"
+      (Staged.stage (fun () -> ignore (Core.Pipeline.monolithic_code project)));
+    Test.make ~name:"ablation/monolithic:reconfigure-aspect-route"
+      (Staged.stage (fun () ->
+           let p = reconfigured () in
+           match Core.Pipeline.build p with
+           | Ok a -> ignore a
+           | Error e -> failwith e));
+    Test.make ~name:"ablation/monolithic:reconfigure-monolithic"
+      (Staged.stage (fun () ->
+           let p = reconfigured () in
+           ignore (Core.Pipeline.monolithic_code p)));
+  ]
+
+(* ---- E9: runtime overhead of woven concerns (interpreter) ------------------ *)
+
+let e9_tests =
+  let project = fig2_project () in
+  let functional = Core.Pipeline.functional_code project in
+  let woven =
+    match Core.Pipeline.build project with
+    | Ok a -> a.Core.Artifacts.woven
+    | Error e -> failwith e
+  in
+  let deposit program =
+    ignore
+      (Interp.Machine.run program ~class_name:"Account" ~method_name:"deposit"
+         ~args:[ Interp.Rvalue.V_double 10.0 ])
+  in
+  [
+    Test.make ~name:"runtime/overhead:unwoven-deposit"
+      (Staged.stage (fun () -> deposit functional));
+    Test.make ~name:"runtime/overhead:woven-deposit"
+      (Staged.stage (fun () -> deposit woven));
+    Test.make ~name:"runtime/overhead:fault-injection-path"
+      (Staged.stage (fun () ->
+           ignore
+             (Interp.Machine.run ~faults:[ ("Account", "getBalance") ] woven
+                ~class_name:"Account" ~method_name:"getBalance")));
+  ]
+
+(* ---- E10: ablation — composed vs sequential transformation -------------- *)
+
+let e10_tests =
+  let m = Fixtures.banking () in
+  let tx = Concerns.Transactions.transformation in
+  let sec = Concerns.Security.transformation in
+  let composite =
+    match
+      Transform.Compose.sequence ~name:"T.tx-sec" ~concern:"composite"
+        [ tx; sec ]
+    with
+    | Ok gmt -> gmt
+    | Error e -> failwith e
+  in
+  let assignments =
+    [
+      ("transactional", v_names [ "Account" ]);
+      ("secured", v_names [ "Teller" ]);
+    ]
+  in
+  let composite_cmt = Transform.Cmt.specialize_exn composite assignments in
+  let tx_cmt =
+    Transform.Cmt.specialize_exn tx [ ("transactional", v_names [ "Account" ]) ]
+  in
+  let sec_cmt =
+    Transform.Cmt.specialize_exn sec [ ("secured", v_names [ "Teller" ]) ]
+  in
+  [
+    Test.make ~name:"ablation/compose:composite-apply"
+      (Staged.stage (fun () ->
+           match Transform.Engine.apply composite_cmt m with
+           | Ok _ -> ()
+           | Error f ->
+               failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)));
+    Test.make ~name:"ablation/compose:sequential-apply"
+      (Staged.stage (fun () ->
+           match Transform.Engine.run m [ tx_cmt; sec_cmt ] with
+           | Ok _ -> ()
+           | Error (_, f) ->
+               failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)));
+  ]
+
+(* ---- harness ------------------------------------------------------------- *)
+
+let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+
+let run_group title tests =
+  Printf.printf "== %s ==\n%!" title;
+  let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> e
+        | Some _ | None -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      Printf.printf "  %-55s %12.1f ns/run   (r2=%.4f)\n%!" name estimate r2)
+    rows;
+  print_newline ()
+
+let () =
+  print_endline
+    "mdweave benchmark harness — experiments E1..E10 (see EXPERIMENTS.md)";
+  print_newline ();
+  run_group "E1  Fig.1: one refinement step (specialize+check+apply+CAC)" e1_tests;
+  run_group "E2  Fig.2: three-concern pipeline on the banking PIM" e2_tests;
+  run_group "E3  OCL evaluation cost (Section 2 pre/postconditions)" e3_tests;
+  run_group "E4  XMI round-trip (Section 3 interchange)" e4_tests;
+  run_group "E5  weaving cost vs number of aspects" e5_tests;
+  run_group "E6  repository commit/undo/redo/diff (Section 3)" e6_tests;
+  run_group "E7  ablation: pre/postcondition checking cost" e7_tests;
+  run_group "E8  ablation: aspect route vs monolithic generation" e8_tests;
+  run_group "E9  runtime overhead of woven concerns (interpreted)" e9_tests;
+  run_group "E10 ablation: composed vs sequential transformations" e10_tests

@@ -1,0 +1,558 @@
+(* mdweave — the tool front-end for the concern-oriented refinement
+   infrastructure (the CLI realization of the paper's Section 3 wizards).
+
+   Commands:
+     sample    write a sample banking PIM as XMI
+     info      inspect an XMI model (tree, level, well-formedness)
+     concerns  list registered concerns and their parameter wizards
+     apply     apply one concern transformation to an XMI model
+     check     evaluate an OCL constraint against an XMI model
+     codegen   generate code (functional or monolithic) from an XMI model
+     build     apply a transformation sequence and emit code + aspects *)
+
+open Cmdliner
+
+let read_model path =
+  try Ok (Xmi.Import.read_file path) with
+  | Xmi.Import.Import_error msg -> Error ("XMI import: " ^ msg)
+  | Xmi.Xml_parser.Xml_error (msg, pos) ->
+      Error (Printf.sprintf "XML parse error at offset %d: %s" pos msg)
+  | Sys_error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("mdweave: " ^ msg);
+      exit 1
+
+(* ---- sample ---------------------------------------------------------- *)
+
+let sample_pim () =
+  let m = Mof.Model.create ~name:"banking" in
+  let root = Mof.Model.root m in
+  let m, acct = Mof.Builder.add_class m ~owner:root ~name:"Account" in
+  let m, _ =
+    Mof.Builder.add_attribute m ~cls:acct ~name:"balance" ~typ:Mof.Kind.Dt_real
+  in
+  let m, dep = Mof.Builder.add_operation m ~owner:acct ~name:"deposit" in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:dep ~name:"amount" ~typ:Mof.Kind.Dt_real
+  in
+  let m, wd = Mof.Builder.add_operation m ~owner:acct ~name:"withdraw" in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:wd ~name:"amount" ~typ:Mof.Kind.Dt_real
+  in
+  let m = Mof.Builder.set_result m ~op:wd ~typ:Mof.Kind.Dt_boolean in
+  let m, teller = Mof.Builder.add_class m ~owner:root ~name:"Teller" in
+  let m, tr = Mof.Builder.add_operation m ~owner:teller ~name:"transfer" in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:tr ~name:"from" ~typ:(Mof.Kind.Dt_ref acct)
+  in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:tr ~name:"target" ~typ:(Mof.Kind.Dt_ref acct)
+  in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:tr ~name:"amount" ~typ:Mof.Kind.Dt_real
+  in
+  Core.Level.mark Core.Level.Pim m
+
+let sample_cmd =
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let run out =
+    Xmi.Export.write_file out (sample_pim ());
+    Printf.printf "wrote sample banking PIM to %s\n" out
+  in
+  Cmd.v (Cmd.info "sample" ~doc:"Write a sample banking PIM as XMI")
+    Term.(const run $ out)
+
+(* ---- info ------------------------------------------------------------ *)
+
+let info_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let m = or_die (read_model file) in
+    Printf.printf "model: %s (%d elements, level %s)\n" (Mof.Model.name m)
+      (Mof.Model.size m)
+      (match Core.Level.of_model m with
+      | Some l -> Core.Level.to_string l
+      | None -> "unmarked");
+    print_string (Mof.Pp.model_to_string m);
+    match Mof.Wellformed.check m with
+    | [] -> print_endline "well-formed: yes"
+    | violations ->
+        print_endline "well-formed: NO";
+        List.iter
+          (fun v ->
+            Format.printf "  %a@." Mof.Wellformed.pp_violation v)
+          violations
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Inspect an XMI model") Term.(const run $ file)
+
+(* ---- concerns -------------------------------------------------------- *)
+
+let concerns_cmd =
+  let run () =
+    Core.Platform.ensure_registered ();
+    List.iter
+      (fun (e : Concerns.Registry.entry) ->
+        Format.printf "%a@.  %s@.%s@.@." Concerns.Concern.pp
+          e.Concerns.Registry.concern
+          e.Concerns.Registry.concern.Concerns.Concern.description
+          (Workflow.Wizard.render_questions
+             e.Concerns.Registry.gmt.Transform.Gmt.formals))
+      (Concerns.Registry.all ())
+  in
+  Cmd.v
+    (Cmd.info "concerns"
+       ~doc:"List registered concerns and their configuration wizards")
+    Term.(const run $ const ())
+
+
+(* ---- apply ----------------------------------------------------------- *)
+
+let concern_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "c"; "concern" ] ~docv:"CONCERN" ~doc:"Concern key to apply")
+
+let param_args =
+  Arg.(
+    value & opt_all string []
+    & info [ "p"; "param" ] ~docv:"NAME=VALUE"
+        ~doc:"Parameter assignment (repeatable); lists are comma-separated")
+
+let out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path")
+
+let resolve_cmt concern params =
+  match Concerns.Registry.find_gmt concern with
+  | None -> Error (Printf.sprintf "unknown concern %s" concern)
+  | Some gmt -> (
+      match
+        Workflow.Wizard.parse_assignments gmt.Transform.Gmt.formals params
+      with
+      | Error e -> Error e
+      | Ok assignments -> (
+          match Transform.Cmt.specialize gmt assignments with
+          | Ok cmt -> Ok (cmt, assignments)
+          | Error problems ->
+              Error
+                (Format.asprintf "%a"
+                   (Format.pp_print_list
+                      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+                      Transform.Params.pp_problem)
+                   problems)))
+
+let apply_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file concern params out =
+    Core.Platform.ensure_registered ();
+    let m = or_die (read_model file) in
+    let cmt, _ = or_die (resolve_cmt concern params) in
+    match Transform.Engine.apply cmt m with
+    | Error failure ->
+        or_die (Error (Format.asprintf "%a" Transform.Engine.pp_failure failure))
+    | Ok outcome ->
+        Xmi.Export.write_file out outcome.Transform.Engine.model;
+        Printf.printf "%s\n-> %s\n"
+          (Transform.Report.summary outcome.Transform.Engine.report)
+          out
+  in
+  Cmd.v
+    (Cmd.info "apply" ~doc:"Apply one concern transformation to an XMI model")
+    Term.(const run $ file $ concern_arg $ param_args $ out_arg)
+
+(* ---- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let expr =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "e"; "expr" ] ~docv:"OCL" ~doc:"OCL constraint body")
+  in
+  let context =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "context" ] ~docv:"METACLASS"
+          ~doc:"Evaluate per instance of this metaclass with self bound")
+  in
+  let run file expr context =
+    let m = or_die (read_model file) in
+    let c = Ocl.Constraint_.make ?context ~name:"cli" expr in
+    Format.printf "%a@." Ocl.Constraint_.pp_outcome (Ocl.Constraint_.check m c);
+    match Ocl.Constraint_.check m c with
+    | Ocl.Constraint_.Holds -> ()
+    | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Evaluate an OCL constraint against an XMI model")
+    Term.(const run $ file $ expr $ context)
+
+(* ---- codegen --------------------------------------------------------- *)
+
+let codegen_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let monolithic =
+    Arg.(
+      value & flag
+      & info [ "monolithic" ]
+          ~doc:"Include concern-introduced elements (no aspect route)")
+  in
+  let run file monolithic =
+    let m = or_die (read_model file) in
+    let options =
+      if monolithic then
+        { Code.Generator.accessors = true; exclude_stereotypes = [] }
+      else
+        {
+          Code.Generator.accessors = true;
+          exclude_stereotypes = Core.Pipeline.exclude_stereotypes;
+        }
+    in
+    print_string (Code.Printer.program_to_string (Code.Generator.generate ~options m))
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Generate Java-like code from an XMI model")
+    Term.(const run $ file $ monolithic)
+
+(* ---- build ----------------------------------------------------------- *)
+
+let parse_step text =
+  match String.index_opt text ':' with
+  | None -> Error (Printf.sprintf "step %s: expected CONCERN:PARAMS" text)
+  | Some i ->
+      let concern = String.trim (String.sub text 0 i) in
+      let rest = String.sub text (i + 1) (String.length text - i - 1) in
+      (* parameters are NAME=V pairs separated by commas at top level; list
+         values use | as the item separator to avoid ambiguity *)
+      let params =
+        List.filter
+          (fun s -> not (String.equal s ""))
+          (List.map String.trim (String.split_on_char ',' rest))
+      in
+      let params =
+        List.map (String.map (fun c -> if c = '|' then ',' else c)) params
+      in
+      Ok (concern, params)
+
+let refined_project m steps =
+  let project = Core.Project.create m in
+  List.fold_left
+    (fun project text ->
+      let concern, raw_params = or_die (parse_step text) in
+      let _, assignments = or_die (resolve_cmt concern raw_params) in
+      match Core.Pipeline.refine project ~concern ~params:assignments with
+      | Ok (project, report) ->
+          print_endline (Transform.Report.summary report);
+          project
+      | Error e -> or_die (Error e))
+    project steps
+
+let steps_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "s"; "step" ] ~docv:"CONCERN:NAME=V,NAME=V"
+        ~doc:
+          "A refinement step: concern key, colon, comma-separated parameter \
+           assignments; list items use | as the separator (repeatable, \
+           applied in order)")
+
+let build_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let steps =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "step" ] ~docv:"CONCERN:NAME=V,NAME=V"
+          ~doc:
+            "A refinement step: concern key, colon, semicolon-free \
+             comma-separated parameter assignments (repeatable, applied in \
+             order)")
+  in
+  let outdir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Artifact output directory")
+  in
+  let run file steps outdir =
+    Core.Platform.ensure_registered ();
+    let m = or_die (read_model file) in
+    let project = refined_project m steps in
+    let artifacts = or_die (Core.Pipeline.build project) in
+    Core.Artifacts.write_to_dir outdir artifacts;
+    Xmi.Export.write_file
+      (Filename.concat outdir "refined.xmi")
+      (Core.Project.model project);
+    print_endline (Core.Artifacts.summary artifacts);
+    Printf.printf "artifacts written to %s\n" outdir
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Apply a transformation sequence and emit code, aspects, woven \
+             output")
+    Term.(const run $ file $ steps $ outdir)
+
+(* ---- joinpoints -------------------------------------------------------- *)
+
+let joinpoints_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let pointcut =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "pointcut" ] ~docv:"POINTCUT"
+          ~doc:
+            "Pointcut expression, e.g. \"execution(Account.set*) && \
+             !within(*Proxy)\"")
+  in
+  let run file steps pointcut_text =
+    Core.Platform.ensure_registered ();
+    let m = or_die (read_model file) in
+    let project = refined_project m steps in
+    let pc =
+      match Aspects.Pointcut_parser.parse pointcut_text with
+      | Ok pc -> pc
+      | Error e -> or_die (Error e)
+    in
+    let program = Core.Pipeline.functional_code project in
+    let shadows = Weaver.Joinpoint.execution_shadows program in
+    let matching = List.filter (Weaver.Matcher.matches pc) shadows in
+    List.iter
+      (fun shadow -> print_endline (Weaver.Joinpoint.describe shadow))
+      matching;
+    Printf.printf "%d of %d execution join point(s) match %s\n"
+      (List.length matching) (List.length shadows)
+      (Aspects.Pointcut.to_string pc)
+  in
+  Cmd.v
+    (Cmd.info "joinpoints"
+       ~doc:
+         "List the execution join points of the generated functional code \
+          matching a pointcut")
+    Term.(const run $ file $ steps_arg $ pointcut)
+
+(* ---- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let class_name =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "class" ] ~docv:"CLASS" ~doc:"Class to instantiate")
+  in
+  let method_name =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "method" ] ~docv:"METHOD" ~doc:"Method to invoke")
+  in
+  let faults =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"CLASS.METHOD"
+          ~doc:"Inject a RuntimeException on entering this method (repeatable)")
+  in
+  let run file steps class_name method_name fault_specs =
+    Core.Platform.ensure_registered ();
+    let m = or_die (read_model file) in
+    let project = refined_project m steps in
+    let artifacts = or_die (Core.Pipeline.build project) in
+    let faults =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '.' with
+          | Some i ->
+              ( String.sub spec 0 i,
+                String.sub spec (i + 1) (String.length spec - i - 1) )
+          | None -> or_die (Error (spec ^ ": expected CLASS.METHOD")))
+        fault_specs
+    in
+    let find_method_arity () =
+      match Code.Junit.find_class artifacts.Core.Artifacts.woven class_name with
+      | None -> or_die (Error ("unknown class " ^ class_name))
+      | Some c -> (
+          match Code.Jdecl.find_method c method_name with
+          | None ->
+              or_die
+                (Error
+                   (Printf.sprintf "class %s has no method %s" class_name
+                      method_name))
+          | Some mth ->
+              List.map
+                (fun (p : Code.Jdecl.param) ->
+                  Interp.Rvalue.default_of p.Code.Jdecl.param_type)
+                mth.Code.Jdecl.params)
+    in
+    let args = find_method_arity () in
+    let outcome =
+      Interp.Machine.run ~faults ~args artifacts.Core.Artifacts.woven
+        ~class_name ~method_name
+    in
+    Printf.printf "executing woven %s.%s (%d default argument(s))\n" class_name
+      method_name (List.length args);
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (Interp.Event.to_string e))
+      outcome.Interp.Machine.events;
+    match outcome.Interp.Machine.result with
+    | Ok v -> Printf.printf "-> returned %s\n" (Interp.Rvalue.to_string v)
+    | Error cls ->
+        Printf.printf "-> threw %s\n" cls;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Interpret a method of the woven program against the recording \
+          middleware runtime")
+    Term.(const run $ file $ steps_arg $ class_name $ method_name $ faults)
+
+(* ---- color ----------------------------------------------------------------- *)
+
+let color_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let html =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE" ~doc:"Also write an HTML demarcation page")
+  in
+  let run file steps html =
+    Core.Platform.ensure_registered ();
+    let m = or_die (read_model file) in
+    let project = refined_project m steps in
+    print_endline (Core.Project.coloring project);
+    match html with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc
+              (Workflow.Color.demarcate_html (Core.Project.model project)
+                 (Core.Project.trace project)));
+        Printf.printf "HTML demarcation written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "color"
+       ~doc:
+         "Demarcate the concern spaces of a refined model by color (text, \
+          optionally HTML)")
+    Term.(const run $ file $ steps_arg $ html)
+
+(* ---- ship / replay -------------------------------------------------------- *)
+
+let ship_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let outdir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Package output directory")
+  in
+  let run file steps outdir =
+    Core.Platform.ensure_registered ();
+    let m = or_die (read_model file) in
+    let project = refined_project m steps in
+    (match Core.Shipping.ship ~dir:outdir project with
+    | Ok () -> ()
+    | Error e -> or_die (Error e));
+    Printf.printf "shipped %d step(s) to %s\n"
+      (List.length (Core.Project.applied project))
+      outdir
+  in
+  Cmd.v
+    (Cmd.info "ship"
+       ~doc:
+         "Package a refinement: every intermediate model plus a replayable \
+          manifest of concerns and parameter sets")
+    Term.(const run $ file $ steps_arg $ outdir)
+
+let replay_cmd =
+  let dir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR") in
+  let run dir =
+    match Core.Shipping.verify ~dir with
+    | Ok true -> print_endline "replay verified: final model reproduced"
+    | Ok false ->
+        print_endline "replay DIVERGED from the shipped final model";
+        exit 1
+    | Error e -> or_die (Error e)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a shipped refinement package and verify the final model")
+    Term.(const run $ dir)
+
+(* ---- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file steps =
+    Core.Platform.ensure_registered ();
+    let m = or_die (read_model file) in
+    let project = refined_project m steps in
+    let model = Core.Project.model project in
+    let count f = List.length (f model) in
+    Printf.printf "model: %s (%s)\n" (Mof.Model.name model)
+      (match Core.Level.of_model model with
+      | Some l -> Core.Level.to_string l
+      | None -> "unmarked");
+    Printf.printf "elements: %d total\n" (Mof.Model.size model);
+    Printf.printf
+      "  %d package(s), %d class(es), %d interface(s), %d enumeration(s)\n"
+      (count Mof.Query.packages) (count Mof.Query.classes)
+      (count Mof.Query.interfaces)
+      (count Mof.Query.enumerations);
+    Printf.printf "  %d association(s), %d constraint(s)\n"
+      (count Mof.Query.associations)
+      (count Mof.Query.constraints);
+    let trace = Core.Project.trace project in
+    let concerns = Transform.Trace.concerns_applied trace in
+    Printf.printf "concerns applied: %s\n"
+      (if concerns = [] then "none" else String.concat ", " concerns);
+    List.iter
+      (fun concern ->
+        Printf.printf "  %-14s %d element(s) in its concern space\n" concern
+          (Mof.Id.Set.cardinal (Transform.Trace.concern_space trace ~concern)))
+      concerns
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summarize a model and its concern spaces")
+    Term.(const run $ file $ steps_arg)
+
+(* ---- main ------------------------------------------------------------ *)
+
+let () =
+  let doc = "generic concern-oriented model transformations meet AOP" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "mdweave" ~version:"1.0.0" ~doc)
+          [
+            sample_cmd;
+            info_cmd;
+            concerns_cmd;
+            apply_cmd;
+            check_cmd;
+            codegen_cmd;
+            build_cmd;
+            joinpoints_cmd;
+            run_cmd;
+            ship_cmd;
+            replay_cmd;
+            color_cmd;
+            stats_cmd;
+          ]))

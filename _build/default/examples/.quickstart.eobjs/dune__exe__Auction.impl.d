@@ -1,0 +1,1 @@
+examples/auction.ml: Core List Mof Ocl Option Printf String Transform Xmi

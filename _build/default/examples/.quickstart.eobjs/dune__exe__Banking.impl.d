@@ -1,0 +1,1 @@
+examples/banking.ml: Code Core List Mof Printf Transform Weaver Workflow

@@ -1,0 +1,1 @@
+examples/composite.ml: Aspects Code Concerns Format List Mof Ocl Printf String Transform Workflow

@@ -1,0 +1,1 @@
+examples/observe.ml: Code Core Interp List Mof Printf Transform Weaver

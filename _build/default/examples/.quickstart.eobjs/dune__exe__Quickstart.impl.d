@@ -1,0 +1,1 @@
+examples/quickstart.ml: Code Core Mof Transform

@@ -1,0 +1,1 @@
+examples/travel.ml: Code Core List Mof Printf String Transform

@@ -1,0 +1,1 @@
+lib/aspects/advice.ml: Code List Option Pointcut String

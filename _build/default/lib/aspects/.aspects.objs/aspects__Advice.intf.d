@@ -1,0 +1,1 @@
+lib/aspects/advice.mli: Code Pointcut

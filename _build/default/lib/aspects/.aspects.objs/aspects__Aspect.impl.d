@@ -1,0 +1,1 @@
+lib/aspects/aspect.ml: Advice Code List Pattern Printf

@@ -1,0 +1,1 @@
+lib/aspects/aspect.mli: Advice Code Pattern

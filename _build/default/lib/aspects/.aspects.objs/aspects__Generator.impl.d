@@ -1,0 +1,1 @@
+lib/aspects/generator.ml: Aspect Generic List Printf String Transform

@@ -1,0 +1,1 @@
+lib/aspects/generator.mli: Aspect Generic Transform

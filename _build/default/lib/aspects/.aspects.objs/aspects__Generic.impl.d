@@ -1,0 +1,1 @@
+lib/aspects/generic.ml: Aspect Transform

@@ -1,0 +1,1 @@
+lib/aspects/generic.mli: Aspect Transform

@@ -1,0 +1,1 @@
+lib/aspects/pattern.mli:

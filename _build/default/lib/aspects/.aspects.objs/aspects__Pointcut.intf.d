@@ -1,0 +1,1 @@
+lib/aspects/pointcut.mli: Pattern

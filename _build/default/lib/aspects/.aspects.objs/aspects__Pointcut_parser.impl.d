@@ -1,0 +1,1 @@
+lib/aspects/pointcut_parser.ml: Format Pointcut Printf Stdlib String

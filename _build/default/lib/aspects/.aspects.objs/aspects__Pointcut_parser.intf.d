@@ -1,0 +1,1 @@
+lib/aspects/pointcut_parser.mli: Pointcut

@@ -1,0 +1,1 @@
+lib/aspects/printer.ml: Advice Aspect Code Generator List Pointcut Printf String

@@ -1,0 +1,1 @@
+lib/aspects/printer.mli: Advice Aspect Generator

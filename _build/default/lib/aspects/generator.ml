@@ -1,0 +1,34 @@
+type generated = {
+  aspect : Aspect.t;
+  from_transformation : string;
+  seq : int;
+}
+
+let from_cmt gac ~seq cmt =
+  let concern = Transform.Cmt.concern cmt in
+  if not (String.equal gac.Generic.concern concern) then
+    invalid_arg
+      (Printf.sprintf
+         "Aspects.Generator.from_cmt: aspect %s is for concern %s, \
+          transformation %s is for concern %s"
+         gac.Generic.ga_name gac.Generic.concern
+         (Transform.Cmt.name cmt) concern);
+  {
+    aspect = Generic.specialize_with_set gac cmt.Transform.Cmt.params;
+    from_transformation = Transform.Cmt.name cmt;
+    seq;
+  }
+
+let from_trace ~lookup cmts =
+  let rec loop seq acc = function
+    | [] -> Ok (List.rev acc)
+    | cmt :: rest -> (
+        let concern = Transform.Cmt.concern cmt in
+        match lookup concern with
+        | Some gac -> loop (seq + 1) (from_cmt gac ~seq cmt :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf "no generic aspect registered for concern %s"
+                 concern))
+  in
+  loop 1 [] cmts

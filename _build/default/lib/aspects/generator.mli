@@ -1,0 +1,31 @@
+(** The aspect generator: concrete aspects from concrete transformations.
+
+    Implements the paper's "aspect generators, which generate concrete
+    aspects from concrete model transformations". Given the generic aspect
+    registered for a concern and the concrete transformation applied at
+    model level, the generator instantiates the aspect with the
+    transformation's own parameter set and stamps it with the
+    transformation's sequence number — the precedence the weaver obeys. *)
+
+(** A concrete aspect plus its provenance. *)
+type generated = {
+  aspect : Aspect.t;
+  from_transformation : string;  (** concrete transformation name, T_i⟨…⟩ *)
+  seq : int;  (** application order of the source transformation *)
+}
+
+val from_cmt : Generic.t -> seq:int -> Transform.Cmt.t -> generated
+(** [from_cmt gac ~seq cmt] is the concrete aspect GAC⟨S_i⟩ where S_i is
+    [cmt]'s parameter set. Raises [Invalid_argument] when the concern keys
+    of the generic aspect and the transformation disagree — pairing a
+    transformation with another concern's aspect is always a wiring bug. *)
+
+val from_trace :
+  lookup:(string -> Generic.t option) ->
+  Transform.Cmt.t list ->
+  (generated list, string) result
+(** Generates one concrete aspect per applied transformation, in application
+    order, resolving each concern's generic aspect through [lookup].
+    Transformations whose concern has no registered generic aspect are
+    reported as an error (a concern without code-level realization
+    contradicts Fig. 1). *)

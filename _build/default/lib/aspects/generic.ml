@@ -1,0 +1,16 @@
+type t = {
+  ga_name : string;
+  concern : string;
+  formals : Transform.Params.decl list;
+  instantiate : Transform.Params.set -> Aspect.t;
+}
+
+let make ~name ~concern ~formals instantiate =
+  { ga_name = name; concern; formals; instantiate }
+
+let specialize t assignments =
+  match Transform.Params.build t.formals assignments with
+  | Ok set -> Ok (t.instantiate set)
+  | Error problems -> Error problems
+
+let specialize_with_set t set = t.instantiate set

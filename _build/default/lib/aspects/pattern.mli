@@ -1,0 +1,27 @@
+(** Wildcard name patterns of the pointcut language.
+
+    A pattern is a name with [*] wildcards matching any (possibly empty)
+    substring, as in AspectJ type and method patterns: ["Account"],
+    ["set*"], ["*Proxy"], ["*"]. *)
+
+type t = string
+
+val matches : t -> string -> bool
+(** [matches pattern name]. *)
+
+val is_wildcard : t -> bool
+(** Whether the pattern contains any [*]. *)
+
+(** A method pattern: class pattern and method-name pattern, as written
+    ["Account.set*"] in pointcut syntax. *)
+type method_pattern = {
+  mp_class : t;
+  mp_method : t;
+}
+
+val method_pattern : string -> string -> method_pattern
+
+val matches_method : method_pattern -> class_name:string -> method_name:string -> bool
+
+val method_pattern_to_string : method_pattern -> string
+(** ["Account.set*"]. *)

@@ -1,0 +1,22 @@
+(** Parser for the textual pointcut syntax produced by
+    {!Pointcut.to_string} and accepted by tool front-ends:
+
+    {v
+    pointcut := term ( "||" term )*
+    term     := factor ( "&&" factor )*
+    factor   := "!" factor | "(" pointcut ")" | primitive
+    primitive:= "execution" "(" CLASS "." METHOD ")"
+              | "call"      "(" CLASS "." METHOD ")"
+              | "set"       "(" CLASS "." FIELD ")"
+              | "within"    "(" CLASS ")"
+    v}
+
+    Class/method/field positions are wildcard patterns ([*] allowed). *)
+
+val parse : string -> (Pointcut.t, string) result
+(** [parse src] is the pointcut denoted by [src], or a located error
+    message. The round trip [parse (Pointcut.to_string pc)] re-reads any
+    rendered pointcut. *)
+
+val parse_exn : string -> Pointcut.t
+(** @raise Invalid_argument on parse errors. *)

@@ -1,0 +1,1 @@
+lib/code/generator.ml: Jdecl Jexpr Jstmt Jtype Junit List Mof Option String

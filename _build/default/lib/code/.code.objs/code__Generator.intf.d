@@ -1,0 +1,1 @@
+lib/code/generator.mli: Jstmt Jtype Junit Mof

@@ -1,0 +1,1 @@
+lib/code/jdecl.ml: Jexpr Jstmt Jtype List String

@@ -1,0 +1,1 @@
+lib/code/jdecl.mli: Jexpr Jstmt Jtype

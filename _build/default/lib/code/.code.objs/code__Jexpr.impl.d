@@ -1,0 +1,1 @@
+lib/code/jexpr.ml: Jtype List Option

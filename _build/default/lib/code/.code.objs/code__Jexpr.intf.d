@@ -1,0 +1,1 @@
+lib/code/jexpr.mli: Jtype

@@ -1,0 +1,1 @@
+lib/code/jlexer.ml: Buffer Format List String

@@ -1,0 +1,1 @@
+lib/code/jparser.ml: Array Either Format Jdecl Jexpr Jlexer Jstmt Jtype Junit List Printf String

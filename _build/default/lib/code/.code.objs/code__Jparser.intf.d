@@ -1,0 +1,1 @@
+lib/code/jparser.mli: Jexpr Jstmt Junit

@@ -1,0 +1,1 @@
+lib/code/jstmt.ml: Jexpr Jtype List Option

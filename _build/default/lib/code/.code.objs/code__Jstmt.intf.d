@@ -1,0 +1,1 @@
+lib/code/jstmt.mli: Jexpr Jtype

@@ -1,0 +1,1 @@
+lib/code/jtype.ml: Mof

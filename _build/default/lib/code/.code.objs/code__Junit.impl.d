@@ -1,0 +1,1 @@
+lib/code/junit.ml: Jdecl List String

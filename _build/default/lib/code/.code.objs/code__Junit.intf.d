@@ -1,0 +1,1 @@
+lib/code/junit.mli: Jdecl

@@ -1,0 +1,1 @@
+lib/code/printer.ml: Buffer Float Jdecl Jexpr Jstmt Jtype Junit List Printf String

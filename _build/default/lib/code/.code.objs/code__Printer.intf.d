@@ -1,0 +1,1 @@
+lib/code/printer.mli: Jdecl Jexpr Jstmt Junit

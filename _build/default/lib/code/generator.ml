@@ -1,0 +1,297 @@
+type options = {
+  accessors : bool;
+  exclude_stereotypes : string list;
+}
+
+let default_options = { accessors = true; exclude_stereotypes = [] }
+
+let capitalize = String.capitalize_ascii
+
+let stub_body return_type =
+  let todo = Jstmt.S_comment "TODO: implement" in
+  match Jtype.default_value_text return_type with
+  | None -> [ todo ]
+  | Some "false" -> [ todo; Jstmt.S_return (Some (Jexpr.E_bool false)) ]
+  | Some "0" -> [ todo; Jstmt.S_return (Some (Jexpr.E_int 0)) ]
+  | Some "0.0" -> [ todo; Jstmt.S_return (Some (Jexpr.E_double 0.0)) ]
+  | Some _ -> [ todo; Jstmt.S_return (Some Jexpr.E_null) ]
+
+let visibility_modifier = function
+  | Mof.Kind.Public -> Jdecl.M_public
+  | Mof.Kind.Private -> Jdecl.M_private
+  | Mof.Kind.Protected -> Jdecl.M_protected
+  | Mof.Kind.Package_level -> Jdecl.M_public
+
+let field_of_attribute m (a : Mof.Element.t) =
+  match a.Mof.Element.kind with
+  | Mof.Kind.Attribute k ->
+      let base = Jtype.of_datatype m k.attr_type in
+      let field_type =
+        match k.attr_mult.Mof.Kind.upper with
+        | Some u when u <= 1 -> base
+        | Some _ | None -> Jtype.T_list base
+      in
+      let mods =
+        [ visibility_modifier k.attr_visibility ]
+        @ (if k.is_static then [ Jdecl.M_static ] else [])
+      in
+      Some
+        {
+          Jdecl.field_name = a.Mof.Element.name;
+          field_type;
+          field_mods = mods;
+          field_init = None;
+        }
+  | _ -> None
+
+let accessors_of_field (f : Jdecl.field) =
+  let getter =
+    {
+      Jdecl.method_name = "get" ^ capitalize f.Jdecl.field_name;
+      method_mods = [ Jdecl.M_public ];
+      return_type = f.Jdecl.field_type;
+      params = [];
+      throws = [];
+      body = Some [ Jstmt.S_return (Some (Jexpr.E_field (Jexpr.E_this, f.Jdecl.field_name))) ];
+    }
+  in
+  let setter =
+    {
+      Jdecl.method_name = "set" ^ capitalize f.Jdecl.field_name;
+      method_mods = [ Jdecl.M_public ];
+      return_type = Jtype.T_void;
+      params = [ { Jdecl.param_name = "value"; param_type = f.Jdecl.field_type } ];
+      throws = [];
+      body =
+        Some
+          [
+            Jstmt.S_expr
+              (Jexpr.E_assign
+                 ( Jexpr.E_field (Jexpr.E_this, f.Jdecl.field_name),
+                   Jexpr.E_name "value" ));
+          ];
+    }
+  in
+  [ getter; setter ]
+
+let method_of_operation m ~stub (o : Mof.Element.t) =
+  match o.Mof.Element.kind with
+  | Mof.Kind.Operation k ->
+      let return_type = Jtype.of_datatype m (Mof.Query.result_of m o.Mof.Element.id) in
+      let params =
+        List.map
+          (fun (p : Mof.Element.t) ->
+            match p.Mof.Element.kind with
+            | Mof.Kind.Parameter pk ->
+                {
+                  Jdecl.param_name = p.Mof.Element.name;
+                  param_type = Jtype.of_datatype m pk.param_type;
+                }
+            | _ -> assert false)
+          (Mof.Query.parameters_of m o.Mof.Element.id)
+      in
+      let mods =
+        [ visibility_modifier k.op_visibility ]
+        @ (if k.is_static_op then [ Jdecl.M_static ] else [])
+        @ if k.is_abstract_op then [ Jdecl.M_abstract ] else []
+      in
+      Some
+        {
+          Jdecl.method_name = o.Mof.Element.name;
+          method_mods = mods;
+          return_type;
+          params;
+          throws = [];
+          body =
+            (if stub && not k.is_abstract_op then Some (stub_body return_type)
+             else None);
+        }
+  | _ -> None
+
+(* Fields contributed to [cls] by navigable association ends: for each
+   association touching the class, every *other* navigable end becomes a
+   field named after the end's role. *)
+let association_fields m (cls : Mof.Element.t) =
+  List.concat_map
+    (fun (assoc : Mof.Element.t) ->
+      match assoc.Mof.Element.kind with
+      | Mof.Kind.Association { ends } ->
+          let touches =
+            List.exists
+              (fun (en : Mof.Kind.assoc_end) ->
+                Mof.Id.equal en.end_type cls.Mof.Element.id)
+              ends
+          in
+          if not touches then []
+          else
+            List.filter_map
+              (fun (en : Mof.Kind.assoc_end) ->
+                if
+                  Mof.Id.equal en.end_type cls.Mof.Element.id
+                  || not en.end_navigable
+                then None
+                else
+                  let target =
+                    match Mof.Model.find m en.end_type with
+                    | Some t -> t.Mof.Element.name
+                    | None -> "Unresolved"
+                  in
+                  let base = Jtype.T_named target in
+                  let field_type =
+                    match en.end_mult.Mof.Kind.upper with
+                    | Some u when u <= 1 -> base
+                    | Some _ | None -> Jtype.T_list base
+                  in
+                  Some
+                    {
+                      Jdecl.field_name = en.end_name;
+                      field_type;
+                      field_mods = [ Jdecl.M_private ];
+                      field_init = None;
+                    })
+              ends
+      | _ -> [])
+    (Mof.Query.associations m)
+
+let excluded options (e : Mof.Element.t) =
+  List.exists (fun s -> Mof.Element.has_stereotype s e) options.exclude_stereotypes
+
+let class_of m options (cls : Mof.Element.t) =
+  match cls.Mof.Element.kind with
+  | Mof.Kind.Class k ->
+      let own_fields =
+        List.filter_map (field_of_attribute m)
+          (List.filter
+             (fun a -> not (excluded options a))
+             (Mof.Query.attributes_of m cls.Mof.Element.id))
+      in
+      let assoc_fields = association_fields m cls in
+      let fields = own_fields @ assoc_fields in
+      let accessor_methods =
+        if options.accessors then List.concat_map accessors_of_field own_fields
+        else []
+      in
+      let op_methods =
+        List.filter_map
+          (method_of_operation m ~stub:true)
+          (List.filter
+             (fun o -> not (excluded options o))
+             (Mof.Query.operations_of m cls.Mof.Element.id))
+      in
+      let name_of id = (Mof.Model.find_exn m id).Mof.Element.name in
+      Some
+        {
+          Jdecl.class_name = cls.Mof.Element.name;
+          class_mods =
+            (Jdecl.M_public :: (if k.is_abstract then [ Jdecl.M_abstract ] else []));
+          extends = (match k.supers with [] -> None | s :: _ -> Some (name_of s));
+          implements = List.map name_of k.realizes;
+          fields;
+          methods = accessor_methods @ op_methods;
+        }
+  | _ -> None
+
+(* An enumeration maps to a final class of String constants — the closest
+   the code model gets to a Java enum without a dedicated declaration
+   form. *)
+let enumeration_of (e : Mof.Element.t) =
+  match e.Mof.Element.kind with
+  | Mof.Kind.Enumeration { literals } ->
+      Some
+        {
+          Jdecl.class_name = e.Mof.Element.name;
+          class_mods = [ Jdecl.M_public; Jdecl.M_final ];
+          extends = None;
+          implements = [];
+          fields =
+            List.map
+              (fun lit ->
+                {
+                  Jdecl.field_name = lit;
+                  field_type = Jtype.T_string;
+                  field_mods = [ Jdecl.M_public; Jdecl.M_static; Jdecl.M_final ];
+                  field_init = Some (Jexpr.E_string lit);
+                })
+              literals;
+          methods = [];
+        }
+  | _ -> None
+
+let interface_of m options (iface : Mof.Element.t) =
+  match iface.Mof.Element.kind with
+  | Mof.Kind.Interface _ ->
+      Some
+        {
+          Jdecl.iface_name = iface.Mof.Element.name;
+          iface_extends = [];
+          iface_methods =
+            List.filter_map
+              (method_of_operation m ~stub:false)
+              (List.filter
+                 (fun o -> not (excluded options o))
+                 (Mof.Query.operations_of m iface.Mof.Element.id));
+        }
+  | _ -> None
+
+let uses_list decls =
+  let field_uses (f : Jdecl.field) =
+    match f.Jdecl.field_type with Jtype.T_list _ -> true | _ -> false
+  in
+  let method_uses (mth : Jdecl.method_) =
+    (match mth.Jdecl.return_type with Jtype.T_list _ -> true | _ -> false)
+    || List.exists
+         (fun p ->
+           match p.Jdecl.param_type with Jtype.T_list _ -> true | _ -> false)
+         mth.Jdecl.params
+  in
+  List.exists
+    (function
+      | Jdecl.Class c ->
+          List.exists field_uses c.Jdecl.fields
+          || List.exists method_uses c.Jdecl.methods
+      | Jdecl.Interface i -> List.exists method_uses i.Jdecl.iface_methods)
+    decls
+
+let generate ?(options = default_options) m =
+  let package_of (e : Mof.Element.t) =
+    match e.Mof.Element.owner with
+    | None -> Mof.Model.name m
+    | Some owner ->
+        if Mof.Id.equal owner (Mof.Model.root m) then Mof.Model.name m
+        else Mof.Query.qualified_name m owner
+  in
+  let classifiers =
+    List.filter
+      (fun e -> not (excluded options e))
+      (Mof.Query.classes m @ Mof.Query.interfaces m @ Mof.Query.enumerations m)
+  in
+  let packages =
+    List.fold_left
+      (fun acc e ->
+        let pkg = package_of e in
+        if List.mem_assoc pkg acc then
+          List.map
+            (fun (p, es) -> if String.equal p pkg then (p, es @ [ e ]) else (p, es))
+            acc
+        else acc @ [ (pkg, [ e ]) ])
+      [] classifiers
+  in
+  List.map
+    (fun (pkg, elems) ->
+      let decls =
+        List.filter_map
+          (fun e ->
+            match class_of m options e with
+            | Some c -> Some (Jdecl.Class c)
+            | None -> (
+                match enumeration_of e with
+                | Some c -> Some (Jdecl.Class c)
+                | None ->
+                    Option.map
+                      (fun i -> Jdecl.Interface i)
+                      (interface_of m options e)))
+          elems
+      in
+      let imports = if uses_list decls then [ "java.util.List" ] else [] in
+      Junit.unit_ ~imports ~package:pkg decls)
+    packages

@@ -1,0 +1,145 @@
+type token =
+  | T_int of int
+  | T_double of float
+  | T_string of string
+  | T_ident of string
+  | T_comment of string
+  | T_punct of string
+  | T_eof
+
+let token_text = function
+  | T_int n -> string_of_int n
+  | T_double f -> string_of_float f
+  | T_string s -> "\"" ^ s ^ "\""
+  | T_ident s -> s
+  | T_comment s -> "// " ^ s
+  | T_punct p -> p
+  | T_eof -> "<eof>"
+
+type located = {
+  token : token;
+  pos : int;
+}
+
+exception Lex_error of string * int
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Lex_error (s, pos))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let two_char_puncts = [ "=="; "!="; "<="; ">="; "&&"; "||" ]
+
+let tokenize src =
+  let len = String.length src in
+  let out = ref [] in
+  let emit pos token = out := { token; pos } :: !out in
+  let rec scan i =
+    if i >= len then emit i T_eof
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then scan (i + 1)
+      else if c = '/' && i + 1 < len && src.[i + 1] = '/' then begin
+        let stop =
+          match String.index_from_opt src i '\n' with
+          | Some j -> j
+          | None -> len
+        in
+        emit i (T_comment (String.trim (String.sub src (i + 2) (stop - i - 2))));
+        scan stop
+      end
+      else if is_digit c then scan_number i
+      else if is_ident_start c then scan_ident i
+      else if c = '"' then scan_string i
+      else begin
+        let two =
+          if i + 1 < len then
+            let candidate = String.sub src i 2 in
+            if List.mem candidate two_char_puncts then Some candidate else None
+          else None
+        in
+        match two with
+        | Some p ->
+            emit i (T_punct p);
+            scan (i + 2)
+        | None -> (
+            match c with
+            | ';' | ',' | '.' | '(' | ')' | '{' | '}' | '<' | '>' | '=' | '!'
+            | '+' | '-' | '*' | '/' ->
+                emit i (T_punct (String.make 1 c));
+                scan (i + 1)
+            | c -> error i "unexpected character %C" c)
+      end
+  and scan_number start =
+    let rec digits j = if j < len && is_digit src.[j] then digits (j + 1) else j in
+    let int_end = digits start in
+    if int_end + 1 < len && src.[int_end] = '.' && is_digit src.[int_end + 1]
+    then begin
+      let frac_end = digits (int_end + 1) in
+      (* optional exponent *)
+      let stop =
+        if
+          frac_end < len
+          && (src.[frac_end] = 'e' || src.[frac_end] = 'E')
+          && frac_end + 1 < len
+        then
+          let exp_start =
+            if src.[frac_end + 1] = '+' || src.[frac_end + 1] = '-' then
+              frac_end + 2
+            else frac_end + 1
+          in
+          digits exp_start
+        else frac_end
+      in
+      let text = String.sub src start (stop - start) in
+      match float_of_string_opt text with
+      | Some f ->
+          emit start (T_double f);
+          scan stop
+      | None -> error start "malformed double %s" text
+    end
+    else begin
+      let text = String.sub src start (int_end - start) in
+      match int_of_string_opt text with
+      | Some n ->
+          emit start (T_int n);
+          scan int_end
+      | None -> error start "malformed integer %s" text
+    end
+  and scan_ident start =
+    let rec walk j = if j < len && is_ident_char src.[j] then walk (j + 1) else j in
+    let stop = walk start in
+    emit start (T_ident (String.sub src start (stop - start)));
+    scan stop
+  and scan_string start =
+    let buf = Buffer.create 16 in
+    let rec walk j =
+      if j >= len then error start "unterminated string literal"
+      else
+        match src.[j] with
+        | '"' ->
+            emit start (T_string (Buffer.contents buf));
+            scan (j + 1)
+        | '\\' ->
+            if j + 1 >= len then error j "dangling escape"
+            else begin
+              (match src.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | c -> error j "unknown escape \\%c" c);
+              walk (j + 2)
+            end
+        | c ->
+            Buffer.add_char buf c;
+            walk (j + 1)
+    in
+    walk (start + 1)
+  in
+  scan 0;
+  List.rev !out

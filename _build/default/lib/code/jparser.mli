@@ -1,0 +1,22 @@
+(** Parser for the Java-like source subset emitted by {!Printer}.
+
+    The subset covers everything the code model can express — compilation
+    units, classes/interfaces, fields, methods, the statement forms of
+    {!Jstmt}, and the expression forms of {!Jexpr} — so that
+    [parse_unit (Printer.unit_to_string u)] reconstructs [u] exactly (the
+    round-trip property the test suite enforces). Line comments become
+    {!Jstmt.S_comment} inside method bodies and are skipped elsewhere. *)
+
+exception Parse_error of string * int
+
+val parse_unit : string -> Junit.t
+(** Parses one compilation unit.
+    @raise Parse_error / {!Jlexer.Lex_error} on malformed input. *)
+
+val parse_unit_opt : string -> (Junit.t, string) result
+
+val parse_expr : string -> Jexpr.t
+(** Parses a standalone expression (for tests and tooling). *)
+
+val parse_stmt : string -> Jstmt.t
+(** Parses a standalone statement. *)

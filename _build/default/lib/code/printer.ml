@@ -1,0 +1,168 @@
+let escape_string s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr_to_string e =
+  let args_to_string args = String.concat ", " (List.map expr_to_string args) in
+  match e with
+  | Jexpr.E_null -> "null"
+  | Jexpr.E_this -> "this"
+  | Jexpr.E_bool b -> string_of_bool b
+  | Jexpr.E_int n -> string_of_int n
+  | Jexpr.E_double f ->
+      (* keep a decimal point so the literal re-reads as a double *)
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+      else Printf.sprintf "%g" f
+  | Jexpr.E_string s -> "\"" ^ escape_string s ^ "\""
+  | Jexpr.E_name n -> n
+  | Jexpr.E_field (recv, f) -> expr_to_string recv ^ "." ^ f
+  | Jexpr.E_call (None, m, args) -> m ^ "(" ^ args_to_string args ^ ")"
+  | Jexpr.E_call (Some recv, m, args) ->
+      expr_to_string recv ^ "." ^ m ^ "(" ^ args_to_string args ^ ")"
+  | Jexpr.E_new (cls, args) -> "new " ^ cls ^ "(" ^ args_to_string args ^ ")"
+  | Jexpr.E_binary (op, a, b) ->
+      "(" ^ expr_to_string a ^ " " ^ op ^ " " ^ expr_to_string b ^ ")"
+  | Jexpr.E_unary (op, a) -> op ^ expr_to_string a
+  | Jexpr.E_assign (lhs, rhs) -> expr_to_string lhs ^ " = " ^ expr_to_string rhs
+  | Jexpr.E_cast (t, a) -> "((" ^ Jtype.to_string t ^ ") " ^ expr_to_string a ^ ")"
+  | Jexpr.E_instanceof (a, cls) -> "(" ^ expr_to_string a ^ " instanceof " ^ cls ^ ")"
+
+let rec stmt_lines depth stmt =
+  let pad = String.make (depth * 2) ' ' in
+  let block stmts = List.concat_map (stmt_lines (depth + 1)) stmts in
+  match stmt with
+  | Jstmt.S_expr e -> [ pad ^ expr_to_string e ^ ";" ]
+  | Jstmt.S_local (t, name, None) ->
+      [ pad ^ Jtype.to_string t ^ " " ^ name ^ ";" ]
+  | Jstmt.S_local (t, name, Some init) ->
+      [ pad ^ Jtype.to_string t ^ " " ^ name ^ " = " ^ expr_to_string init ^ ";" ]
+  | Jstmt.S_return None -> [ pad ^ "return;" ]
+  | Jstmt.S_return (Some e) -> [ pad ^ "return " ^ expr_to_string e ^ ";" ]
+  | Jstmt.S_if (cond, then_, []) ->
+      [ pad ^ "if (" ^ expr_to_string cond ^ ") {" ]
+      @ block then_ @ [ pad ^ "}" ]
+  | Jstmt.S_if (cond, then_, else_) ->
+      [ pad ^ "if (" ^ expr_to_string cond ^ ") {" ]
+      @ block then_
+      @ [ pad ^ "} else {" ]
+      @ block else_ @ [ pad ^ "}" ]
+  | Jstmt.S_while (cond, loop) ->
+      [ pad ^ "while (" ^ expr_to_string cond ^ ") {" ] @ block loop @ [ pad ^ "}" ]
+  | Jstmt.S_throw e -> [ pad ^ "throw " ^ expr_to_string e ^ ";" ]
+  | Jstmt.S_try (body, catches, finally) ->
+      [ pad ^ "try {" ]
+      @ block body
+      @ List.concat_map
+          (fun (t, name, stmts) ->
+            [ pad ^ "} catch (" ^ Jtype.to_string t ^ " " ^ name ^ ") {" ]
+            @ block stmts)
+          catches
+      @ (if finally = [] then [] else (pad ^ "} finally {") :: block finally)
+      @ [ pad ^ "}" ]
+  | Jstmt.S_sync (e, body) ->
+      [ pad ^ "synchronized (" ^ expr_to_string e ^ ") {" ]
+      @ block body @ [ pad ^ "}" ]
+  | Jstmt.S_comment text -> [ pad ^ "// " ^ text ]
+  | Jstmt.S_block stmts -> [ pad ^ "{" ] @ block stmts @ [ pad ^ "}" ]
+
+let stmt_to_string ?(indent = 0) stmt =
+  String.concat "\n" (stmt_lines indent stmt)
+
+let mods_prefix mods =
+  match mods with
+  | [] -> ""
+  | _ -> String.concat " " (List.map Jdecl.modifier_to_string mods) ^ " "
+
+let params_to_string params =
+  String.concat ", "
+    (List.map
+       (fun (p : Jdecl.param) ->
+         Jtype.to_string p.Jdecl.param_type ^ " " ^ p.Jdecl.param_name)
+       params)
+
+let method_lines depth (m : Jdecl.method_) =
+  let pad = String.make (depth * 2) ' ' in
+  let signature =
+    pad ^ mods_prefix m.Jdecl.method_mods
+    ^ Jtype.to_string m.Jdecl.return_type
+    ^ " " ^ m.Jdecl.method_name ^ "(" ^ params_to_string m.Jdecl.params ^ ")"
+    ^
+    match m.Jdecl.throws with
+    | [] -> ""
+    | ts -> " throws " ^ String.concat ", " ts
+  in
+  match m.Jdecl.body with
+  | None -> [ signature ^ ";" ]
+  | Some body ->
+      [ signature ^ " {" ]
+      @ List.concat_map (stmt_lines (depth + 1)) body
+      @ [ pad ^ "}" ]
+
+let method_to_string ?(indent = 0) m =
+  String.concat "\n" (method_lines indent m)
+
+let field_line depth (f : Jdecl.field) =
+  let pad = String.make (depth * 2) ' ' in
+  pad ^ mods_prefix f.Jdecl.field_mods
+  ^ Jtype.to_string f.Jdecl.field_type
+  ^ " " ^ f.Jdecl.field_name
+  ^ (match f.Jdecl.field_init with
+    | Some init -> " = " ^ expr_to_string init
+    | None -> "")
+  ^ ";"
+
+let class_lines (c : Jdecl.class_) =
+  let header =
+    mods_prefix c.Jdecl.class_mods ^ "class " ^ c.Jdecl.class_name
+    ^ (match c.Jdecl.extends with Some s -> " extends " ^ s | None -> "")
+    ^ (match c.Jdecl.implements with
+      | [] -> ""
+      | is -> " implements " ^ String.concat ", " is)
+    ^ " {"
+  in
+  [ header ]
+  @ List.map (field_line 1) c.Jdecl.fields
+  @ (if c.Jdecl.fields = [] || c.Jdecl.methods = [] then [] else [ "" ])
+  @ List.concat_map
+      (fun m -> method_lines 1 m @ [ "" ])
+      c.Jdecl.methods
+  @ [ "}" ]
+
+let interface_lines (i : Jdecl.interface_) =
+  let header =
+    "public interface " ^ i.Jdecl.iface_name
+    ^ (match i.Jdecl.iface_extends with
+      | [] -> ""
+      | es -> " extends " ^ String.concat ", " es)
+    ^ " {"
+  in
+  [ header ] @ List.concat_map (method_lines 1) i.Jdecl.iface_methods @ [ "}" ]
+
+let type_decl_to_string = function
+  | Jdecl.Class c -> String.concat "\n" (class_lines c)
+  | Jdecl.Interface i -> String.concat "\n" (interface_lines i)
+
+let unit_to_string (u : Junit.t) =
+  let lines =
+    [ "package " ^ u.Junit.package ^ ";"; "" ]
+    @ List.map (fun i -> "import " ^ i ^ ";") u.Junit.imports
+    @ (if u.Junit.imports = [] then [] else [ "" ])
+    @ List.concat_map (fun d -> [ type_decl_to_string d; "" ]) u.Junit.decls
+  in
+  String.concat "\n" lines
+
+let program_to_string program =
+  String.concat "\n"
+    (List.concat_map
+       (fun (u : Junit.t) ->
+         [ "// file: " ^ u.Junit.package ^ "/"; unit_to_string u ])
+       program)

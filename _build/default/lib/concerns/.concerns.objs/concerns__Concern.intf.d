@@ -1,0 +1,1 @@
+lib/concerns/concern.mli: Format

@@ -1,0 +1,1 @@
+lib/concerns/concurrency.ml: Aspects Code Concern List Mof Ocl Support Transform

@@ -1,0 +1,1 @@
+lib/concerns/concurrency.mli: Aspects Concern Transform

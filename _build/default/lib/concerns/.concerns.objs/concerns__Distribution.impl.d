@@ -1,0 +1,1 @@
+lib/concerns/distribution.ml: Aspects Code Concern List Mof Ocl Support Transform

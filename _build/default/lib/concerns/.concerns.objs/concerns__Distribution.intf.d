@@ -1,0 +1,1 @@
+lib/concerns/distribution.mli: Aspects Concern Transform

@@ -1,0 +1,1 @@
+lib/concerns/logging.mli: Aspects Concern Transform

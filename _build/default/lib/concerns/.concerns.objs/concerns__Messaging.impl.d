@@ -1,0 +1,1 @@
+lib/concerns/messaging.ml: Aspects Code Concern List Mof Ocl Printf String Support Transform

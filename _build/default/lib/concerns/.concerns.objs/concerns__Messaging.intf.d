@@ -1,0 +1,1 @@
+lib/concerns/messaging.mli: Aspects Concern Transform

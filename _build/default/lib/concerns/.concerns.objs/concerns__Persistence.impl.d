@@ -1,0 +1,1 @@
+lib/concerns/persistence.ml: Aspects Code Concern List Mof Ocl String Support Transform

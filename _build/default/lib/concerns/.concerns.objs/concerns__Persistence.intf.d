@@ -1,0 +1,1 @@
+lib/concerns/persistence.mli: Aspects Concern Transform

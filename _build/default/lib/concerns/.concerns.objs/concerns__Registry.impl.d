@@ -1,0 +1,1 @@
+lib/concerns/registry.ml: Aspects Concern Concurrency Distribution List Logging Messaging Option Persistence Printf Security String Transactions Transform

@@ -1,0 +1,1 @@
+lib/concerns/registry.mli: Aspects Concern Transform

@@ -1,0 +1,1 @@
+lib/concerns/security.mli: Aspects Concern Transform

@@ -1,0 +1,1 @@
+lib/concerns/support.ml: List Mof Transform

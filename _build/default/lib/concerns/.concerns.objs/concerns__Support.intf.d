@@ -1,0 +1,1 @@
+lib/concerns/support.mli: Aspects Mof

@@ -1,0 +1,1 @@
+lib/concerns/transactions.ml: Aspects Code Concern List Mof Ocl Printf Support Transform

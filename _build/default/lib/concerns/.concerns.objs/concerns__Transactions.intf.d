@@ -1,0 +1,1 @@
+lib/concerns/transactions.mli: Aspects Concern Transform

@@ -1,0 +1,100 @@
+let concern =
+  Concern.make ~key:"concurrency" ~display:"Concurrency"
+    ~description:
+      "Mutual exclusion or reader-writer locking around the operations of \
+       selected classes."
+    ()
+
+let formals =
+  [
+    Transform.Params.decl "guarded"
+      (Transform.Params.P_list Transform.Params.P_ident)
+      ~doc:"classes whose operations are synchronized";
+    Transform.Params.decl "policy"
+      (Transform.Params.P_enum [ "mutex"; "reader-writer" ])
+      ~doc:"locking policy"
+      ~default:(Transform.Params.V_string "mutex");
+  ]
+
+let preconditions =
+  [
+    Ocl.Constraint_.make ~name:"guarded-classes-exist"
+      "$guarded$->forAll(n | Class.allInstances()->exists(c | c.name = n))";
+    Ocl.Constraint_.make ~name:"not-already-guarded"
+      "Class.allInstances()->forAll(c | $guarded$->includes(c.name) implies \
+       not c.hasStereotype('synchronized'))";
+  ]
+
+let postconditions =
+  [
+    Ocl.Constraint_.make ~name:"synchronized-stereotype-applied"
+      "Class.allInstances()->forAll(c | $guarded$->includes(c.name) implies \
+       (c.hasStereotype('synchronized') and c.tag('policy') = $policy$))";
+    Ocl.Constraint_.make ~name:"lock-manager-exists"
+      "Class.allInstances()->exists(c | c.name = 'LockManager')";
+  ]
+
+let add_lock_manager m =
+  Support.ensure_class m ~name:"LockManager" ~stereotype:"infrastructure"
+    (fun m id ->
+      let m, _ =
+        Support.add_operation_signature m ~owner:id ~name:"acquire"
+          ~params:[ ("mode", Mof.Kind.Dt_string) ]
+          ~result:Mof.Kind.Dt_void
+      in
+      let m, _ =
+        Support.add_operation_signature m ~owner:id ~name:"release" ~params:[]
+          ~result:Mof.Kind.Dt_void
+      in
+      m)
+
+let rewrite params m =
+  let classes = Transform.Params.get_names params "guarded" in
+  let policy = Transform.Params.get_string params "policy" in
+  let m = add_lock_manager m in
+  List.fold_left
+    (fun m cname ->
+      let cls = Support.find_class_exn m cname in
+      let m = Mof.Builder.add_stereotype m cls.Mof.Element.id "synchronized" in
+      Mof.Builder.set_tag m cls.Mof.Element.id "policy" policy)
+    m classes
+
+let transformation =
+  Transform.Gmt.make ~name:"T.concurrency" ~concern:concern.Concern.key
+    ~description:concern.Concern.description ~formals ~preconditions
+    ~postconditions rewrite
+
+let lock_of_this =
+  Code.Jexpr.E_call (Some (Code.Jexpr.E_name "LockManager"), "of", [ Code.Jexpr.E_this ])
+
+let around_body = function
+  | "mutex" -> [ Code.Jstmt.S_sync (lock_of_this, [ Aspects.Advice.proceed ]) ]
+  | policy ->
+      [
+        Code.Jstmt.S_expr
+          (Code.Jexpr.E_call
+             (Some lock_of_this, "acquire", [ Code.Jexpr.E_string policy ]));
+        Code.Jstmt.S_try
+          ( [ Aspects.Advice.proceed ],
+            [],
+            [ Code.Jstmt.S_expr (Code.Jexpr.E_call (Some lock_of_this, "release", [])) ]
+          );
+      ]
+
+let instantiate set =
+  let classes = Transform.Params.get_names set "guarded" in
+  let policy = Transform.Params.get_string set "policy" in
+  let advices =
+    Support.per_class_advices ~classes (fun cname ->
+        [
+          Aspects.Advice.make ~name:("lock-" ^ cname) Aspects.Advice.Around
+            (Aspects.Pointcut.execution cname "*")
+            (around_body policy);
+        ])
+  in
+  Aspects.Aspect.make ~advices ~name:"ConcurrencyAspect"
+    ~concern:concern.Concern.key ()
+
+let generic_aspect =
+  Aspects.Generic.make ~name:"A.concurrency" ~concern:concern.Concern.key
+    ~formals instantiate

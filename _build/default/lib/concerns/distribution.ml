@@ -1,0 +1,137 @@
+let concern =
+  Concern.make ~key:"distribution" ~display:"Distribution"
+    ~description:
+      "Remote accessibility of selected classes through generated remote \
+       interfaces, proxies, and a naming service."
+    ()
+
+let formals =
+  [
+    Transform.Params.decl "remote"
+      (Transform.Params.P_list Transform.Params.P_ident)
+      ~doc:"classes to make remotely accessible";
+    Transform.Params.decl "protocol"
+      (Transform.Params.P_enum [ "rmi"; "corba"; "ws" ])
+      ~doc:"remote invocation protocol"
+      ~default:(Transform.Params.V_string "rmi");
+    Transform.Params.decl "registry" Transform.Params.P_string
+      ~doc:"naming service address"
+      ~default:(Transform.Params.V_string "localhost:1099");
+  ]
+
+let preconditions =
+  [
+    Ocl.Constraint_.make ~name:"remote-classes-exist"
+      "$remote$->forAll(n | Class.allInstances()->exists(c | c.name = n))";
+    Ocl.Constraint_.make ~name:"not-already-remote"
+      "Class.allInstances()->forAll(c | $remote$->includes(c.name) implies \
+       not c.hasStereotype('remote'))";
+  ]
+
+let postconditions =
+  [
+    Ocl.Constraint_.make ~name:"remote-interfaces-exist"
+      "$remote$->forAll(n | Interface.allInstances()->exists(i | i.name = \
+       n.concat('Remote')))";
+    Ocl.Constraint_.make ~name:"proxies-exist"
+      "$remote$->forAll(n | Class.allInstances()->exists(c | c.name = \
+       n.concat('Proxy') and c.hasStereotype('proxy')))";
+    Ocl.Constraint_.make ~name:"remote-stereotype-applied"
+      "Class.allInstances()->forAll(c | $remote$->includes(c.name) implies \
+       c.hasStereotype('remote'))";
+    Ocl.Constraint_.make ~name:"naming-service-exists"
+      "Class.allInstances()->exists(c | c.name = 'NamingService')";
+  ]
+
+let add_naming_service m registry =
+  Support.ensure_class m ~name:"NamingService" ~stereotype:"infrastructure"
+    (fun m id ->
+      let m, _ =
+        Support.add_operation_signature m ~owner:id ~name:"bind"
+          ~params:[ ("name", Mof.Kind.Dt_string) ]
+          ~result:Mof.Kind.Dt_void
+      in
+      let m, _ =
+        Support.add_operation_signature m ~owner:id ~name:"lookup"
+          ~params:[ ("name", Mof.Kind.Dt_string) ]
+          ~result:Mof.Kind.Dt_string
+      in
+      Mof.Builder.set_tag m id "registry" registry)
+
+let distribute_class m ~protocol cname =
+  let cls = Support.find_class_exn m cname in
+  let cls_id = cls.Mof.Element.id in
+  let pkg = Support.owning_package m cls in
+  let m, iface = Mof.Builder.add_interface m ~owner:pkg ~name:(cname ^ "Remote") in
+  let m = Mof.Builder.add_stereotype m iface "remote-interface" in
+  let m = Support.copy_public_operations m ~from_class:cls_id ~to_classifier:iface in
+  let m = Mof.Builder.add_realization m ~cls:cls_id ~iface in
+  let m = Mof.Builder.add_stereotype m cls_id "remote" in
+  let m = Mof.Builder.set_tag m cls_id "protocol" protocol in
+  let m, proxy = Mof.Builder.add_class m ~owner:pkg ~name:(cname ^ "Proxy") in
+  let m = Mof.Builder.add_stereotype m proxy "proxy" in
+  let m, _ =
+    Mof.Builder.add_attribute m ~cls:proxy ~name:"target"
+      ~typ:(Mof.Kind.Dt_ref cls_id)
+  in
+  let m = Support.copy_public_operations m ~from_class:cls_id ~to_classifier:proxy in
+  let m = Mof.Builder.add_realization m ~cls:proxy ~iface in
+  let m, _ =
+    Mof.Builder.add_dependency m ~owner:pkg ~client:proxy ~supplier:cls_id
+      ~stereotype:"delegates"
+  in
+  m
+
+let rewrite params m =
+  let remote = Transform.Params.get_names params "remote" in
+  let protocol = Transform.Params.get_string params "protocol" in
+  let registry = Transform.Params.get_string params "registry" in
+  let m = add_naming_service m registry in
+  List.fold_left (fun m cname -> distribute_class m ~protocol cname) m remote
+
+let transformation =
+  Transform.Gmt.make ~name:"T.distribution" ~concern:concern.Concern.key
+    ~description:concern.Concern.description ~formals ~preconditions
+    ~postconditions rewrite
+
+let instantiate set =
+  let remote = Transform.Params.get_names set "remote" in
+  let protocol = Transform.Params.get_string set "protocol" in
+  let registry = Transform.Params.get_string set "registry" in
+  let intertypes =
+    List.map
+      (fun cname ->
+        Aspects.Aspect.It_field
+          ( cname,
+            {
+              Code.Jdecl.field_name = "__remoteId";
+              field_type = Code.Jtype.T_string;
+              field_mods = [ Code.Jdecl.M_private ];
+              field_init = None;
+            } ))
+      remote
+  in
+  let advices =
+    Support.per_class_advices ~classes:remote (fun cname ->
+        [
+          Aspects.Advice.make ~name:("export-" ^ cname) Aspects.Advice.Before
+            (Aspects.Pointcut.execution cname "*")
+            [
+              Code.Jstmt.S_expr
+                (Code.Jexpr.E_call
+                   ( Some (Code.Jexpr.E_name "RemoteRuntime"),
+                     "ensureExported",
+                     [
+                       Code.Jexpr.E_this;
+                       Code.Jexpr.E_string registry;
+                       Code.Jexpr.E_string protocol;
+                     ] ));
+            ];
+        ])
+  in
+  Aspects.Aspect.make ~intertypes ~advices ~name:"DistributionAspect"
+    ~concern:concern.Concern.key ()
+
+let generic_aspect =
+  Aspects.Generic.make ~name:"A.distribution" ~concern:concern.Concern.key
+    ~formals instantiate

@@ -1,0 +1,85 @@
+let concern =
+  Concern.make ~key:"logging" ~display:"Logging"
+    ~description:"Entry/exit tracing of operation executions." ()
+
+let formals =
+  [
+    Transform.Params.decl "targets"
+      (Transform.Params.P_list Transform.Params.P_string)
+      ~doc:"class-name patterns to trace"
+      ~default:(Transform.Params.V_list [ Transform.Params.V_string "*" ]);
+    Transform.Params.decl "level"
+      (Transform.Params.P_enum [ "debug"; "info"; "warn" ])
+      ~doc:"log level" ~default:(Transform.Params.V_string "info");
+  ]
+
+let preconditions =
+  [ Ocl.Constraint_.make ~name:"has-targets" "$targets$->notEmpty()" ]
+
+let postconditions =
+  [
+    Ocl.Constraint_.make ~name:"logger-exists"
+      "Class.allInstances()->exists(c | c.name = 'Logger')";
+  ]
+
+let rewrite params m =
+  let targets = Transform.Params.get_names params "targets" in
+  let level = Transform.Params.get_string params "level" in
+  let m =
+    Support.ensure_class m ~name:"Logger" ~stereotype:"infrastructure"
+      (fun m id ->
+        let m, _ =
+          Support.add_operation_signature m ~owner:id ~name:"log"
+            ~params:
+              [ ("level", Mof.Kind.Dt_string); ("message", Mof.Kind.Dt_string) ]
+            ~result:Mof.Kind.Dt_void
+        in
+        m)
+  in
+  (* patterns may be wildcards; stereotype only exact-named classes *)
+  List.fold_left
+    (fun m pattern ->
+      match Mof.Query.find_class m pattern with
+      | Some cls ->
+          let m = Mof.Builder.add_stereotype m cls.Mof.Element.id "logged" in
+          Mof.Builder.set_tag m cls.Mof.Element.id "logLevel" level
+      | None -> m)
+    m targets
+
+let transformation =
+  Transform.Gmt.make ~name:"T.logging" ~concern:concern.Concern.key
+    ~description:concern.Concern.description ~formals ~preconditions
+    ~postconditions rewrite
+
+let log_call ~level text =
+  Code.Jstmt.S_expr
+    (Code.Jexpr.E_call
+       ( Some (Code.Jexpr.E_name "Logger"),
+         "log",
+         [
+           Code.Jexpr.E_string level;
+           Code.Jexpr.E_binary ("+", Code.Jexpr.E_string text, Code.Jexpr.E_name "thisJoinPoint");
+         ] ))
+
+let instantiate set =
+  let targets = Transform.Params.get_names set "targets" in
+  let level = Transform.Params.get_string set "level" in
+  let advices =
+    Support.per_class_advices ~classes:targets (fun pattern ->
+        [
+          Aspects.Advice.make ~name:("log-enter-" ^ pattern)
+            Aspects.Advice.Before
+            (Aspects.Pointcut.execution pattern "*")
+            [ log_call ~level "enter " ];
+          Aspects.Advice.make ~name:("log-exit-" ^ pattern)
+            Aspects.Advice.After_returning
+            (Aspects.Pointcut.execution pattern "*")
+            [ log_call ~level "exit " ];
+        ])
+  in
+  Aspects.Aspect.make ~advices ~name:"LoggingAspect"
+    ~concern:concern.Concern.key ()
+
+let generic_aspect =
+  Aspects.Generic.make ~name:"A.logging" ~concern:concern.Concern.key ~formals
+    instantiate

@@ -1,0 +1,17 @@
+(** The logging/monitoring concern.
+
+    Model level: introduce one «infrastructure» [Logger] class and mark the
+    configured classes «logged» with the level as a tagged value.
+
+    Code level: per configured class pattern, [before] and [after returning]
+    advice logging entry and exit of every operation execution, using the
+    [thisJoinPoint] pseudo-variable.
+
+    Parameters:
+    - [targets] : list of class-name patterns, default [["*"]]
+    - [level] : ["debug" | "info" | "warn"], default ["info"] *)
+
+val concern : Concern.t
+val formals : Transform.Params.decl list
+val transformation : Transform.Gmt.t
+val generic_aspect : Aspects.Generic.t

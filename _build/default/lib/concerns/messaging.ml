@@ -1,0 +1,130 @@
+let concern =
+  Concern.make ~key:"messaging" ~display:"Messaging"
+    ~description:
+      "Asynchronous invocation of selected operations through a message \
+       queue."
+    ()
+
+let formals =
+  [
+    Transform.Params.decl "async"
+      (Transform.Params.P_list Transform.Params.P_ident)
+      ~doc:"operations (Class.operation) to invoke asynchronously";
+    Transform.Params.decl "queue" Transform.Params.P_string
+      ~doc:"message queue name"
+      ~default:(Transform.Params.V_string "default-queue");
+  ]
+
+let split_target text =
+  match String.index_opt text '.' with
+  | Some i ->
+      Ok
+        ( String.sub text 0 i,
+          String.sub text (i + 1) (String.length text - i - 1) )
+  | None ->
+      Error
+        (Printf.sprintf "%s: expected Class.operation" text)
+
+let preconditions =
+  [
+    (* each Class.operation names an existing operation of that class *)
+    Ocl.Constraint_.make ~name:"async-operations-exist"
+      "$async$->forAll(n | Operation.allInstances()->exists(o | \
+       o.class.name.concat('.').concat(o.name) = n))";
+    Ocl.Constraint_.make ~name:"not-already-async"
+      "Operation.allInstances()->forAll(o | \
+       $async$->includes(o.class.name.concat('.').concat(o.name)) implies \
+       not o.hasStereotype('async'))";
+  ]
+
+let postconditions =
+  [
+    Ocl.Constraint_.make ~name:"async-stereotype-applied"
+      "Operation.allInstances()->forAll(o | \
+       $async$->includes(o.class.name.concat('.').concat(o.name)) implies \
+       (o.hasStereotype('async') and o.tag('queue') = $queue$))";
+    Ocl.Constraint_.make ~name:"message-queue-exists"
+      "Class.allInstances()->exists(c | c.name = 'MessageQueue')";
+  ]
+
+let add_queue m =
+  Support.ensure_class m ~name:"MessageQueue" ~stereotype:"infrastructure"
+    (fun m id ->
+      let m, _ =
+        Support.add_operation_signature m ~owner:id ~name:"publish"
+          ~params:
+            [ ("queue", Mof.Kind.Dt_string); ("message", Mof.Kind.Dt_string) ]
+          ~result:Mof.Kind.Dt_void
+      in
+      let m, _ =
+        Support.add_operation_signature m ~owner:id ~name:"consume"
+          ~params:[ ("queue", Mof.Kind.Dt_string) ]
+          ~result:Mof.Kind.Dt_string
+      in
+      m)
+
+let find_operation m ~cls_name ~op_name =
+  match Mof.Query.find_class m cls_name with
+  | None -> Transform.Gmt.rewrite_error "class %s not found" cls_name
+  | Some cls -> (
+      match
+        List.find_opt
+          (fun (o : Mof.Element.t) -> String.equal o.Mof.Element.name op_name)
+          (Mof.Query.operations_of m cls.Mof.Element.id)
+      with
+      | Some op -> op.Mof.Element.id
+      | None ->
+          Transform.Gmt.rewrite_error "operation %s.%s not found" cls_name
+            op_name)
+
+let rewrite params m =
+  let targets = Transform.Params.get_names params "async" in
+  let queue = Transform.Params.get_string params "queue" in
+  let m = add_queue m in
+  List.fold_left
+    (fun m target ->
+      match split_target target with
+      | Error e -> Transform.Gmt.rewrite_error "%s" e
+      | Ok (cls_name, op_name) ->
+          let op = find_operation m ~cls_name ~op_name in
+          let m = Mof.Builder.add_stereotype m op "async" in
+          Mof.Builder.set_tag m op "queue" queue)
+    m targets
+
+let transformation =
+  Transform.Gmt.make ~name:"T.messaging" ~concern:concern.Concern.key
+    ~description:concern.Concern.description ~formals ~preconditions
+    ~postconditions rewrite
+
+let instantiate set =
+  let targets = Transform.Params.get_names set "async" in
+  let queue = Transform.Params.get_string set "queue" in
+  let advices =
+    List.filter_map
+      (fun target ->
+        match split_target target with
+        | Error _ -> None
+        | Ok (cls_name, op_name) ->
+            Some
+              (Aspects.Advice.make
+                 ~name:("publish-" ^ target)
+                 Aspects.Advice.Before
+                 (Aspects.Pointcut.execution cls_name op_name)
+                 [
+                   Code.Jstmt.S_expr
+                     (Code.Jexpr.E_call
+                        ( Some (Code.Jexpr.E_name "MessageQueue"),
+                          "publish",
+                          [
+                            Code.Jexpr.E_string queue;
+                            Code.Jexpr.E_name "thisJoinPoint";
+                          ] ));
+                 ]))
+      targets
+  in
+  Aspects.Aspect.make ~advices ~name:"MessagingAspect"
+    ~concern:concern.Concern.key ()
+
+let generic_aspect =
+  Aspects.Generic.make ~name:"A.messaging" ~concern:concern.Concern.key
+    ~formals instantiate

@@ -1,0 +1,115 @@
+let concern =
+  Concern.make ~key:"persistence" ~display:"Persistence"
+    ~description:
+      "Write-behind persistence with lazy loading for selected classes."
+    ()
+
+let formals =
+  [
+    Transform.Params.decl "persistent"
+      (Transform.Params.P_list Transform.Params.P_ident)
+      ~doc:"classes whose state is persisted";
+    Transform.Params.decl "store"
+      (Transform.Params.P_enum [ "relational"; "object-store"; "file" ])
+      ~doc:"backing store kind"
+      ~default:(Transform.Params.V_string "relational");
+    Transform.Params.decl "idAttribute" Transform.Params.P_string
+      ~doc:"name of the surrogate identifier attribute"
+      ~default:(Transform.Params.V_string "id");
+  ]
+
+let preconditions =
+  [
+    Ocl.Constraint_.make ~name:"persistent-classes-exist"
+      "$persistent$->forAll(n | Class.allInstances()->exists(c | c.name = n))";
+    Ocl.Constraint_.make ~name:"not-already-persistent"
+      "Class.allInstances()->forAll(c | $persistent$->includes(c.name) \
+       implies not c.hasStereotype('persistent'))";
+  ]
+
+let postconditions =
+  [
+    Ocl.Constraint_.make ~name:"persistent-stereotype-applied"
+      "Class.allInstances()->forAll(c | $persistent$->includes(c.name) \
+       implies (c.hasStereotype('persistent') and c.tag('store') = $store$))";
+    Ocl.Constraint_.make ~name:"surrogate-id-present"
+      "Class.allInstances()->forAll(c | $persistent$->includes(c.name) \
+       implies c.attributes->exists(a | a.name = $idAttribute$))";
+    Ocl.Constraint_.make ~name:"persistence-manager-exists"
+      "Class.allInstances()->exists(c | c.name = 'PersistenceManager')";
+  ]
+
+let add_manager m =
+  Support.ensure_class m ~name:"PersistenceManager" ~stereotype:"infrastructure"
+    (fun m id ->
+      let unary name m =
+        let m, _ =
+          Support.add_operation_signature m ~owner:id ~name
+            ~params:[ ("key", Mof.Kind.Dt_string) ]
+            ~result:Mof.Kind.Dt_void
+        in
+        m
+      in
+      m |> unary "load" |> unary "store" |> unary "delete")
+
+let rewrite params m =
+  let classes = Transform.Params.get_names params "persistent" in
+  let store = Transform.Params.get_string params "store" in
+  let id_attribute = Transform.Params.get_string params "idAttribute" in
+  let m = add_manager m in
+  List.fold_left
+    (fun m cname ->
+      let cls = Support.find_class_exn m cname in
+      let cls_id = cls.Mof.Element.id in
+      let m = Mof.Builder.add_stereotype m cls_id "persistent" in
+      let m = Mof.Builder.set_tag m cls_id "store" store in
+      let has_id =
+        List.exists
+          (fun (a : Mof.Element.t) -> String.equal a.Mof.Element.name id_attribute)
+          (Mof.Query.attributes_of m cls_id)
+      in
+      if has_id then m
+      else
+        let m, attr =
+          Mof.Builder.add_attribute m ~cls:cls_id ~name:id_attribute
+            ~typ:Mof.Kind.Dt_string
+        in
+        Mof.Builder.add_stereotype m attr "generated")
+    m classes
+
+let transformation =
+  Transform.Gmt.make ~name:"T.persistence" ~concern:concern.Concern.key
+    ~description:concern.Concern.description ~formals ~preconditions
+    ~postconditions rewrite
+
+let manager_call method_name extra =
+  Code.Jstmt.S_expr
+    (Code.Jexpr.E_call
+       ( Some (Code.Jexpr.E_name "PersistenceManager"),
+         method_name,
+         Code.Jexpr.E_this :: extra ))
+
+let instantiate set =
+  let classes = Transform.Params.get_names set "persistent" in
+  let store = Transform.Params.get_string set "store" in
+  let advices =
+    Support.per_class_advices ~classes (fun cname ->
+        [
+          Aspects.Advice.make
+            ~name:("mark-dirty-" ^ cname)
+            Aspects.Advice.After_returning
+            (Aspects.Pointcut.execution cname "set*")
+            [ manager_call "markDirty" [ Code.Jexpr.E_string store ] ];
+          Aspects.Advice.make
+            ~name:("ensure-loaded-" ^ cname)
+            Aspects.Advice.Before
+            (Aspects.Pointcut.execution cname "get*")
+            [ manager_call "ensureLoaded" [] ];
+        ])
+  in
+  Aspects.Aspect.make ~advices ~name:"PersistenceAspect"
+    ~concern:concern.Concern.key ()
+
+let generic_aspect =
+  Aspects.Generic.make ~name:"A.persistence" ~concern:concern.Concern.key
+    ~formals instantiate

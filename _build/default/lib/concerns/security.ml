@@ -1,0 +1,138 @@
+let concern =
+  Concern.make ~key:"security" ~display:"Security"
+    ~description:
+      "Role-based access control on the operations of selected classes."
+    ()
+
+let formals =
+  [
+    Transform.Params.decl "secured"
+      (Transform.Params.P_list Transform.Params.P_ident)
+      ~doc:"classes whose operations require authorization";
+    Transform.Params.decl "roles"
+      (Transform.Params.P_list Transform.Params.P_string)
+      ~doc:"roles permitted to invoke the secured operations"
+      ~default:(Transform.Params.V_list [ Transform.Params.V_string "admin" ]);
+    Transform.Params.decl "authentication"
+      (Transform.Params.P_enum [ "basic"; "token"; "certificate" ])
+      ~doc:"how principals are authenticated"
+      ~default:(Transform.Params.V_string "token");
+  ]
+
+let preconditions =
+  [
+    Ocl.Constraint_.make ~name:"secured-classes-exist"
+      "$secured$->forAll(n | Class.allInstances()->exists(c | c.name = n))";
+    Ocl.Constraint_.make ~name:"not-already-secured"
+      "Class.allInstances()->forAll(c | $secured$->includes(c.name) implies \
+       not c.hasStereotype('secured'))";
+    Ocl.Constraint_.make ~name:"at-least-one-role" "$roles$->notEmpty()";
+  ]
+
+let postconditions =
+  [
+    Ocl.Constraint_.make ~name:"secured-stereotype-applied"
+      "Class.allInstances()->forAll(c | $secured$->includes(c.name) implies \
+       (c.hasStereotype('secured') and c.hasTag('roles')))";
+    Ocl.Constraint_.make ~name:"access-controller-exists"
+      "Class.allInstances()->exists(c | c.name = 'AccessController')";
+    Ocl.Constraint_.make ~name:"principal-exists"
+      "Class.allInstances()->exists(c | c.name = 'Principal')";
+  ]
+
+let add_infrastructure m =
+  let m =
+    Support.ensure_class m ~name:"Principal" ~stereotype:"infrastructure"
+      (fun m id ->
+        let m, _ =
+          Mof.Builder.add_attribute m ~cls:id ~name:"name"
+            ~typ:Mof.Kind.Dt_string
+        in
+        let m, _ =
+          Mof.Builder.add_attribute m ~cls:id ~name:"roles"
+            ~typ:(Mof.Kind.Dt_collection Mof.Kind.Dt_string)
+            ~mult:Mof.Kind.mult_many
+        in
+        m)
+  in
+  Support.ensure_class m ~name:"AccessController" ~stereotype:"infrastructure"
+    (fun m id ->
+      let m, _ =
+        Support.add_operation_signature m ~owner:id ~name:"check"
+          ~params:
+            [
+              ("principal", Mof.Kind.Dt_string);
+              ("resource", Mof.Kind.Dt_string);
+              ("roles", Mof.Kind.Dt_string);
+            ]
+          ~result:Mof.Kind.Dt_boolean
+      in
+      m)
+
+let rewrite params m =
+  let classes = Transform.Params.get_names params "secured" in
+  let roles = Transform.Params.get_names params "roles" in
+  let authentication = Transform.Params.get_string params "authentication" in
+  let m = add_infrastructure m in
+  let controller =
+    (Support.find_class_exn m "AccessController").Mof.Element.id
+  in
+  List.fold_left
+    (fun m cname ->
+      let cls = Support.find_class_exn m cname in
+      let cls_id = cls.Mof.Element.id in
+      let pkg = Support.owning_package m cls in
+      let m = Mof.Builder.add_stereotype m cls_id "secured" in
+      let m = Mof.Builder.set_tag m cls_id "roles" (String.concat "," roles) in
+      let m = Mof.Builder.set_tag m cls_id "authentication" authentication in
+      let m, _ =
+        Mof.Builder.add_dependency m ~owner:pkg ~client:cls_id
+          ~supplier:controller ~stereotype:"uses"
+      in
+      m)
+    m classes
+
+let transformation =
+  Transform.Gmt.make ~name:"T.security" ~concern:concern.Concern.key
+    ~description:concern.Concern.description ~formals ~preconditions
+    ~postconditions rewrite
+
+let check_body ~roles ~authentication =
+  [
+    Code.Jstmt.S_local
+      ( Code.Jtype.T_named "Principal",
+        "principal",
+        Some
+          (Code.Jexpr.E_call
+             ( Some (Code.Jexpr.E_name "SecurityContext"),
+               "currentPrincipal",
+               [ Code.Jexpr.E_string authentication ] )) );
+    Code.Jstmt.S_expr
+      (Code.Jexpr.E_call
+         ( Some (Code.Jexpr.E_name "AccessController"),
+           "check",
+           [
+             Code.Jexpr.E_name "principal";
+             Code.Jexpr.E_name "thisJoinPoint";
+             Code.Jexpr.E_string (String.concat "," roles);
+           ] ));
+  ]
+
+let instantiate set =
+  let classes = Transform.Params.get_names set "secured" in
+  let roles = Transform.Params.get_names set "roles" in
+  let authentication = Transform.Params.get_string set "authentication" in
+  let advices =
+    Support.per_class_advices ~classes (fun cname ->
+        [
+          Aspects.Advice.make ~name:("authorize-" ^ cname) Aspects.Advice.Before
+            (Aspects.Pointcut.execution cname "*")
+            (check_body ~roles ~authentication);
+        ])
+  in
+  Aspects.Aspect.make ~advices ~name:"SecurityAspect"
+    ~concern:concern.Concern.key ()
+
+let generic_aspect =
+  Aspects.Generic.make ~name:"A.security" ~concern:concern.Concern.key ~formals
+    instantiate

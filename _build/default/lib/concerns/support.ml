@@ -1,0 +1,60 @@
+let find_class_exn m name =
+  match Mof.Query.find_class m name with
+  | Some e -> e
+  | None -> Transform.Gmt.rewrite_error "class %s not found in model" name
+
+let owning_package m (e : Mof.Element.t) =
+  match e.Mof.Element.owner with
+  | Some o -> (
+      match (Mof.Model.find_exn m o).Mof.Element.kind with
+      | Mof.Kind.Package _ -> o
+      | _ -> Mof.Model.root m)
+  | None -> Mof.Model.root m
+
+let ensure_class ?stereotype m ~name populate =
+  match Mof.Query.find_class m name with
+  | Some _ -> m
+  | None ->
+      let m, id = Mof.Builder.add_class m ~owner:(Mof.Model.root m) ~name in
+      let m =
+        match stereotype with
+        | Some s -> Mof.Builder.add_stereotype m id s
+        | None -> m
+      in
+      populate m id
+
+let add_operation_signature m ~owner ~name ~params ~result =
+  let m, op = Mof.Builder.add_operation m ~owner ~name in
+  let m =
+    List.fold_left
+      (fun m (pname, ptype) ->
+        let m, _ = Mof.Builder.add_parameter m ~op ~name:pname ~typ:ptype in
+        m)
+      m params
+  in
+  let m = Mof.Builder.set_result m ~op ~typ:result in
+  (m, op)
+
+let copy_public_operations m ~from_class ~to_classifier =
+  List.fold_left
+    (fun m (op : Mof.Element.t) ->
+      let params =
+        List.map
+          (fun (p : Mof.Element.t) ->
+            match p.Mof.Element.kind with
+            | Mof.Kind.Parameter { param_type; _ } ->
+                (p.Mof.Element.name, param_type)
+            | _ -> assert false)
+          (Mof.Query.parameters_of m op.Mof.Element.id)
+      in
+      let result = Mof.Query.result_of m op.Mof.Element.id in
+      let m, _ =
+        add_operation_signature m ~owner:to_classifier ~name:op.Mof.Element.name
+          ~params ~result
+      in
+      m)
+    m
+    (Mof.Query.public_operations_of m from_class)
+
+let per_class_advices ~classes template =
+  List.concat_map template classes

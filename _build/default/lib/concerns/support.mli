@@ -1,0 +1,44 @@
+(** Shared machinery for writing concern transformations and aspects. *)
+
+val find_class_exn : Mof.Model.t -> string -> Mof.Element.t
+(** Class lookup by simple name.
+    @raise Transform.Gmt.Rewrite_error when absent — concern rewrites use
+    this after their preconditions already guaranteed existence, so a miss
+    indicates a precondition/rewrite mismatch worth failing loudly on. *)
+
+val owning_package : Mof.Model.t -> Mof.Element.t -> Mof.Id.t
+(** The package that owns a classifier (the root package as fallback). *)
+
+val ensure_class :
+  ?stereotype:string ->
+  Mof.Model.t ->
+  name:string ->
+  (Mof.Model.t -> Mof.Id.t -> Mof.Model.t) ->
+  Mof.Model.t
+(** [ensure_class m ~name populate] creates an infrastructure class under
+    the root package and runs [populate] on it — unless a class of that name
+    already exists (so repeated concern applications share one
+    infrastructure class). *)
+
+val copy_public_operations :
+  Mof.Model.t -> from_class:Mof.Id.t -> to_classifier:Mof.Id.t -> Mof.Model.t
+(** Replicates the public operations of a class (names, parameters, result
+    types) onto another classifier — how a [CRemote] interface or a proxy
+    acquires the class's service signature. Accessor-shaped operations are
+    copied too; the classifier must accept operations. *)
+
+val add_operation_signature :
+  Mof.Model.t ->
+  owner:Mof.Id.t ->
+  name:string ->
+  params:(string * Mof.Kind.datatype) list ->
+  result:Mof.Kind.datatype ->
+  Mof.Model.t * Mof.Id.t
+(** Creates a public operation with the given signature. *)
+
+val per_class_advices :
+  classes:string list ->
+  (string -> Aspects.Advice.t list) ->
+  Aspects.Advice.t list
+(** Builds the advice list of a concrete aspect by instantiating a per-class
+    template for each configured class name. *)

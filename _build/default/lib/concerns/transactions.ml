@@ -1,0 +1,129 @@
+let concern =
+  Concern.make ~key:"transactions" ~display:"Transactions"
+    ~description:
+      "Transactional execution of the operations of selected classes, with \
+       configurable isolation and propagation."
+    ()
+
+let formals =
+  [
+    Transform.Params.decl "transactional"
+      (Transform.Params.P_list Transform.Params.P_ident)
+      ~doc:"classes whose operations run in transactions";
+    Transform.Params.decl "isolation"
+      (Transform.Params.P_enum
+         [ "read-committed"; "repeatable-read"; "serializable" ])
+      ~doc:"transaction isolation level"
+      ~default:(Transform.Params.V_string "serializable");
+    Transform.Params.decl "propagation"
+      (Transform.Params.P_enum [ "required"; "requires-new"; "supports" ])
+      ~doc:"transaction propagation"
+      ~default:(Transform.Params.V_string "required");
+  ]
+
+let preconditions =
+  [
+    Ocl.Constraint_.make ~name:"transactional-classes-exist"
+      "$transactional$->forAll(n | Class.allInstances()->exists(c | c.name = n))";
+    Ocl.Constraint_.make ~name:"not-already-transactional"
+      "Class.allInstances()->forAll(c | $transactional$->includes(c.name) \
+       implies not c.hasStereotype('transactional'))";
+  ]
+
+let postconditions =
+  [
+    Ocl.Constraint_.make ~name:"transactional-stereotype-applied"
+      "Class.allInstances()->forAll(c | $transactional$->includes(c.name) \
+       implies (c.hasStereotype('transactional') and c.tag('isolation') = \
+       $isolation$))";
+    Ocl.Constraint_.make ~name:"transaction-manager-exists"
+      "Class.allInstances()->exists(c | c.name = 'TransactionManager')";
+  ]
+
+let add_transaction_manager m =
+  Support.ensure_class m ~name:"TransactionManager" ~stereotype:"infrastructure"
+    (fun m id ->
+      let no_params name m =
+        let m, _ =
+          Support.add_operation_signature m ~owner:id ~name ~params:[]
+            ~result:Mof.Kind.Dt_void
+        in
+        m
+      in
+      m |> no_params "begin" |> no_params "commit" |> no_params "rollback")
+
+let rewrite params m =
+  let classes = Transform.Params.get_names params "transactional" in
+  let isolation = Transform.Params.get_string params "isolation" in
+  let propagation = Transform.Params.get_string params "propagation" in
+  let m = add_transaction_manager m in
+  List.fold_left
+    (fun m cname ->
+      let cls = Support.find_class_exn m cname in
+      let cls_id = cls.Mof.Element.id in
+      let pkg = Support.owning_package m cls in
+      let m = Mof.Builder.add_stereotype m cls_id "transactional" in
+      let m = Mof.Builder.set_tag m cls_id "isolation" isolation in
+      let m = Mof.Builder.set_tag m cls_id "propagation" propagation in
+      let m, _ =
+        Mof.Builder.add_constraint m ~owner:pkg
+          ~name:(cname ^ "-transactional") ~constrained:[ cls_id ]
+          ~body:
+            (Printf.sprintf
+               "Class.allInstances()->forAll(c | c.name = '%s' implies \
+                c.hasStereotype('transactional'))"
+               cname)
+      in
+      m)
+    m classes
+
+let transformation =
+  Transform.Gmt.make ~name:"T.transactions" ~concern:concern.Concern.key
+    ~description:concern.Concern.description ~formals ~preconditions
+    ~postconditions rewrite
+
+let tx_around_body ~isolation ~propagation =
+  let tx = Code.Jexpr.E_name "tx" in
+  [
+    Code.Jstmt.S_local
+      ( Code.Jtype.T_named "TransactionManager",
+        "tx",
+        Some
+          (Code.Jexpr.E_call
+             (Some (Code.Jexpr.E_name "TransactionManager"), "current", [])) );
+    Code.Jstmt.S_expr
+      (Code.Jexpr.E_call
+         ( Some tx,
+           "begin",
+           [ Code.Jexpr.E_string isolation; Code.Jexpr.E_string propagation ] ));
+    Code.Jstmt.S_try
+      ( [ Aspects.Advice.proceed; Code.Jstmt.S_expr (Code.Jexpr.E_call (Some tx, "commit", [])) ],
+        [
+          ( Code.Jtype.T_named "Exception",
+            "e",
+            [
+              Code.Jstmt.S_expr (Code.Jexpr.E_call (Some tx, "rollback", []));
+              Code.Jstmt.S_throw (Code.Jexpr.E_name "e");
+            ] );
+        ],
+        [] );
+  ]
+
+let instantiate set =
+  let classes = Transform.Params.get_names set "transactional" in
+  let isolation = Transform.Params.get_string set "isolation" in
+  let propagation = Transform.Params.get_string set "propagation" in
+  let advices =
+    Support.per_class_advices ~classes (fun cname ->
+        [
+          Aspects.Advice.make ~name:("tx-" ^ cname) Aspects.Advice.Around
+            (Aspects.Pointcut.execution cname "*")
+            (tx_around_body ~isolation ~propagation);
+        ])
+  in
+  Aspects.Aspect.make ~advices ~name:"TransactionAspect"
+    ~concern:concern.Concern.key ()
+
+let generic_aspect =
+  Aspects.Generic.make ~name:"A.transactions" ~concern:concern.Concern.key
+    ~formals instantiate

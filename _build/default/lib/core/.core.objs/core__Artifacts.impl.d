@@ -1,0 +1,1 @@
+lib/core/artifacts.ml: Aspects Code Filename Fun List Printf String Sys Weaver

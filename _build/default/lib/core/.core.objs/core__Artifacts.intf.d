@@ -1,0 +1,1 @@
+lib/core/artifacts.mli: Aspects Code Weaver

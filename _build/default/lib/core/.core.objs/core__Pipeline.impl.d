@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Artifacts Aspects Code Concerns Format List Printf Project Repository Transform Weaver Workflow

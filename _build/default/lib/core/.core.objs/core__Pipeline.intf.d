@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Artifacts Aspects Code Project Transform

@@ -1,0 +1,1 @@
+lib/core/platform.ml: Aspects Concerns Level List Mof Ocl String Transform

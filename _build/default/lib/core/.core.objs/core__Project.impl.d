@@ -1,0 +1,1 @@
+lib/core/project.ml: Level Mof Option Platform Repository Transform Workflow

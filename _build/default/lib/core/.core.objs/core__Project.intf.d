@@ -1,0 +1,1 @@
+lib/core/project.mli: Mof Repository Transform Workflow

@@ -1,0 +1,1 @@
+lib/core/shipping.ml: Concerns Filename Fun List Mof Pipeline Platform Printf Project Repository Result String Sys Transform Workflow Xmi

@@ -1,0 +1,1 @@
+lib/core/shipping.mli: Project Transform

@@ -1,0 +1,59 @@
+(** The refinement pipeline — the paper's contribution, executable.
+
+    One {!refine} call is one Fig. 1 refinement step: resolve the concern's
+    generic transformation GMT_Ci from the registry, specialize it with the
+    parameter set S_i into CMT_Ci, check the specialized preconditions,
+    apply, check the specialized postconditions and well-formedness, record
+    the trace entry and the repository commit, and advance the workflow.
+
+    {!build} is Fig. 2 end-to-end: generate the functional code, generate
+    one concrete aspect A_i⟨S_i⟩ per applied transformation from the same
+    parameter sets, order them by transformation order, and weave. *)
+
+val refine :
+  Project.t ->
+  concern:string ->
+  params:(string * Transform.Params.value) list ->
+  (Project.t * Transform.Report.t, string) result
+(** One refinement step. Fails (model untouched) on: unknown concern,
+    parameter validation problems, workflow violations, failed
+    pre/postconditions, broken well-formedness. *)
+
+val refine_exn :
+  Project.t ->
+  concern:string ->
+  params:(string * Transform.Params.value) list ->
+  Project.t
+(** @raise Failure with the error message. *)
+
+val undo : Project.t -> Project.t option
+(** Reverts the last refinement: repository head moves back, the trace
+    loses its last entry, the session model reverts. [None] when nothing
+    has been applied. (The workflow progress, when present, is rebuilt from
+    the remaining applied concerns.) *)
+
+val redo_info : Project.t -> string option
+(** The message of the commit a repository redo would restore, if any —
+    full redo re-applies through {!refine} so that all checks re-run. *)
+
+val exclude_stereotypes : string list
+(** Stereotypes marking model elements that belong to concern spaces rather
+    than the functional model: ["infrastructure"], ["proxy"],
+    ["remote-interface"]. *)
+
+val functional_code : Project.t -> Code.Junit.program
+(** Code for the functional model only — concern-introduced classifiers are
+    excluded. *)
+
+val monolithic_code : Project.t -> Code.Junit.program
+(** Code for the *whole* refined model, concern elements included, with no
+    aspects — the single-code-generator baseline the paper argues against
+    (used by the ablation experiment). *)
+
+val aspects :
+  Project.t -> (Aspects.Generator.generated list, string) result
+(** One concrete aspect per applied transformation, specialized by the
+    transformation's own parameter set, in application order. *)
+
+val build : Project.t -> (Artifacts.t, string) result
+(** Functional code + aspect generation + weaving. *)

@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  session : Transform.Engine.session;
+  repo : Repository.Repo.t;
+  progress : Workflow.State.progress option;
+}
+
+let create ?workflow model =
+  Platform.ensure_registered ();
+  let model =
+    match Level.of_model model with
+    | Some _ -> model
+    | None -> Level.mark Level.Pim model
+  in
+  {
+    name = Mof.Model.name model;
+    session = Transform.Engine.start model;
+    repo = Repository.Repo.init model;
+    progress = Option.map Workflow.State.start workflow;
+  }
+
+let model t = t.session.Transform.Engine.current
+let initial_model t = t.session.Transform.Engine.initial
+let trace t = t.session.Transform.Engine.trace
+let applied t = t.session.Transform.Engine.applied
+let history t = Repository.History.render t.repo
+let coloring t = Workflow.Color.demarcate (model t) (trace t)

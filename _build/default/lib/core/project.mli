@@ -1,0 +1,32 @@
+(** A development project: the current model, its refinement session
+    (trace), its version repository, and optional workflow guidance. This is
+    the unit of state the paper's tool infrastructure manages. *)
+
+type t = {
+  name : string;
+  session : Transform.Engine.session;
+  repo : Repository.Repo.t;
+  progress : Workflow.State.progress option;
+}
+
+val create : ?workflow:Workflow.State.t -> Mof.Model.t -> t
+(** Starts a project on a model. The model is marked PIM when it carries no
+    level tag; the repository's root commit holds the (marked) model. Also
+    ensures the platform projection is registered ({!Platform}). *)
+
+val model : t -> Mof.Model.t
+(** The current (most refined) model. *)
+
+val initial_model : t -> Mof.Model.t
+
+val trace : t -> Transform.Trace.t
+
+val applied : t -> Transform.Cmt.t list
+(** Concrete transformations applied so far, in order. *)
+
+val history : t -> string
+(** Rendered repository log. *)
+
+val coloring : t -> string
+(** The colored concern demarcation of the current model
+    ({!Workflow.Color.demarcate}). *)

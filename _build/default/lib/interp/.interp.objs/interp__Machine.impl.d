@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Code Event Format Fun Hashtbl List Rvalue Stdlib String

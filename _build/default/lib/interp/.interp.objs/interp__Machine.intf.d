@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Code Event Rvalue Stdlib

@@ -1,0 +1,1 @@
+lib/interp/rvalue.ml: Code Printf String

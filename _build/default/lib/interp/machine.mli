@@ -1,0 +1,68 @@
+(** The code-model interpreter.
+
+    Executes methods of a {!Code.Junit.program} with a mutable heap and a
+    middleware runtime whose built-in classes ([TransactionManager],
+    [Logger], [LockManager], [AccessController] + [SecurityContext],
+    [RemoteRuntime], [NamingService], [PersistenceManager]) record an
+    {!Event.t} trace instead of
+    talking to real middleware. This makes the effect of woven aspects
+    observable and testable end-to-end — the behavioural closure of the
+    paper's Fig. 2.
+
+    Supported: all statement and expression forms of the code model; field
+    access and assignment; local variables with assignment; [new] (fields
+    default-initialized, constructor arguments ignored — the generator emits
+    no constructors); virtual dispatch along [extends]; exceptions with
+    try/catch/finally ([RuntimeException] conforms to [Exception] conforms
+    to [Throwable], program classes conform along their [extends] chain);
+    [synchronized] blocks (recorded as [Monitor.enter]/[Monitor.exit]
+    events); string concatenation via [+].
+
+    Fault injection: [faults] names program methods that throw a
+    [RuntimeException] as soon as they are entered — how tests drive the
+    rollback path of the transaction aspect. *)
+
+exception Runtime_error of string
+(** Genuine interpreter errors: unknown class/method/field, arity mismatch,
+    type confusion. Distinct from in-program Java exceptions, which are
+    values. *)
+
+(** Result of a finished execution. *)
+type outcome = {
+  result : (Rvalue.t, string) Stdlib.result;
+      (** [Ok v] on normal completion, [Error class_name] when an exception
+          escaped the called method *)
+  events : Event.t list;  (** emission order *)
+}
+
+type t
+(** A machine instance: program + heap + event log. *)
+
+val create : ?faults:(string * string) list -> Code.Junit.program -> t
+(** [create ~faults program] prepares a machine; [faults] are
+    [(class, method)] pairs that throw on entry. *)
+
+val new_object : t -> string -> Rvalue.t
+(** Allocates an instance of a program class (fields default-initialized).
+    @raise Runtime_error for unknown classes. *)
+
+val call : t -> recv:Rvalue.t -> string -> Rvalue.t list -> Rvalue.t
+(** Invokes a method on an object for callers that want to script several
+    calls against one machine; Java exceptions escape as
+    [Runtime_error]-wrapped descriptions. Prefer {!run} for single-shot
+    use. *)
+
+val events : t -> Event.t list
+(** Events recorded so far, in emission order. *)
+
+val run :
+  ?faults:(string * string) list ->
+  ?args:Rvalue.t list ->
+  Code.Junit.program ->
+  class_name:string ->
+  method_name:string ->
+  outcome
+(** One-shot convenience: create a machine, instantiate [class_name], invoke
+    [method_name] with [args], and return the outcome with the event
+    trace.
+    @raise Runtime_error only for genuine interpreter errors. *)

@@ -1,0 +1,41 @@
+type t =
+  | V_null
+  | V_bool of bool
+  | V_int of int
+  | V_double of float
+  | V_string of string
+  | V_object of int
+
+let default_of = function
+  | Code.Jtype.T_void -> V_null
+  | Code.Jtype.T_boolean -> V_bool false
+  | Code.Jtype.T_int -> V_int 0
+  | Code.Jtype.T_double -> V_double 0.0
+  | Code.Jtype.T_string | Code.Jtype.T_named _ | Code.Jtype.T_list _ -> V_null
+
+let truthy = function
+  | V_bool b -> b
+  | v ->
+      invalid_arg
+        ("Interp.Rvalue.truthy: non-boolean condition "
+        ^
+        match v with
+        | V_null -> "null"
+        | V_int _ -> "int"
+        | V_double _ -> "double"
+        | V_string _ -> "string"
+        | V_object _ -> "object"
+        | V_bool _ -> assert false)
+
+let to_string = function
+  | V_null -> "null"
+  | V_bool b -> string_of_bool b
+  | V_int n -> string_of_int n
+  | V_double f -> Printf.sprintf "%g" f
+  | V_string s -> s
+  | V_object r -> "@" ^ string_of_int r
+
+let equal a b =
+  match (a, b) with
+  | V_string x, V_string y -> String.equal x y
+  | a, b -> a = b

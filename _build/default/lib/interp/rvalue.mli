@@ -1,0 +1,25 @@
+(** Runtime values of the code-model interpreter. *)
+
+type t =
+  | V_null
+  | V_bool of bool
+  | V_int of int
+  | V_double of float
+  | V_string of string
+  | V_object of int  (** heap reference *)
+
+val default_of : Code.Jtype.t -> t
+(** The value an uninitialized field or stub holds: [false], [0], [0.0],
+    [V_null]. [T_void] also yields [V_null] (stubs "return" it). *)
+
+val truthy : t -> bool
+(** Java truth: only [V_bool true]. Raises [Invalid_argument] on
+    non-booleans — the generated code never branches on those. *)
+
+val to_string : t -> string
+(** Java-ish rendering; objects print as [<class#ref>] via the interpreter's
+    printer instead, so this renders them as [@ref]. *)
+
+val equal : t -> t -> bool
+(** [==] semantics: primitive equality, reference equality for objects,
+    string structural equality (interned-literal approximation). *)

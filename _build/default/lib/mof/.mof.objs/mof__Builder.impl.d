@@ -1,0 +1,1 @@
+lib/mof/builder.ml: Element Format Id Kind List Model

@@ -1,0 +1,1 @@
+lib/mof/builder.mli: Id Kind Model

@@ -1,0 +1,1 @@
+lib/mof/diff.ml: Element Format Id Model

@@ -1,0 +1,1 @@
+lib/mof/diff.mli: Format Id Model

@@ -1,0 +1,1 @@
+lib/mof/element.ml: Format Id Kind List Option String

@@ -1,0 +1,1 @@
+lib/mof/element.mli: Format Id Kind

@@ -1,0 +1,1 @@
+lib/mof/id.ml: Format Int Map Set String

@@ -1,0 +1,1 @@
+lib/mof/id.mli: Format Map Set

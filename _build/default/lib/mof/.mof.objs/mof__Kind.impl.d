@@ -1,0 +1,1 @@
+lib/mof/kind.ml: Id List Option String

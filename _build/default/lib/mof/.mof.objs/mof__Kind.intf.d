@@ -1,0 +1,1 @@
+lib/mof/kind.mli: Id

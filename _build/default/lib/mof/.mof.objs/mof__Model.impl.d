@@ -1,0 +1,1 @@
+lib/mof/model.ml: Element Id Kind List

@@ -1,0 +1,1 @@
+lib/mof/model.mli: Element Id

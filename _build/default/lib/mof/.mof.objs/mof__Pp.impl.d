@@ -1,0 +1,1 @@
+lib/mof/pp.ml: Element Format Id Kind List Model Query String

@@ -1,0 +1,1 @@
+lib/mof/pp.mli: Element Format Kind Model

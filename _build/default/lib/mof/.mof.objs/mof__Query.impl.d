@@ -1,0 +1,1 @@
+lib/mof/query.ml: Element Id Kind List Model String

@@ -1,0 +1,1 @@
+lib/mof/query.mli: Element Id Kind Model

@@ -1,0 +1,1 @@
+lib/mof/wellformed.ml: Element Format Hashtbl Id Kind List Model Query String

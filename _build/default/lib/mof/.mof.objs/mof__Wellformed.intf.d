@@ -1,0 +1,1 @@
+lib/mof/wellformed.mli: Format Id Model

@@ -1,0 +1,247 @@
+exception Builder_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Builder_error s)) fmt
+
+(* Create [kind] named [name] under [owner], then link it into the owner's
+   containment list with [link]. *)
+let create_under m ~owner ~name kind link =
+  let m, id = Model.fresh_id m in
+  let elt = Element.make ~id ~name ~owner:(Some owner) kind in
+  let m = Model.add m elt in
+  let m = Model.update m owner (link id) in
+  (m, id)
+
+let link_into_package what id owner_elt =
+  match owner_elt.Element.kind with
+  | Kind.Package { owned } ->
+      Element.with_kind (Kind.Package { owned = owned @ [ id ] }) owner_elt
+  | k ->
+      error "cannot add %s under %s %s" what (Kind.name k) owner_elt.Element.name
+
+let add_package m ~owner ~name =
+  create_under m ~owner ~name (Kind.Package { owned = [] })
+    (link_into_package "a package")
+
+let add_class ?(is_abstract = false) m ~owner ~name =
+  create_under m ~owner ~name
+    (Kind.Class
+       { is_abstract; attributes = []; operations = []; supers = []; realizes = [] })
+    (link_into_package "a class")
+
+let add_interface m ~owner ~name =
+  create_under m ~owner ~name
+    (Kind.Interface { operations = [] })
+    (link_into_package "an interface")
+
+let add_attribute ?(visibility = Kind.Private) ?(mult = Kind.mult_one)
+    ?(is_derived = false) ?(is_static = false) ?initial m ~cls ~name ~typ =
+  let link id owner_elt =
+    match owner_elt.Element.kind with
+    | Kind.Class c ->
+        Element.with_kind
+          (Kind.Class { c with attributes = c.attributes @ [ id ] })
+          owner_elt
+    | k ->
+        error "cannot add attribute %s to %s %s" name (Kind.name k)
+          owner_elt.Element.name
+  in
+  create_under m ~owner:cls ~name
+    (Kind.Attribute
+       {
+         attr_type = typ;
+         attr_visibility = visibility;
+         attr_mult = mult;
+         is_derived;
+         is_static;
+         initial_value = initial;
+       })
+    link
+
+let add_operation ?(visibility = Kind.Public) ?(is_query = false)
+    ?(is_abstract = false) ?(is_static = false) m ~owner ~name =
+  let link id owner_elt =
+    match owner_elt.Element.kind with
+    | Kind.Class c ->
+        Element.with_kind
+          (Kind.Class { c with operations = c.operations @ [ id ] })
+          owner_elt
+    | Kind.Interface { operations } ->
+        Element.with_kind
+          (Kind.Interface { operations = operations @ [ id ] })
+          owner_elt
+    | k ->
+        error "cannot add operation %s to %s %s" name (Kind.name k)
+          owner_elt.Element.name
+  in
+  create_under m ~owner ~name
+    (Kind.Operation
+       {
+         params = [];
+         op_visibility = visibility;
+         is_query;
+         is_abstract_op = is_abstract;
+         is_static_op = is_static;
+       })
+    link
+
+let add_parameter ?(direction = Kind.Dir_in) m ~op ~name ~typ =
+  let link id owner_elt =
+    match owner_elt.Element.kind with
+    | Kind.Operation o ->
+        Element.with_kind
+          (Kind.Operation { o with params = o.params @ [ id ] })
+          owner_elt
+    | k ->
+        error "cannot add parameter %s to %s %s" name (Kind.name k)
+          owner_elt.Element.name
+  in
+  create_under m ~owner:op ~name
+    (Kind.Parameter { param_type = typ; direction })
+    link
+
+let set_result m ~op ~typ =
+  let op_elt = Model.find_exn m op in
+  let params =
+    match op_elt.Element.kind with
+    | Kind.Operation o -> o.params
+    | k -> error "set_result: %s is a %s, not an operation" op_elt.Element.name (Kind.name k)
+  in
+  let existing_return =
+    List.find_opt
+      (fun pid ->
+        match (Model.find_exn m pid).Element.kind with
+        | Kind.Parameter { direction = Kind.Dir_return; _ } -> true
+        | _ -> false)
+      params
+  in
+  match existing_return with
+  | Some pid ->
+      Model.update m pid (fun p ->
+          match p.Element.kind with
+          | Kind.Parameter pk ->
+              Element.with_kind (Kind.Parameter { pk with param_type = typ }) p
+          | _ -> assert false)
+  | None ->
+      let m, _ =
+        add_parameter ~direction:Kind.Dir_return m ~op ~name:"result" ~typ
+      in
+      m
+
+let class_kind m id what =
+  match (Model.find_exn m id).Element.kind with
+  | Kind.Class c -> c
+  | k -> error "%s: %a is a %s, not a class" what Id.pp id (Kind.name k)
+
+let add_generalization m ~child ~parent =
+  let c = class_kind m child "add_generalization (child)" in
+  let _ = class_kind m parent "add_generalization (parent)" in
+  let child_elt = Model.find_exn m child in
+  let owner =
+    match child_elt.Element.owner with
+    | Some o -> o
+    | None -> error "add_generalization: child has no owner"
+  in
+  let m, gid =
+    create_under m ~owner
+      ~name:(child_elt.Element.name ^ "->" ^ (Model.find_exn m parent).Element.name)
+      (Kind.Generalization { child; parent })
+      (link_into_package "a generalization")
+  in
+  let m =
+    if List.exists (Id.equal parent) c.supers then m
+    else
+      Model.update m child (fun e ->
+          Element.with_kind (Kind.Class { c with supers = c.supers @ [ parent ] }) e)
+  in
+  (m, gid)
+
+let add_realization m ~cls ~iface =
+  let c = class_kind m cls "add_realization" in
+  (match (Model.find_exn m iface).Element.kind with
+  | Kind.Interface _ -> ()
+  | k -> error "add_realization: %a is a %s, not an interface" Id.pp iface (Kind.name k));
+  if List.exists (Id.equal iface) c.realizes then m
+  else
+    Model.update m cls (fun e ->
+        Element.with_kind (Kind.Class { c with realizes = c.realizes @ [ iface ] }) e)
+
+let add_association m ~owner ~name ~ends =
+  if List.length ends < 2 then error "association %s needs at least two ends" name;
+  create_under m ~owner ~name (Kind.Association { ends })
+    (link_into_package "an association")
+
+let add_dependency ?stereotype m ~owner ~client ~supplier =
+  let name =
+    (Model.find_exn m client).Element.name
+    ^ "->"
+    ^ (Model.find_exn m supplier).Element.name
+  in
+  let m, id =
+    create_under m ~owner ~name
+      (Kind.Dependency { client; supplier })
+      (link_into_package "a dependency")
+  in
+  let m =
+    match stereotype with
+    | None -> m
+    | Some s -> Model.update m id (Element.add_stereotype s)
+  in
+  (m, id)
+
+let add_constraint ?(language = "OCL") m ~owner ~name ~constrained ~body =
+  create_under m ~owner ~name
+    (Kind.Constraint_ { constrained; body; language })
+    (link_into_package "a constraint")
+
+let add_enumeration m ~owner ~name ~literals =
+  create_under m ~owner ~name
+    (Kind.Enumeration { literals })
+    (link_into_package "an enumeration")
+
+let add_stereotype m id s = Model.update m id (Element.add_stereotype s)
+let set_tag m id key value = Model.update m id (Element.set_tag key value)
+let rename m id name = Model.update m id (Element.with_name name)
+
+(* Remove [id] from the containment list of its owner. *)
+let unlink_from_owner m id =
+  match (Model.find_exn m id).Element.owner with
+  | None -> m
+  | Some owner ->
+      Model.update m owner (fun e ->
+          let drop = List.filter (fun x -> not (Id.equal x id)) in
+          let kind =
+            match e.Element.kind with
+            | Kind.Package { owned } -> Kind.Package { owned = drop owned }
+            | Kind.Class c ->
+                Kind.Class
+                  {
+                    c with
+                    attributes = drop c.attributes;
+                    operations = drop c.operations;
+                  }
+            | Kind.Interface { operations } ->
+                Kind.Interface { operations = drop operations }
+            | Kind.Operation o -> Kind.Operation { o with params = drop o.params }
+            | k -> k
+          in
+          Element.with_kind kind e)
+
+(* Ids of the directly owned children of [id]. *)
+let children m id =
+  match (Model.find_exn m id).Element.kind with
+  | Kind.Package { owned } -> owned
+  | Kind.Class c -> c.attributes @ c.operations
+  | Kind.Interface { operations } -> operations
+  | Kind.Operation o -> o.params
+  | Kind.Attribute _ | Kind.Parameter _ | Kind.Association _
+  | Kind.Generalization _ | Kind.Dependency _ | Kind.Constraint_ _
+  | Kind.Enumeration _ ->
+      []
+
+let delete_element m id =
+  let rec delete m id =
+    let m = List.fold_left delete m (children m id) in
+    Model.remove m id
+  in
+  let m = unlink_from_owner m id in
+  delete m id

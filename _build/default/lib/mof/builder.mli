@@ -1,0 +1,121 @@
+(** High-level model construction.
+
+    All functions keep the bidirectional containment invariant: when a child
+    is created under an owner, the child's [owner] field and the owner's
+    containment list are updated together. Creation functions return the new
+    model and the id of the created element, which callers thread through
+    subsequent calls. *)
+
+exception Builder_error of string
+(** Raised when a construction request is ill-typed with respect to the
+    metamodel (e.g. adding an attribute to a package). *)
+
+val add_package : Model.t -> owner:Id.t -> name:string -> Model.t * Id.t
+(** Creates a package inside package [owner]. *)
+
+val add_class :
+  ?is_abstract:bool -> Model.t -> owner:Id.t -> name:string -> Model.t * Id.t
+(** Creates a class inside package [owner]. *)
+
+val add_interface : Model.t -> owner:Id.t -> name:string -> Model.t * Id.t
+(** Creates an interface inside package [owner]. *)
+
+val add_attribute :
+  ?visibility:Kind.visibility ->
+  ?mult:Kind.multiplicity ->
+  ?is_derived:bool ->
+  ?is_static:bool ->
+  ?initial:string ->
+  Model.t ->
+  cls:Id.t ->
+  name:string ->
+  typ:Kind.datatype ->
+  Model.t * Id.t
+(** Creates an attribute on class [cls]. Visibility defaults to [Private],
+    multiplicity to [1]. *)
+
+val add_operation :
+  ?visibility:Kind.visibility ->
+  ?is_query:bool ->
+  ?is_abstract:bool ->
+  ?is_static:bool ->
+  Model.t ->
+  owner:Id.t ->
+  name:string ->
+  Model.t * Id.t
+(** Creates an operation on a class or interface. Visibility defaults to
+    [Public]. The result type defaults to void until {!set_result} or a
+    return parameter is added. *)
+
+val add_parameter :
+  ?direction:Kind.direction ->
+  Model.t ->
+  op:Id.t ->
+  name:string ->
+  typ:Kind.datatype ->
+  Model.t * Id.t
+(** Creates a parameter of operation [op]; direction defaults to [Dir_in]. *)
+
+val set_result : Model.t -> op:Id.t -> typ:Kind.datatype -> Model.t
+(** Sets the result type of [op] by creating (or replacing) its return
+    parameter. *)
+
+val add_generalization : Model.t -> child:Id.t -> parent:Id.t -> Model.t * Id.t
+(** Creates a generalization element and records [parent] in the child's
+    [supers] list. Both ends must be classes. *)
+
+val add_realization : Model.t -> cls:Id.t -> iface:Id.t -> Model.t
+(** Records that class [cls] realizes interface [iface]. *)
+
+val add_association :
+  Model.t ->
+  owner:Id.t ->
+  name:string ->
+  ends:Kind.assoc_end list ->
+  Model.t * Id.t
+(** Creates an association under package [owner]; at least two ends are
+    required. *)
+
+val add_dependency :
+  ?stereotype:string ->
+  Model.t ->
+  owner:Id.t ->
+  client:Id.t ->
+  supplier:Id.t ->
+  Model.t * Id.t
+(** Creates a dependency from [client] to [supplier] under package [owner];
+    the optional stereotype (e.g. ["use"], ["proxy"]) is attached to the
+    dependency element. *)
+
+val add_constraint :
+  ?language:string ->
+  Model.t ->
+  owner:Id.t ->
+  name:string ->
+  constrained:Id.t list ->
+  body:string ->
+  Model.t * Id.t
+(** Creates a constraint under package [owner]. Language defaults to
+    ["OCL"]. *)
+
+val add_enumeration :
+  Model.t -> owner:Id.t -> name:string -> literals:string list -> Model.t * Id.t
+(** Creates an enumeration under package [owner]; literals are plain names
+    carried by the element itself. *)
+
+val add_stereotype : Model.t -> Id.t -> string -> Model.t
+(** Attaches a stereotype to an element; idempotent. *)
+
+val set_tag : Model.t -> Id.t -> string -> string -> Model.t
+(** Sets a tagged value on an element. *)
+
+val rename : Model.t -> Id.t -> string -> Model.t
+(** Renames an element. *)
+
+val delete_element : Model.t -> Id.t -> Model.t
+(** Deletes an element and its transitively owned children, and unlinks it
+    from its owner's containment list. Cross-references from surviving
+    elements (supers, datatypes, association ends, …) are left in place and
+    will surface as dangling-reference violations in {!Wellformed.check};
+    transformations that delete elements are expected to re-establish
+    well-formedness before their postconditions run. *)

@@ -1,0 +1,31 @@
+(** Structural difference between two models.
+
+    Diffs power three of the paper's Section 3 requirements: repository
+    history, the Undo/Redo facility, and the colored demarcation of model
+    parts introduced by each concrete transformation. *)
+
+type t = {
+  added : Id.Set.t;  (** ids bound in the new model only *)
+  removed : Id.Set.t;  (** ids bound in the old model only *)
+  modified : Id.Set.t;  (** ids bound in both, with different elements *)
+}
+
+val empty : t
+
+val is_empty : t -> bool
+
+val compute : old_model:Model.t -> new_model:Model.t -> t
+(** [compute ~old_model ~new_model] classifies every id bound in either
+    model. *)
+
+val union : t -> t -> t
+(** Pointwise union; an id both added and later modified counts as added. *)
+
+val touched : t -> Id.Set.t
+(** All ids mentioned by the diff. *)
+
+val cardinal : t -> int
+(** Number of touched ids. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary rendering, e.g. [+12 -0 ~3]. *)

@@ -1,0 +1,21 @@
+type t = int
+
+let of_int n = n
+let to_int id = id
+let to_string id = "e" ^ string_of_int id
+
+let of_string s =
+  let len = String.length s in
+  if len < 2 || s.[0] <> 'e' then None
+  else
+    match int_of_string_opt (String.sub s 1 (len - 1)) with
+    | Some n when n >= 0 -> Some n
+    | Some _ | None -> None
+
+let equal = Int.equal
+let compare = Int.compare
+let hash id = id
+let pp ppf id = Format.pp_print_string ppf (to_string id)
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

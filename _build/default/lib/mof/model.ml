@@ -1,0 +1,70 @@
+type t = {
+  store : Element.t Id.Map.t;
+  root : Id.t;
+  next : int;
+}
+
+exception Element_not_found of Id.t
+
+let create ~name =
+  let root = Id.of_int 0 in
+  let root_elt =
+    Element.make ~id:root ~name ~owner:None (Kind.Package { owned = [] })
+  in
+  { store = Id.Map.singleton root root_elt; root; next = 1 }
+
+let root m = m.root
+
+let of_elements ~root ~next elements =
+  let store =
+    List.fold_left
+      (fun store e ->
+        let id = e.Element.id in
+        if Id.Map.mem id store then
+          invalid_arg ("Mof.Model.of_elements: duplicate id " ^ Id.to_string id)
+        else if Id.to_int id >= next then
+          invalid_arg
+            ("Mof.Model.of_elements: id " ^ Id.to_string id
+           ^ " exceeds the next-id counter")
+        else Id.Map.add id e store)
+      Id.Map.empty elements
+  in
+  if not (Id.Map.mem root store) then
+    invalid_arg "Mof.Model.of_elements: root element missing";
+  { store; root; next }
+
+let find m id = Id.Map.find_opt id m.store
+
+let find_exn m id =
+  match find m id with
+  | Some e -> e
+  | None -> raise (Element_not_found id)
+
+let name m = (find_exn m m.root).Element.name
+let level_tag m = Element.tag "level" (find_exn m m.root)
+
+let mem m id = Id.Map.mem id m.store
+
+let fresh_id m = ({ m with next = m.next + 1 }, Id.of_int m.next)
+
+let add m e =
+  let id = e.Element.id in
+  if mem m id then
+    invalid_arg ("Mof.Model.add: duplicate id " ^ Id.to_string id)
+  else { m with store = Id.Map.add id e m.store }
+
+let update m id f =
+  let e = find_exn m id in
+  { m with store = Id.Map.add id (f e) m.store }
+
+let set_level_tag level m = update m m.root (Element.set_tag "level" level)
+
+let remove m id = { m with store = Id.Map.remove id m.store }
+
+let fold f m init = Id.Map.fold (fun _ e acc -> f e acc) m.store init
+let iter f m = Id.Map.iter (fun _ e -> f e) m.store
+let elements m = List.map snd (Id.Map.bindings m.store)
+let size m = Id.Map.cardinal m.store
+let filter p m = List.filter p (elements m)
+
+let equal a b = Id.equal a.root b.root && Id.Map.equal Element.equal a.store b.store

@@ -1,0 +1,70 @@
+(** The model store: an immutable, id-indexed collection of elements with a
+    distinguished root package.
+
+    Models are persistent values — every update returns a new model — which
+    is what makes transformation traces, repository versions, and undo/redo
+    cheap and safe. Fresh ids are drawn from a counter carried by the model
+    itself, so transformations are deterministic. *)
+
+type t
+(** The type of models. *)
+
+exception Element_not_found of Id.t
+(** Raised by the [_exn] accessors. *)
+
+val create : name:string -> t
+(** [create ~name] is a model holding a single root package called [name]. *)
+
+val of_elements : root:Id.t -> next:int -> Element.t list -> t
+(** Reconstructs a model from a previously serialized element population
+    (used by the XMI importer). [next] must exceed every bound id; the
+    element list must contain [root]. Raises [Invalid_argument] otherwise,
+    or on duplicate ids. *)
+
+val name : t -> string
+(** The model name (the root package's name). *)
+
+val root : t -> Id.t
+(** Id of the root package. *)
+
+val level_tag : t -> string option
+(** The abstraction level recorded on the root package ("PIM", "PSM", …),
+    if any; see {!set_level_tag}. *)
+
+val set_level_tag : string -> t -> t
+(** Records the abstraction level on the root package. *)
+
+val fresh_id : t -> t * Id.t
+(** Allocates a fresh element id. *)
+
+val add : t -> Element.t -> t
+(** [add m e] stores [e]. Raises [Invalid_argument] if [e.id] is already
+    bound — elements are inserted once and then {!update}d. *)
+
+val mem : t -> Id.t -> bool
+val find : t -> Id.t -> Element.t option
+val find_exn : t -> Id.t -> Element.t
+
+val update : t -> Id.t -> (Element.t -> Element.t) -> t
+(** [update m id f] replaces the element bound to [id] by [f] applied to it.
+    @raise Element_not_found if [id] is unbound. *)
+
+val remove : t -> Id.t -> t
+(** Removes the binding for [id] (and only that binding; callers are
+    responsible for unlinking references, cf. {!Builder.delete_element}). *)
+
+val fold : (Element.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over all elements in id order. *)
+
+val iter : (Element.t -> unit) -> t -> unit
+val elements : t -> Element.t list
+(** All elements, in id order. *)
+
+val size : t -> int
+(** Number of elements. *)
+
+val filter : (Element.t -> bool) -> t -> Element.t list
+
+val equal : t -> t -> bool
+(** Structural equality of the element populations and roots (the id counter
+    is ignored, so a model equals itself after a no-op transformation). *)

@@ -1,0 +1,143 @@
+let rec datatype m ppf = function
+  | Kind.Dt_void -> Format.pp_print_string ppf "void"
+  | Kind.Dt_boolean -> Format.pp_print_string ppf "Boolean"
+  | Kind.Dt_integer -> Format.pp_print_string ppf "Integer"
+  | Kind.Dt_real -> Format.pp_print_string ppf "Real"
+  | Kind.Dt_string -> Format.pp_print_string ppf "String"
+  | Kind.Dt_ref id -> (
+      match Model.find m id with
+      | Some e -> Format.pp_print_string ppf e.Element.name
+      | None -> Format.fprintf ppf "?%s" (Id.to_string id))
+  | Kind.Dt_collection dt -> Format.fprintf ppf "Set(%a)" (datatype m) dt
+
+let stereotypes ppf = function
+  | [] -> ()
+  | ss -> Format.fprintf ppf "<<%s>> " (String.concat ", " ss)
+
+let visibility_mark = function
+  | Kind.Public -> "+"
+  | Kind.Private -> "-"
+  | Kind.Protected -> "#"
+  | Kind.Package_level -> "~"
+
+let attribute m ppf e =
+  match e.Element.kind with
+  | Kind.Attribute a ->
+      Format.fprintf ppf "%s%a%s : %a [%s]%s"
+        (visibility_mark a.attr_visibility)
+        stereotypes e.Element.stereotypes e.Element.name (datatype m)
+        a.attr_type
+        (Kind.mult_to_string a.attr_mult)
+        (match a.initial_value with None -> "" | Some v -> " = " ^ v)
+  | _ -> ()
+
+let operation m ppf e =
+  match e.Element.kind with
+  | Kind.Operation o ->
+      let params = Query.parameters_of m e.Element.id in
+      let pp_param ppf p =
+        match p.Element.kind with
+        | Kind.Parameter pk ->
+            Format.fprintf ppf "%s %s : %a"
+              (Kind.direction_to_string pk.direction)
+              p.Element.name (datatype m) pk.param_type
+        | _ -> ()
+      in
+      Format.fprintf ppf "%s%a%s(%a) : %a%s"
+        (visibility_mark o.op_visibility)
+        stereotypes e.Element.stereotypes e.Element.name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_param)
+        params (datatype m)
+        (Query.result_of m e.Element.id)
+        (if o.is_query then " {query}" else "")
+  | _ -> ()
+
+let element m ppf e =
+  match e.Element.kind with
+  | Kind.Attribute _ -> attribute m ppf e
+  | Kind.Operation _ -> operation m ppf e
+  | Kind.Generalization { child; parent } ->
+      Format.fprintf ppf "generalization %s --|> %s"
+        (Model.find_exn m child).Element.name
+        (Model.find_exn m parent).Element.name
+  | Kind.Dependency { client; supplier } ->
+      Format.fprintf ppf "%adependency %s ..> %s" stereotypes
+        e.Element.stereotypes
+        (Model.find_exn m client).Element.name
+        (Model.find_exn m supplier).Element.name
+  | Kind.Constraint_ { body; language; _ } ->
+      Format.fprintf ppf "constraint %s {%s} %s" e.Element.name language body
+  | Kind.Association { ends } ->
+      let pp_end ppf (en : Kind.assoc_end) =
+        Format.fprintf ppf "%s:%s[%s]" en.end_name
+          (match Model.find m en.end_type with
+          | Some t -> t.Element.name
+          | None -> "?")
+          (Kind.mult_to_string en.end_mult)
+      in
+      Format.fprintf ppf "association %s (%a)" e.Element.name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " -- ")
+           pp_end)
+        ends
+  | Kind.Enumeration { literals } ->
+      Format.fprintf ppf "%aenum %s {%s}" stereotypes e.Element.stereotypes
+        e.Element.name
+        (String.concat ", " literals)
+  | Kind.Package _ | Kind.Class _ | Kind.Interface _ | Kind.Parameter _ ->
+      Format.fprintf ppf "%a%s %s" stereotypes e.Element.stereotypes
+        (Element.metaclass e) e.Element.name
+
+let model ppf m =
+  let rec walk indent id =
+    let e = Model.find_exn m id in
+    let pad = String.make indent ' ' in
+    (match e.Element.kind with
+    | Kind.Package _ ->
+        Format.fprintf ppf "%s%apackage %s@." pad stereotypes
+          e.Element.stereotypes e.Element.name;
+        List.iter
+          (fun c -> walk (indent + 2) c.Element.id)
+          (Query.owned_of m id)
+    | Kind.Class c ->
+        Format.fprintf ppf "%s%a%sclass %s%s@." pad stereotypes
+          e.Element.stereotypes
+          (if c.is_abstract then "abstract " else "")
+          e.Element.name
+          (let supers =
+             List.map (fun s -> (Model.find_exn m s).Element.name) c.supers
+           and ifaces =
+             List.map (fun i -> (Model.find_exn m i).Element.name) c.realizes
+           in
+           let exts =
+             (if supers = [] then []
+              else [ "extends " ^ String.concat ", " supers ])
+             @
+             if ifaces = [] then []
+             else [ "implements " ^ String.concat ", " ifaces ]
+           in
+           if exts = [] then "" else " " ^ String.concat " " exts);
+        List.iter
+          (fun a -> Format.fprintf ppf "%s  %a@." pad (attribute m) a)
+          (Query.attributes_of m id);
+        List.iter
+          (fun o -> Format.fprintf ppf "%s  %a@." pad (operation m) o)
+          (Query.operations_of m id)
+    | Kind.Interface _ ->
+        Format.fprintf ppf "%s%ainterface %s@." pad stereotypes
+          e.Element.stereotypes e.Element.name;
+        List.iter
+          (fun o -> Format.fprintf ppf "%s  %a@." pad (operation m) o)
+          (Query.operations_of m id)
+    | Kind.Attribute _ | Kind.Operation _ | Kind.Parameter _ ->
+        (* rendered by their owner *)
+        ()
+    | Kind.Association _ | Kind.Generalization _ | Kind.Dependency _
+    | Kind.Constraint_ _ | Kind.Enumeration _ ->
+        Format.fprintf ppf "%s%a@." pad (element m) e)
+  in
+  walk 0 (Model.root m)
+
+let model_to_string m = Format.asprintf "%a" model m

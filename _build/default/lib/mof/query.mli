@@ -1,0 +1,71 @@
+(** Read-only navigation over models: classifier listings, feature lookups,
+    qualified names, and inheritance closure. *)
+
+val classes : Model.t -> Element.t list
+(** All class elements, in id order. *)
+
+val interfaces : Model.t -> Element.t list
+val packages : Model.t -> Element.t list
+val associations : Model.t -> Element.t list
+val constraints : Model.t -> Element.t list
+val enumerations : Model.t -> Element.t list
+
+val of_metaclass : Model.t -> string -> Element.t list
+(** [of_metaclass m "Class"] is all elements whose metaclass has that name;
+    unknown names yield the empty list. *)
+
+val attributes_of : Model.t -> Id.t -> Element.t list
+(** Attributes owned directly by a class (empty for other kinds). *)
+
+val operations_of : Model.t -> Id.t -> Element.t list
+(** Operations owned directly by a class or interface. *)
+
+val parameters_of : Model.t -> Id.t -> Element.t list
+(** Parameters of an operation, excluding the return parameter. *)
+
+val result_of : Model.t -> Id.t -> Kind.datatype
+(** Result type of an operation: the type of its return parameter, or
+    [Dt_void] when it has none. *)
+
+val public_operations_of : Model.t -> Id.t -> Element.t list
+(** Operations of a classifier with [Public] visibility. *)
+
+val owned_of : Model.t -> Id.t -> Element.t list
+(** Direct contents of a package. *)
+
+val supers_of : Model.t -> Id.t -> Id.t list
+(** Direct superclasses of a class. *)
+
+val supers_transitive : Model.t -> Id.t -> Id.t list
+(** Transitive superclass closure of a class, nearest first, without
+    duplicates. Cycles terminate; a class on an inheritance cycle through
+    itself appears in its own closure (how {!Wellformed} detects cycles). *)
+
+val realizations_of : Model.t -> Id.t -> Id.t list
+(** Interfaces realized by a class. *)
+
+val realizers_of : Model.t -> Id.t -> Element.t list
+(** Classes that realize a given interface. *)
+
+val qualified_name : Model.t -> Id.t -> string
+(** Dot-separated path from the root package (excluded) to the element,
+    e.g. ["bank.Account.balance"]. The root element's qualified name is its
+    own name. *)
+
+val find_by_qualified_name : Model.t -> string -> Element.t option
+(** Inverse of {!qualified_name} (first match in id order). *)
+
+val find_named : Model.t -> string -> Element.t list
+(** All elements with the given simple name. *)
+
+val find_class : Model.t -> string -> Element.t option
+(** First class with the given simple name. *)
+
+val with_stereotype : Model.t -> string -> Element.t list
+(** All elements carrying the given stereotype. *)
+
+val owner_chain : Model.t -> Id.t -> Id.t list
+(** Owners from the element's direct owner up to the root, nearest first. *)
+
+val containing_class : Model.t -> Id.t -> Id.t option
+(** Nearest enclosing class of an element, if any. *)

@@ -1,0 +1,199 @@
+type rule =
+  | Dangling_reference
+  | Owner_mismatch
+  | Duplicate_name
+  | Inheritance_cycle
+  | Invalid_multiplicity
+  | Malformed_association
+  | Abstract_leaf
+  | Empty_name
+  | Duplicate_literal
+
+type violation = {
+  subject : Id.t;
+  rule : rule;
+  message : string;
+}
+
+let rule_name = function
+  | Dangling_reference -> "dangling-reference"
+  | Owner_mismatch -> "owner-mismatch"
+  | Duplicate_name -> "duplicate-name"
+  | Inheritance_cycle -> "inheritance-cycle"
+  | Invalid_multiplicity -> "invalid-multiplicity"
+  | Malformed_association -> "malformed-association"
+  | Abstract_leaf -> "abstract-leaf"
+  | Empty_name -> "empty-name"
+  | Duplicate_literal -> "duplicate-literal"
+
+let violation subject rule fmt =
+  Format.kasprintf (fun message -> { subject; rule; message }) fmt
+
+(* Containment children as recorded in the parent's kind payload. *)
+let containment_children e =
+  match e.Element.kind with
+  | Kind.Package { owned } -> owned
+  | Kind.Class c -> c.attributes @ c.operations
+  | Kind.Interface { operations } -> operations
+  | Kind.Operation o -> o.params
+  | Kind.Attribute _ | Kind.Parameter _ | Kind.Association _
+  | Kind.Generalization _ | Kind.Dependency _ | Kind.Constraint_ _
+  | Kind.Enumeration _ ->
+      []
+
+let check_references m e =
+  List.filter_map
+    (fun id ->
+      if Model.mem m id then None
+      else
+        Some
+          (violation e.Element.id Dangling_reference
+             "%s %s references unbound id %s" (Element.metaclass e)
+             e.Element.name (Id.to_string id)))
+    (Kind.refs e.Element.kind)
+
+let check_owner m e =
+  match e.Element.owner with
+  | None ->
+      if Id.equal e.Element.id (Model.root m) then []
+      else
+        [
+          violation e.Element.id Owner_mismatch "%s %s has no owner"
+            (Element.metaclass e) e.Element.name;
+        ]
+  | Some owner -> (
+      match Model.find m owner with
+      | None ->
+          [
+            violation e.Element.id Owner_mismatch
+              "%s %s owned by unbound id %s" (Element.metaclass e)
+              e.Element.name (Id.to_string owner);
+          ]
+      | Some owner_elt ->
+          let listed =
+            List.exists (Id.equal e.Element.id) (containment_children owner_elt)
+          in
+          if listed then []
+          else
+            [
+              violation e.Element.id Owner_mismatch
+                "%s %s missing from containment list of %s"
+                (Element.metaclass e) e.Element.name owner_elt.Element.name;
+            ])
+
+let check_duplicates m e =
+  let children = containment_children e in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun cid ->
+      match Model.find m cid with
+      | None -> None
+      | Some c ->
+          let key = (Element.metaclass c, c.Element.name) in
+          if Hashtbl.mem seen key then
+            Some
+              (violation cid Duplicate_name "duplicate %s %s in %s"
+                 (Element.metaclass c) c.Element.name e.Element.name)
+          else (
+            Hashtbl.add seen key ();
+            None))
+    children
+
+let check_inheritance m e =
+  match e.Element.kind with
+  | Kind.Class _ ->
+      let closure = Query.supers_transitive m e.Element.id in
+      if List.exists (Id.equal e.Element.id) closure then
+        [
+          violation e.Element.id Inheritance_cycle
+            "class %s participates in an inheritance cycle" e.Element.name;
+        ]
+      else []
+  | _ -> []
+
+let check_multiplicity e =
+  let bad m = not (Kind.mult_valid m) in
+  match e.Element.kind with
+  | Kind.Attribute { attr_mult; _ } when bad attr_mult ->
+      [
+        violation e.Element.id Invalid_multiplicity
+          "attribute %s has invalid multiplicity %s" e.Element.name
+          (Kind.mult_to_string attr_mult);
+      ]
+  | Kind.Association { ends } ->
+      List.filter_map
+        (fun (en : Kind.assoc_end) ->
+          if bad en.end_mult then
+            Some
+              (violation e.Element.id Invalid_multiplicity
+                 "association end %s has invalid multiplicity %s" en.end_name
+                 (Kind.mult_to_string en.end_mult))
+          else None)
+        ends
+  | _ -> []
+
+let check_association e =
+  match e.Element.kind with
+  | Kind.Association { ends } when List.length ends < 2 ->
+      [
+        violation e.Element.id Malformed_association
+          "association %s has %d end(s); at least two are required"
+          e.Element.name (List.length ends);
+      ]
+  | _ -> []
+
+let check_abstract m e =
+  match e.Element.kind with
+  | Kind.Class { is_abstract = false; operations; _ } ->
+      let abstract_op oid =
+        match (Model.find_exn m oid).Element.kind with
+        | Kind.Operation { is_abstract_op = true; _ } -> true
+        | _ -> false
+      in
+      (match List.find_opt abstract_op operations with
+      | Some oid ->
+          [
+            violation e.Element.id Abstract_leaf
+              "concrete class %s declares abstract operation %s" e.Element.name
+              (Model.find_exn m oid).Element.name;
+          ]
+      | None -> [])
+  | _ -> []
+
+let check_literals e =
+  match e.Element.kind with
+  | Kind.Enumeration { literals } ->
+      let sorted = List.sort_uniq String.compare literals in
+      if List.length sorted = List.length literals then []
+      else
+        [
+          violation e.Element.id Duplicate_literal
+            "enumeration %s declares a literal twice" e.Element.name;
+        ]
+  | _ -> []
+
+let check_name e =
+  if String.equal e.Element.name "" then
+    [ violation e.Element.id Empty_name "%s has an empty name" (Element.metaclass e) ]
+  else []
+
+let check m =
+  Model.fold
+    (fun e acc ->
+      acc
+      @ check_name e
+      @ check_references m e
+      @ check_owner m e
+      @ check_duplicates m e
+      @ check_inheritance m e
+      @ check_multiplicity e
+      @ check_association e
+      @ check_abstract m e
+      @ check_literals e)
+    m []
+
+let is_wellformed m = check m = []
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s: %s" (rule_name v.rule) (Id.to_string v.subject)
+    v.message

@@ -1,0 +1,37 @@
+(** Well-formedness checking.
+
+    A transformation engine needs a cheap, complete structural check to run
+    between a transformation's OCL postconditions and the commit of the new
+    model version. The checks here are those UML 1.4 well-formedness rules
+    that the metamodel can express. *)
+
+(** One violation, locating the offending element and describing the rule
+    broken. *)
+type violation = {
+  subject : Id.t;
+  rule : rule;
+  message : string;
+}
+
+and rule =
+  | Dangling_reference  (** an id mentioned by an element is unbound *)
+  | Owner_mismatch  (** containment list and [owner] field disagree *)
+  | Duplicate_name  (** two same-kind siblings share a name *)
+  | Inheritance_cycle  (** a class is its own transitive superclass *)
+  | Invalid_multiplicity  (** lower bound negative or above upper *)
+  | Malformed_association  (** fewer than two ends *)
+  | Abstract_leaf  (** concrete class with abstract operations *)
+  | Empty_name  (** element with an empty name *)
+  | Duplicate_literal  (** an enumeration declares a literal twice *)
+
+val rule_name : rule -> string
+(** Stable identifier of a rule, e.g. ["dangling-reference"]. *)
+
+val check : Model.t -> violation list
+(** All violations in the model, in deterministic order. An empty list means
+    the model is well-formed. *)
+
+val is_wellformed : Model.t -> bool
+(** [is_wellformed m] is [check m = []]. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/ocl/ast.ml: Format List String

@@ -1,0 +1,1 @@
+lib/ocl/ast.mli: Format

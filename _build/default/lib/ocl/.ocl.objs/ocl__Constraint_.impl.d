@@ -1,0 +1,1 @@
+lib/ocl/constraint_.ml: Buffer Env Eval Format List Meta Mof Parser Printf String Value

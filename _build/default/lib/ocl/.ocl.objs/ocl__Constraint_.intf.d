@@ -1,0 +1,1 @@
+lib/ocl/constraint_.mli: Format Mof

@@ -1,0 +1,1 @@
+lib/ocl/env.ml: List Value

@@ -1,0 +1,1 @@
+lib/ocl/eval.ml: Ast Env Float Format Int List Meta Mof Parser String Value

@@ -1,0 +1,1 @@
+lib/ocl/lexer.ml: Buffer Format List String Token

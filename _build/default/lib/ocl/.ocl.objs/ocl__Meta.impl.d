@@ -1,0 +1,1 @@
+lib/ocl/meta.ml: Format List Mof String Value

@@ -1,0 +1,1 @@
+lib/ocl/meta.mli: Mof Value

@@ -1,0 +1,1 @@
+lib/ocl/parser.ml: Array Ast Format Lexer List Printf String Token

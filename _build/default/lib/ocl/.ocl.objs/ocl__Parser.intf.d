@@ -1,0 +1,1 @@
+lib/ocl/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/ocl/typecheck.ml: Ast Format List Meta Mof Parser String

@@ -1,0 +1,1 @@
+lib/ocl/typecheck.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/ocl/value.ml: Bool Float Format Int List Mof String

@@ -1,0 +1,1 @@
+lib/ocl/value.mli: Format Mof

@@ -1,0 +1,112 @@
+type t = {
+  name : string;
+  context : string option;
+  body : string;
+}
+
+let make ?context ~name body = { name; context; body }
+
+(* Scan [$key$] holes; '$' inside identifiers is produced by our own lexer
+   only for substituted text, so a simple scan is enough. *)
+let fold_holes f acc body =
+  let len = String.length body in
+  let rec walk acc i =
+    if i >= len then acc
+    else if body.[i] = '$' then (
+      match String.index_from_opt body (i + 1) '$' with
+      | None -> acc
+      | Some j ->
+          let key = String.sub body (i + 1) (j - i - 1) in
+          walk (f key acc) (j + 1))
+    else walk acc (i + 1)
+  in
+  walk acc 0
+
+let holes c =
+  let keys = List.rev (fold_holes (fun k acc -> k :: acc) [] c.body) in
+  List.fold_left (fun acc k -> if List.mem k acc then acc else acc @ [ k ]) [] keys
+
+let substitute bindings c =
+  let buf = Buffer.create (String.length c.body) in
+  let len = String.length c.body in
+  let rec walk i =
+    if i >= len then ()
+    else if c.body.[i] = '$' then (
+      match String.index_from_opt c.body (i + 1) '$' with
+      | None -> Buffer.add_substring buf c.body i (len - i)
+      | Some j -> (
+          let key = String.sub c.body (i + 1) (j - i - 1) in
+          match List.assoc_opt key bindings with
+          | Some value ->
+              Buffer.add_string buf value;
+              walk (j + 1)
+          | None ->
+              Buffer.add_substring buf c.body i (j - i + 1);
+              walk (j + 1)))
+    else (
+      Buffer.add_char buf c.body.[i];
+      walk (i + 1))
+  in
+  walk 0;
+  { c with body = Buffer.contents buf }
+
+type outcome =
+  | Holds
+  | Fails of string list
+  | Ill_formed of string
+
+let check m c =
+  match Parser.parse_opt c.body with
+  | Error msg -> Ill_formed (Printf.sprintf "%s: %s" c.name msg)
+  | Ok expr -> (
+      match c.context with
+      | None -> (
+          match Eval.eval m Env.empty expr with
+          | Value.V_bool true -> Holds
+          | Value.V_bool false | Value.V_undefined -> Fails []
+          | v ->
+              Ill_formed
+                (Printf.sprintf "%s: constraint evaluated to non-Boolean %s"
+                   c.name (Value.type_name v))
+          | exception Eval.Eval_error msg ->
+              Ill_formed (Printf.sprintf "%s: %s" c.name msg))
+      | Some metaclass -> (
+          match Meta.all_instances m metaclass with
+          | None ->
+              Ill_formed
+                (Printf.sprintf "%s: unknown context metaclass %s" c.name
+                   metaclass)
+          | Some instances -> (
+              let ids =
+                match Value.items instances with Some xs -> xs | None -> []
+              in
+              let violating =
+                List.filter_map
+                  (fun v ->
+                    match v with
+                    | Value.V_elem id -> (
+                        let env = Env.with_self v Env.empty in
+                        match Eval.eval m env expr with
+                        | Value.V_bool true -> None
+                        | _ -> Some (Mof.Query.qualified_name m id))
+                    | _ -> None)
+                  ids
+              in
+              match violating with
+              | [] -> Holds
+              | _ -> Fails violating)
+          | exception Eval.Eval_error msg ->
+              Ill_formed (Printf.sprintf "%s: %s" c.name msg)))
+
+let check m c =
+  try check m c with Eval.Eval_error msg ->
+    Ill_formed (Printf.sprintf "%s: %s" c.name msg)
+
+let holds m c = check m c = Holds
+
+let pp_outcome ppf = function
+  | Holds -> Format.pp_print_string ppf "holds"
+  | Fails [] -> Format.pp_print_string ppf "fails"
+  | Fails subjects ->
+      Format.fprintf ppf "fails for %s" (String.concat ", " subjects)
+  | Ill_formed msg -> Format.fprintf ppf "ill-formed: %s" msg

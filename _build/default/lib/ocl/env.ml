@@ -1,0 +1,11 @@
+type t = {
+  bindings : (string * Value.t) list;
+  self_value : Value.t option;
+}
+
+let empty = { bindings = []; self_value = None }
+let with_self v env = { env with self_value = Some v }
+let self env = env.self_value
+let bind name v env = { env with bindings = (name, v) :: env.bindings }
+let lookup name env = List.assoc_opt name env.bindings
+let of_bindings bindings = { bindings; self_value = None }

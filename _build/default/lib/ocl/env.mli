@@ -1,0 +1,19 @@
+(** Evaluation environments: variable bindings plus the optional [self]. *)
+
+type t
+
+val empty : t
+(** No bindings, no [self]. *)
+
+val with_self : Value.t -> t -> t
+(** Sets the value of [self]. *)
+
+val self : t -> Value.t option
+
+val bind : string -> Value.t -> t -> t
+(** Binds a variable, shadowing any previous binding. *)
+
+val lookup : string -> t -> Value.t option
+
+val of_bindings : (string * Value.t) list -> t
+(** Environment from an association list (no [self]). *)

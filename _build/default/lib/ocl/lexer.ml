@@ -1,0 +1,163 @@
+exception Lexical_error of string * int
+
+let error pos fmt = Format.kasprintf (fun s -> raise (Lexical_error (s, pos))) fmt
+
+let keyword_of_ident = function
+  | "self" -> Some Token.Kw_self
+  | "if" -> Some Token.Kw_if
+  | "then" -> Some Token.Kw_then
+  | "else" -> Some Token.Kw_else
+  | "endif" -> Some Token.Kw_endif
+  | "let" -> Some Token.Kw_let
+  | "in" -> Some Token.Kw_in
+  | "not" -> Some Token.Kw_not
+  | "and" -> Some Token.Kw_and
+  | "or" -> Some Token.Kw_or
+  | "xor" -> Some Token.Kw_xor
+  | "implies" -> Some Token.Kw_implies
+  | "true" -> Some Token.Kw_true
+  | "false" -> Some Token.Kw_false
+  | "div" -> Some Token.Kw_div
+  | "mod" -> Some Token.Kw_mod
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '$'
+
+let tokenize src =
+  let len = String.length src in
+  let tokens = ref [] in
+  let emit pos token = tokens := { Token.token; pos } :: !tokens in
+  let rec scan i =
+    if i >= len then emit i Token.Eof
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '-' when i + 1 < len && src.[i + 1] = '-' ->
+          (* comment to end of line *)
+          let rec skip j = if j < len && src.[j] <> '\n' then skip (j + 1) else j in
+          scan (skip (i + 2))
+      | '-' when i + 1 < len && src.[i + 1] = '>' ->
+          emit i Token.Arrow;
+          scan (i + 2)
+      | '-' ->
+          emit i Token.Minus;
+          scan (i + 1)
+      | '.' when i + 1 < len && is_digit src.[i + 1] ->
+          scan_number i
+      | '.' ->
+          emit i Token.Dot;
+          scan (i + 1)
+      | ',' ->
+          emit i Token.Comma;
+          scan (i + 1)
+      | ';' ->
+          emit i Token.Semicolon;
+          scan (i + 1)
+      | ':' ->
+          emit i Token.Colon;
+          scan (i + 1)
+      | '|' ->
+          emit i Token.Pipe;
+          scan (i + 1)
+      | '(' ->
+          emit i Token.Lparen;
+          scan (i + 1)
+      | ')' ->
+          emit i Token.Rparen;
+          scan (i + 1)
+      | '{' ->
+          emit i Token.Lbrace;
+          scan (i + 1)
+      | '}' ->
+          emit i Token.Rbrace;
+          scan (i + 1)
+      | '=' ->
+          emit i Token.Eq;
+          scan (i + 1)
+      | '<' when i + 1 < len && src.[i + 1] = '>' ->
+          emit i Token.Neq;
+          scan (i + 2)
+      | '<' when i + 1 < len && src.[i + 1] = '=' ->
+          emit i Token.Le;
+          scan (i + 2)
+      | '<' ->
+          emit i Token.Lt;
+          scan (i + 1)
+      | '>' when i + 1 < len && src.[i + 1] = '=' ->
+          emit i Token.Ge;
+          scan (i + 2)
+      | '>' ->
+          emit i Token.Gt;
+          scan (i + 1)
+      | '+' ->
+          emit i Token.Plus;
+          scan (i + 1)
+      | '*' ->
+          emit i Token.Star;
+          scan (i + 1)
+      | '/' ->
+          emit i Token.Slash;
+          scan (i + 1)
+      | '\'' -> scan_string i
+      | c when is_digit c -> scan_number i
+      | c when is_ident_start c -> scan_ident i
+      | c -> error i "unexpected character %C" c
+  and scan_number start =
+    let rec digits j = if j < len && is_digit src.[j] then digits (j + 1) else j in
+    let int_end = digits start in
+    let is_real =
+      int_end + 1 < len && src.[int_end] = '.' && is_digit src.[int_end + 1]
+    in
+    if is_real then begin
+      let frac_end = digits (int_end + 1) in
+      let text = String.sub src start (frac_end - start) in
+      match float_of_string_opt text with
+      | Some f ->
+          emit start (Token.Real f);
+          scan frac_end
+      | None -> error start "malformed real literal %s" text
+    end
+    else begin
+      let text = String.sub src start (int_end - start) in
+      match int_of_string_opt text with
+      | Some n ->
+          emit start (Token.Int n);
+          scan int_end
+      | None -> error start "malformed integer literal %s" text
+    end
+  and scan_string start =
+    let buf = Buffer.create 16 in
+    let rec walk j =
+      if j >= len then error start "unterminated string literal"
+      else if src.[j] = '\'' then
+        if j + 1 < len && src.[j + 1] = '\'' then begin
+          Buffer.add_char buf '\'';
+          walk (j + 2)
+        end
+        else begin
+          emit start (Token.String (Buffer.contents buf));
+          scan (j + 1)
+        end
+      else begin
+        Buffer.add_char buf src.[j];
+        walk (j + 1)
+      end
+    in
+    walk (start + 1)
+  and scan_ident start =
+    let rec walk j = if j < len && is_ident_char src.[j] then walk (j + 1) else j in
+    let stop = walk start in
+    let text = String.sub src start (stop - start) in
+    (match keyword_of_ident text with
+    | Some kw -> emit start kw
+    | None -> emit start (Token.Ident text));
+    scan stop
+  in
+  scan 0;
+  List.rev !tokens

@@ -1,0 +1,10 @@
+(** Hand-written lexer for the OCL subset. *)
+
+exception Lexical_error of string * int
+(** [Lexical_error (message, offset)]. *)
+
+val tokenize : string -> Token.located list
+(** [tokenize src] is the token stream of [src], ending with {!Token.Eof}.
+    Comments run from ["--"] to end of line. String literals are single
+    quoted with [''] as the escaped quote.
+    @raise Lexical_error on any malformed input. *)

@@ -1,0 +1,329 @@
+exception Parse_error of string * int
+
+type state = {
+  tokens : Token.located array;
+  mutable cursor : int;
+}
+
+let peek st = st.tokens.(st.cursor)
+let peek_token st = (peek st).Token.token
+let advance st = st.cursor <- st.cursor + 1
+
+let error st fmt =
+  let pos = (peek st).Token.pos in
+  Format.kasprintf (fun s -> raise (Parse_error (s, pos))) fmt
+
+let expect st token =
+  if peek_token st = token then advance st
+  else
+    error st "expected %s but found %s" (Token.to_string token)
+      (Token.to_string (peek_token st))
+
+let expect_ident st =
+  match peek_token st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | t -> error st "expected an identifier but found %s" (Token.to_string t)
+
+(* Lookahead: does the parenthesised argument list starting at the current
+   cursor (just after '(') contain a '|' at depth 1 — i.e. is this an
+   iterator body rather than plain arguments? *)
+let has_toplevel_pipe st =
+  let rec scan i depth =
+    if i >= Array.length st.tokens then false
+    else
+      match st.tokens.(i).Token.token with
+      | Token.Lparen | Token.Lbrace -> scan (i + 1) (depth + 1)
+      | Token.Rparen | Token.Rbrace ->
+          if depth = 1 then false else scan (i + 1) (depth - 1)
+      | Token.Pipe -> depth = 1 || scan (i + 1) depth
+      | Token.Eof -> false
+      | _ -> scan (i + 1) depth
+  in
+  scan st.cursor 1
+
+let rec parse_expr st = parse_implies st
+
+and parse_implies st =
+  let lhs = parse_or st in
+  if peek_token st = Token.Kw_implies then begin
+    advance st;
+    (* implies is right-associative *)
+    Ast.E_binop (Ast.Op_implies, lhs, parse_implies st)
+  end
+  else lhs
+
+and parse_or st =
+  let rec loop lhs =
+    match peek_token st with
+    | Token.Kw_or ->
+        advance st;
+        loop (Ast.E_binop (Ast.Op_or, lhs, parse_and st))
+    | Token.Kw_xor ->
+        advance st;
+        loop (Ast.E_binop (Ast.Op_xor, lhs, parse_and st))
+    | _ -> lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    if peek_token st = Token.Kw_and then begin
+      advance st;
+      loop (Ast.E_binop (Ast.Op_and, lhs, parse_rel st))
+    end
+    else lhs
+  in
+  loop (parse_rel st)
+
+and parse_rel st =
+  let lhs = parse_add st in
+  let op =
+    match peek_token st with
+    | Token.Eq -> Some Ast.Op_eq
+    | Token.Neq -> Some Ast.Op_neq
+    | Token.Lt -> Some Ast.Op_lt
+    | Token.Gt -> Some Ast.Op_gt
+    | Token.Le -> Some Ast.Op_le
+    | Token.Ge -> Some Ast.Op_ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.E_binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek_token st with
+    | Token.Plus ->
+        advance st;
+        loop (Ast.E_binop (Ast.Op_add, lhs, parse_mul st))
+    | Token.Minus ->
+        advance st;
+        loop (Ast.E_binop (Ast.Op_sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek_token st with
+    | Token.Star ->
+        advance st;
+        loop (Ast.E_binop (Ast.Op_mul, lhs, parse_unary st))
+    | Token.Slash ->
+        advance st;
+        loop (Ast.E_binop (Ast.Op_div, lhs, parse_unary st))
+    | Token.Kw_div ->
+        advance st;
+        loop (Ast.E_binop (Ast.Op_idiv, lhs, parse_unary st))
+    | Token.Kw_mod ->
+        advance st;
+        loop (Ast.E_binop (Ast.Op_mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek_token st with
+  | Token.Minus ->
+      advance st;
+      Ast.E_neg (parse_unary st)
+  | Token.Kw_not ->
+      advance st;
+      Ast.E_not (parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop receiver =
+    match peek_token st with
+    | Token.Dot ->
+        advance st;
+        let name = expect_ident st in
+        if peek_token st = Token.Lparen then begin
+          advance st;
+          let args = parse_args st in
+          expect st Token.Rparen;
+          loop (Ast.E_call (receiver, name, args))
+        end
+        else loop (Ast.E_prop (receiver, name))
+    | Token.Arrow ->
+        advance st;
+        let name = expect_ident st in
+        expect st Token.Lparen;
+        let node =
+          if String.equal name "iterate" then parse_iterate st receiver
+          else if has_toplevel_pipe st then parse_iterator st receiver name
+          else begin
+            let args = parse_args st in
+            Ast.E_coll_op (receiver, name, args)
+          end
+        in
+        expect st Token.Rparen;
+        loop node
+    | _ -> receiver
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  if peek_token st = Token.Rparen then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if peek_token st = Token.Comma then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    loop []
+
+and parse_iterator st receiver name =
+  let rec vars acc =
+    let v = expect_ident st in
+    (* iterator variables may carry an ignored type annotation *)
+    (if peek_token st = Token.Colon then begin
+       advance st;
+       ignore (parse_type_name st)
+     end);
+    if peek_token st = Token.Comma then begin
+      advance st;
+      vars (v :: acc)
+    end
+    else List.rev (v :: acc)
+  in
+  let vs = vars [] in
+  expect st Token.Pipe;
+  let body = parse_expr st in
+  Ast.E_iter (receiver, name, vs, body)
+
+and parse_iterate st receiver =
+  let v = expect_ident st in
+  (if peek_token st = Token.Colon then begin
+     advance st;
+     ignore (parse_type_name st)
+   end);
+  expect st Token.Semicolon;
+  let acc = expect_ident st in
+  (if peek_token st = Token.Colon then begin
+     advance st;
+     ignore (parse_type_name st)
+   end);
+  expect st Token.Eq;
+  let init = parse_expr st in
+  expect st Token.Pipe;
+  let body = parse_expr st in
+  Ast.E_iterate (receiver, v, acc, init, body)
+
+and parse_type_name st =
+  (* A type annotation: an identifier optionally applied to a type argument,
+     e.g. [Integer], [Set(String)]. Only consumed, not recorded. *)
+  let name = expect_ident st in
+  if peek_token st = Token.Lparen then begin
+    advance st;
+    let inner = parse_type_name st in
+    expect st Token.Rparen;
+    name ^ "(" ^ inner ^ ")"
+  end
+  else name
+
+and parse_primary st =
+  match peek_token st with
+  | Token.Int n ->
+      advance st;
+      Ast.E_int n
+  | Token.Real f ->
+      advance st;
+      Ast.E_real f
+  | Token.String s ->
+      advance st;
+      Ast.E_string s
+  | Token.Kw_true ->
+      advance st;
+      Ast.E_bool true
+  | Token.Kw_false ->
+      advance st;
+      Ast.E_bool false
+  | Token.Kw_self ->
+      advance st;
+      Ast.E_self
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      e
+  | Token.Kw_if ->
+      advance st;
+      let cond = parse_expr st in
+      expect st Token.Kw_then;
+      let then_ = parse_expr st in
+      expect st Token.Kw_else;
+      let else_ = parse_expr st in
+      expect st Token.Kw_endif;
+      Ast.E_if (cond, then_, else_)
+  | Token.Kw_let ->
+      advance st;
+      let v = expect_ident st in
+      (if peek_token st = Token.Colon then begin
+         advance st;
+         ignore (parse_type_name st)
+       end);
+      expect st Token.Eq;
+      let bound = parse_expr st in
+      expect st Token.Kw_in;
+      let body = parse_expr st in
+      Ast.E_let (v, bound, body)
+  | Token.Ident name when is_collection_literal st name ->
+      advance st;
+      expect st Token.Lbrace;
+      let items =
+        if peek_token st = Token.Rbrace then []
+        else
+          let rec loop acc =
+            let e = parse_expr st in
+            if peek_token st = Token.Comma then begin
+              advance st;
+              loop (e :: acc)
+            end
+            else List.rev (e :: acc)
+          in
+          loop []
+      in
+      expect st Token.Rbrace;
+      let kind =
+        match name with
+        | "Set" -> Ast.Ck_set
+        | "Sequence" -> Ast.Ck_sequence
+        | "Bag" -> Ast.Ck_bag
+        | _ -> assert false
+      in
+      Ast.E_collection (kind, items)
+  | Token.Ident name ->
+      advance st;
+      Ast.E_var name
+  | t -> error st "unexpected %s" (Token.to_string t)
+
+and is_collection_literal st name =
+  (String.equal name "Set" || String.equal name "Sequence"
+ || String.equal name "Bag")
+  && st.cursor + 1 < Array.length st.tokens
+  && st.tokens.(st.cursor + 1).Token.token = Token.Lbrace
+
+let parse src =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  let st = { tokens; cursor = 0 } in
+  let e = parse_expr st in
+  if peek_token st <> Token.Eof then
+    error st "trailing input starting with %s" (Token.to_string (peek_token st));
+  e
+
+let parse_opt src =
+  match parse src with
+  | e -> Ok e
+  | exception Parse_error (msg, pos) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Lexer.Lexical_error (msg, pos) ->
+      Error (Printf.sprintf "lexical error at offset %d: %s" pos msg)

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the OCL subset.
+
+    Grammar (low to high precedence): [implies] < [or]/[xor] < [and] <
+    relational < additive < multiplicative < unary < postfix navigation
+    ([.] and [->]). Iterator operations ([forAll], [select], …) take the
+    [vars | body] form; [iterate] takes [v; acc = init | body]. *)
+
+exception Parse_error of string * int
+(** [Parse_error (message, offset)] with the 0-based offset in the source. *)
+
+val parse : string -> Ast.t
+(** Parses a complete expression; trailing input is an error.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lexical_error on lexical errors. *)
+
+val parse_opt : string -> (Ast.t, string) result
+(** Like {!parse}, but packaging lexical and syntax errors as
+    [Error message]. *)

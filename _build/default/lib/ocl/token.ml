@@ -1,0 +1,90 @@
+type t =
+  | Int of int
+  | Real of float
+  | String of string
+  | Ident of string
+  | Kw_self
+  | Kw_if
+  | Kw_then
+  | Kw_else
+  | Kw_endif
+  | Kw_let
+  | Kw_in
+  | Kw_not
+  | Kw_and
+  | Kw_or
+  | Kw_xor
+  | Kw_implies
+  | Kw_true
+  | Kw_false
+  | Kw_div
+  | Kw_mod
+  | Arrow
+  | Dot
+  | Comma
+  | Semicolon
+  | Colon
+  | Pipe
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Eof
+
+type located = {
+  token : t;
+  pos : int;
+}
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Real f -> string_of_float f
+  | String s -> "'" ^ s ^ "'"
+  | Ident s -> s
+  | Kw_self -> "self"
+  | Kw_if -> "if"
+  | Kw_then -> "then"
+  | Kw_else -> "else"
+  | Kw_endif -> "endif"
+  | Kw_let -> "let"
+  | Kw_in -> "in"
+  | Kw_not -> "not"
+  | Kw_and -> "and"
+  | Kw_or -> "or"
+  | Kw_xor -> "xor"
+  | Kw_implies -> "implies"
+  | Kw_true -> "true"
+  | Kw_false -> "false"
+  | Kw_div -> "div"
+  | Kw_mod -> "mod"
+  | Arrow -> "->"
+  | Dot -> "."
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Colon -> ":"
+  | Pipe -> "|"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Eof -> "<eof>"

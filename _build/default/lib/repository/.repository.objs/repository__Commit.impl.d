@@ -1,0 +1,1 @@
+lib/repository/commit.ml: Format Mof

@@ -1,0 +1,1 @@
+lib/repository/commit.mli: Format Mof

@@ -1,0 +1,1 @@
+lib/repository/history.ml: Commit List Mof Repo String

@@ -1,0 +1,1 @@
+lib/repository/history.mli: Repo

@@ -1,0 +1,1 @@
+lib/repository/repo.ml: Commit Int List Map Mof String

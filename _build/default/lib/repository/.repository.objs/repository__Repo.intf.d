@@ -1,0 +1,1 @@
+lib/repository/repo.mli: Commit Mof

@@ -1,0 +1,15 @@
+type t = {
+  id : int;
+  parent : int option;
+  message : string;
+  model : Mof.Model.t;
+  diff : Mof.Diff.t;
+  transformation : string option;
+  concern : string option;
+}
+
+let summary t =
+  Format.asprintf "#%d %s (%a)%s" t.id t.message Mof.Diff.pp t.diff
+    (match t.concern with Some c -> " [" ^ c ^ "]" | None -> "")
+
+let pp ppf t = Format.pp_print_string ppf (summary t)

@@ -1,0 +1,17 @@
+(** Commits: immutable model versions with provenance. *)
+
+type t = {
+  id : int;
+  parent : int option;
+  message : string;
+  model : Mof.Model.t;
+  diff : Mof.Diff.t;  (** against the parent; empty for the root commit *)
+  transformation : string option;
+      (** concrete transformation that produced this version, if any *)
+  concern : string option;
+}
+
+val summary : t -> string
+(** One line: id, message, diff size. *)
+
+val pp : Format.formatter -> t -> unit

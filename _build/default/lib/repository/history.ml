@@ -1,0 +1,32 @@
+let render repo =
+  let head_id = (Repo.head repo).Commit.id in
+  let tag_names_of id =
+    List.filter_map
+      (fun (name, tid) -> if tid = id then Some name else None)
+      (Repo.tags repo)
+  in
+  String.concat "\n"
+    (List.map
+       (fun (c : Commit.t) ->
+         let marker = if c.Commit.id = head_id then "* " else "  " in
+         let tag_suffix =
+           match tag_names_of c.Commit.id with
+           | [] -> ""
+           | names -> " <" ^ String.concat ", " names ^ ">"
+         in
+         marker ^ Commit.summary c ^ tag_suffix)
+       (Repo.log repo))
+
+let concerns_in_history repo =
+  List.fold_left
+    (fun acc (c : Commit.t) ->
+      match c.Commit.concern with
+      | Some key when not (List.mem key acc) -> acc @ [ key ]
+      | Some _ | None -> acc)
+    []
+    (List.rev (Repo.log repo))
+
+let total_churn repo =
+  List.fold_left
+    (fun acc (c : Commit.t) -> acc + Mof.Diff.cardinal c.Commit.diff)
+    0 (Repo.log repo)

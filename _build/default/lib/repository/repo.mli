@@ -1,0 +1,54 @@
+(** The versioned model repository with Undo/Redo — the paper's Section 3
+    "version management capabilities for the model repository. An Undo/Redo
+    facility for model transformations would also be appreciated."
+
+    The repository keeps every committed version; undo moves the head to the
+    parent commit without discarding anything, redo walks forward again.
+    Committing with a redo path outstanding discards that path (standard
+    undo-tree linearization). Tags name commits. *)
+
+type t
+
+val init : Mof.Model.t -> t
+(** A repository whose root commit holds the given model. *)
+
+val commit :
+  ?transformation:string ->
+  ?concern:string ->
+  message:string ->
+  Mof.Model.t ->
+  t ->
+  t
+(** Appends a new version on top of the head. *)
+
+val head : t -> Commit.t
+val head_model : t -> Mof.Model.t
+
+val undo : t -> t option
+(** Move head to its parent; [None] at the root. *)
+
+val redo : t -> t option
+(** Re-advance head after an undo; [None] when there is nothing to redo. *)
+
+val can_undo : t -> bool
+val can_redo : t -> bool
+
+val tag : string -> t -> t
+(** Names the head commit. Re-tagging moves the tag. *)
+
+val checkout : string -> t -> t option
+(** Moves the head to the commit named by a tag; clears the redo path.
+    [None] for unknown tags. *)
+
+val tags : t -> (string * int) list
+
+val find : t -> int -> Commit.t option
+
+val log : t -> Commit.t list
+(** Head-first chain of commits from the head to the root. *)
+
+val size : t -> int
+(** Number of commits stored. *)
+
+val diff_between : t -> from_id:int -> to_id:int -> Mof.Diff.t option
+(** Structural diff between two stored versions. *)

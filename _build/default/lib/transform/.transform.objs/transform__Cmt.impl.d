@@ -1,0 +1,1 @@
+lib/transform/cmt.ml: Format Gmt List Ocl Params String

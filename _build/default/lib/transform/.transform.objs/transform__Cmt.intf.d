@@ -1,0 +1,1 @@
+lib/transform/cmt.mli: Gmt Mof Ocl Params

@@ -1,0 +1,1 @@
+lib/transform/compose.ml: Format Gmt List Ocl Params Printf String

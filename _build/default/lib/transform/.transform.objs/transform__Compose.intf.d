@@ -1,0 +1,1 @@
+lib/transform/compose.mli: Gmt Params

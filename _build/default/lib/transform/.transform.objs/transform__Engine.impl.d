@@ -1,0 +1,1 @@
+lib/transform/engine.ml: Cmt Format Gmt List Mof Ocl Report Trace

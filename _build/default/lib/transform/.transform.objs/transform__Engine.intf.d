@@ -1,0 +1,1 @@
+lib/transform/engine.mli: Cmt Format Mof Ocl Report Trace

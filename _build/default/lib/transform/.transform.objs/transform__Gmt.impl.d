@@ -1,0 +1,1 @@
+lib/transform/gmt.ml: Format List Mof Ocl Params Printf

@@ -1,0 +1,1 @@
+lib/transform/gmt.mli: Format Mof Ocl Params

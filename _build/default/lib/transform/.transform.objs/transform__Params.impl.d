@@ -1,0 +1,1 @@
+lib/transform/params.ml: Format List Printf String

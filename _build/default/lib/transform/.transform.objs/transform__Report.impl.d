@@ -1,0 +1,1 @@
+lib/transform/report.ml: Cmt Format List Mof Params Printf

@@ -1,0 +1,1 @@
+lib/transform/report.mli: Cmt Format Mof

@@ -1,0 +1,1 @@
+lib/transform/trace.ml: Format List Mof Option String

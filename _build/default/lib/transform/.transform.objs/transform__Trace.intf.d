@@ -1,0 +1,1 @@
+lib/transform/trace.mli: Format Mof

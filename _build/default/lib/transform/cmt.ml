@@ -1,0 +1,38 @@
+type t = {
+  gmt : Gmt.t;
+  params : Params.set;
+}
+
+let specialize gmt assignments =
+  match Params.build gmt.Gmt.formals assignments with
+  | Ok params -> Ok { gmt; params }
+  | Error problems -> Error problems
+
+let specialize_exn gmt assignments =
+  match specialize gmt assignments with
+  | Ok t -> t
+  | Error problems ->
+      invalid_arg
+        (Format.asprintf "%s: %a" gmt.Gmt.name
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+              Params.pp_problem)
+           problems)
+
+let name t =
+  let values =
+    List.map
+      (fun (_, v) -> Params.value_to_string v)
+      (Params.bindings t.params)
+  in
+  t.gmt.Gmt.name ^ "<" ^ String.concat ", " values ^ ">"
+
+let concern t = t.gmt.Gmt.concern
+
+let close t conditions =
+  let bindings = Params.substitution t.params in
+  List.map (Ocl.Constraint_.substitute bindings) conditions
+
+let preconditions t = close t t.gmt.Gmt.preconditions
+let postconditions t = close t t.gmt.Gmt.postconditions
+let rewrite t model = t.gmt.Gmt.rewrite t.params model

@@ -1,0 +1,36 @@
+(** Concrete model transformations (the paper's CMT_Ci = GMT_Ci⟨S_i⟩).
+
+    Specialization binds a parameter set to a generic transformation and
+    closes the [$holes$] of its pre/postconditions with the parameter
+    values. The same parameter set later specializes the concern's generic
+    aspect — see {!Aspects.Generator} — which is the paper's answer to the
+    semantic-coupling problem. *)
+
+type t = {
+  gmt : Gmt.t;
+  params : Params.set;
+}
+
+val specialize :
+  Gmt.t -> (string * Params.value) list -> (t, Params.problem list) result
+(** Validates the assignments against the GMT's formals. *)
+
+val specialize_exn : Gmt.t -> (string * Params.value) list -> t
+(** @raise Invalid_argument listing the problems. *)
+
+val name : t -> string
+(** The concrete name, e.g. ["T.distribution<Account, Teller>"] — GMT name
+    plus rendered parameter values, mirroring the paper's T1⟨p11,p12,…⟩
+    notation. *)
+
+val concern : t -> string
+
+val preconditions : t -> Ocl.Constraint_.t list
+(** Specialized (hole-free) preconditions. *)
+
+val postconditions : t -> Ocl.Constraint_.t list
+
+val rewrite : t -> Mof.Model.t -> Mof.Model.t
+(** Applies the underlying rewrite with the bound parameters. No condition
+    checking — use {!Engine.apply} for the full checked pipeline.
+    @raise Gmt.Rewrite_error *)

@@ -1,0 +1,111 @@
+type failure =
+  | Precondition_failed of (string * Ocl.Constraint_.outcome) list
+  | Postcondition_failed of (string * Ocl.Constraint_.outcome) list
+  | Not_wellformed of Mof.Wellformed.violation list
+  | Rewrite_failed of string
+
+let pp_failure ppf = function
+  | Precondition_failed outcomes ->
+      Format.fprintf ppf "preconditions failed:";
+      List.iter
+        (fun (name, o) ->
+          Format.fprintf ppf " %s (%a)" name Ocl.Constraint_.pp_outcome o)
+        outcomes
+  | Postcondition_failed outcomes ->
+      Format.fprintf ppf "postconditions failed:";
+      List.iter
+        (fun (name, o) ->
+          Format.fprintf ppf " %s (%a)" name Ocl.Constraint_.pp_outcome o)
+        outcomes
+  | Not_wellformed violations ->
+      Format.fprintf ppf "model not well-formed:";
+      List.iter
+        (fun v -> Format.fprintf ppf " %a" Mof.Wellformed.pp_violation v)
+        violations
+  | Rewrite_failed msg -> Format.fprintf ppf "rewrite failed: %s" msg
+
+type checks = {
+  check_pre : bool;
+  check_post : bool;
+  check_wf : bool;
+}
+
+let all_checks = { check_pre = true; check_post = true; check_wf = true }
+let no_checks = { check_pre = false; check_post = false; check_wf = false }
+
+type outcome = {
+  model : Mof.Model.t;
+  diff : Mof.Diff.t;
+  report : Report.t;
+}
+
+let failed_conditions model conditions =
+  List.filter_map
+    (fun (c : Ocl.Constraint_.t) ->
+      match Ocl.Constraint_.check model c with
+      | Ocl.Constraint_.Holds -> None
+      | o -> Some (c.Ocl.Constraint_.name, o))
+    conditions
+
+let apply ?(checks = all_checks) cmt model =
+  let pre_failures =
+    if checks.check_pre then failed_conditions model (Cmt.preconditions cmt)
+    else []
+  in
+  if pre_failures <> [] then Error (Precondition_failed pre_failures)
+  else
+    match Cmt.rewrite cmt model with
+    | exception Gmt.Rewrite_error msg -> Error (Rewrite_failed msg)
+    | new_model -> (
+        let post_failures =
+          if checks.check_post then
+            failed_conditions new_model (Cmt.postconditions cmt)
+          else []
+        in
+        if post_failures <> [] then Error (Postcondition_failed post_failures)
+        else
+          let violations =
+            if checks.check_wf then Mof.Wellformed.check new_model else []
+          in
+          match violations with
+          | _ :: _ -> Error (Not_wellformed violations)
+          | [] ->
+              let diff = Mof.Diff.compute ~old_model:model ~new_model in
+              let report = Report.make cmt diff in
+              Ok { model = new_model; diff; report })
+
+type session = {
+  initial : Mof.Model.t;
+  current : Mof.Model.t;
+  trace : Trace.t;
+  applied : Cmt.t list;
+  reports : Report.t list;
+}
+
+let start model =
+  { initial = model; current = model; trace = Trace.empty; applied = []; reports = [] }
+
+let step ?checks session cmt =
+  match apply ?checks cmt session.current with
+  | Error failure -> Error failure
+  | Ok { model; diff; report } ->
+      Ok
+        {
+          session with
+          current = model;
+          trace =
+            Trace.record ~transformation:(Cmt.name cmt)
+              ~concern:(Cmt.concern cmt) diff session.trace;
+          applied = session.applied @ [ cmt ];
+          reports = session.reports @ [ report ];
+        }
+
+let run ?checks model cmts =
+  let rec loop session = function
+    | [] -> Ok session
+    | cmt :: rest -> (
+        match step ?checks session cmt with
+        | Ok session -> loop session rest
+        | Error failure -> Error (Cmt.name cmt, failure))
+  in
+  loop (start model) cmts

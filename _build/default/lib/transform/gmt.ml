@@ -1,0 +1,59 @@
+exception Rewrite_error of string
+
+let rewrite_error fmt =
+  Format.kasprintf (fun s -> raise (Rewrite_error s)) fmt
+
+type t = {
+  name : string;
+  concern : string;
+  description : string;
+  formals : Params.decl list;
+  preconditions : Ocl.Constraint_.t list;
+  postconditions : Ocl.Constraint_.t list;
+  rewrite : Params.set -> Mof.Model.t -> Mof.Model.t;
+}
+
+let make ?(description = "") ?(preconditions = []) ?(postconditions = []) ~name
+    ~concern ~formals rewrite =
+  { name; concern; description; formals; preconditions; postconditions; rewrite }
+
+(* A syntactically plausible placeholder literal per parameter type, used to
+   close the $holes$ for static typechecking. *)
+let rec placeholder_literal = function
+  | Params.P_string | Params.P_ident -> "'placeholder'"
+  | Params.P_int -> "0"
+  | Params.P_bool -> "true"
+  | Params.P_enum (case :: _) -> "'" ^ case ^ "'"
+  | Params.P_enum [] -> "''"
+  | Params.P_list t -> "Set{" ^ placeholder_literal t ^ "}"
+
+let validate_conditions t =
+  let bindings =
+    List.map (fun d -> (d.Params.pname, placeholder_literal d.Params.ptype)) t.formals
+  in
+  let check_one (c : Ocl.Constraint_.t) =
+    let closed = Ocl.Constraint_.substitute bindings c in
+    let leftover = Ocl.Constraint_.holes closed in
+    let hole_diags =
+      List.map
+        (fun h ->
+          Printf.sprintf "%s: condition %s references undeclared parameter $%s$"
+            t.name c.Ocl.Constraint_.name h)
+        leftover
+    in
+    if hole_diags <> [] then hole_diags
+    else
+      match
+        Ocl.Typecheck.check_source ?self_type:c.Ocl.Constraint_.context
+          closed.Ocl.Constraint_.body
+      with
+      | Error msg ->
+          [ Printf.sprintf "%s: condition %s: %s" t.name c.Ocl.Constraint_.name msg ]
+      | Ok (_, diags) ->
+          List.map
+            (fun d ->
+              Format.asprintf "%s: condition %s: %a" t.name
+                c.Ocl.Constraint_.name Ocl.Typecheck.pp_diagnostic d)
+            diags
+  in
+  List.concat_map check_one (t.preconditions @ t.postconditions)

@@ -1,0 +1,42 @@
+(** Generic model transformations (the paper's GMT_Ci).
+
+    A GMT bundles, for one concern dimension: the formal parameters P_ik, a
+    model rewrite function, and generic OCL pre/postconditions whose
+    [$param$] holes the specialization fills. The rewrite is a pure function
+    from a parameter set and a model to a new model — the engine computes
+    the diff, checks conditions, and records the trace. *)
+
+exception Rewrite_error of string
+(** Raised by rewrite functions when the model, although passing the
+    declared preconditions, cannot be transformed (an escape hatch for
+    conditions that OCL cannot express). *)
+
+val rewrite_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [rewrite_error fmt …] raises {!Rewrite_error} with a formatted
+    message. *)
+
+type t = {
+  name : string;  (** e.g. ["T.distribution"] *)
+  concern : string;  (** concern key, e.g. ["distribution"] *)
+  description : string;
+  formals : Params.decl list;
+  preconditions : Ocl.Constraint_.t list;  (** generic, with [$holes$] *)
+  postconditions : Ocl.Constraint_.t list;
+  rewrite : Params.set -> Mof.Model.t -> Mof.Model.t;
+}
+
+val make :
+  ?description:string ->
+  ?preconditions:Ocl.Constraint_.t list ->
+  ?postconditions:Ocl.Constraint_.t list ->
+  name:string ->
+  concern:string ->
+  formals:Params.decl list ->
+  (Params.set -> Mof.Model.t -> Mof.Model.t) ->
+  t
+
+val validate_conditions : t -> string list
+(** Statically typechecks every pre/postcondition body (with holes replaced
+    by placeholder literals) and returns the diagnostics — run at
+    registration time so that broken generic transformations are rejected
+    before they ever touch a model. *)

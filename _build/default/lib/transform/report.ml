@@ -1,0 +1,31 @@
+type t = {
+  transformation : string;
+  concern : string;
+  parameters : (string * string) list;
+  added : int;
+  removed : int;
+  modified : int;
+}
+
+let make cmt (diff : Mof.Diff.t) =
+  {
+    transformation = Cmt.name cmt;
+    concern = Cmt.concern cmt;
+    parameters =
+      List.map
+        (fun (name, v) -> (name, Params.value_to_string v))
+        (Params.bindings cmt.Cmt.params);
+    added = Mof.Id.Set.cardinal diff.Mof.Diff.added;
+    removed = Mof.Id.Set.cardinal diff.Mof.Diff.removed;
+    modified = Mof.Id.Set.cardinal diff.Mof.Diff.modified;
+  }
+
+let summary t =
+  Printf.sprintf "%s [%s] +%d -%d ~%d" t.transformation t.concern t.added
+    t.removed t.modified
+
+let pp ppf t =
+  Format.fprintf ppf "%s@." (summary t);
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %s = %s@." name v)
+    t.parameters

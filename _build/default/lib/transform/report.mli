@@ -1,0 +1,19 @@
+(** Application reports: what one refinement step did, for tool output and
+    the repository log. *)
+
+type t = {
+  transformation : string;  (** concrete name, T_i⟨…⟩ *)
+  concern : string;
+  parameters : (string * string) list;  (** name, rendered value *)
+  added : int;
+  removed : int;
+  modified : int;
+}
+
+val make : Cmt.t -> Mof.Diff.t -> t
+
+val summary : t -> string
+(** One line: ["T.distribution<...> [distribution] +12 -0 ~3"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering including parameters. *)

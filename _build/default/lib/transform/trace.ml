@@ -1,0 +1,46 @@
+type entry = {
+  seq : int;
+  transformation : string;
+  concern : string;
+  diff : Mof.Diff.t;
+}
+
+type t = entry list (* reversed: most recent first *)
+
+let empty = []
+let entries t = List.rev t
+let length = List.length
+
+let record ~transformation ~concern diff t =
+  { seq = length t + 1; transformation; concern; diff } :: t
+
+let drop_last = function [] -> [] | _ :: rest -> rest
+
+let concern_space t ~concern =
+  List.fold_left
+    (fun acc e ->
+      if String.equal e.concern concern then
+        Mof.Id.Set.union acc
+          (Mof.Id.Set.union e.diff.Mof.Diff.added e.diff.Mof.Diff.modified)
+      else acc)
+    Mof.Id.Set.empty t
+
+let concerns_applied t =
+  List.fold_left
+    (fun acc e -> if List.mem e.concern acc then acc else acc @ [ e.concern ])
+    [] (entries t)
+
+let introduced_by t id =
+  let creator =
+    List.find_opt
+      (fun e -> Mof.Id.Set.mem id e.diff.Mof.Diff.added)
+      (entries t)
+  in
+  Option.map (fun e -> e.concern) creator
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%d. %s [%s] %a@." e.seq e.transformation e.concern
+        Mof.Diff.pp e.diff)
+    (entries t)

@@ -1,0 +1,1 @@
+lib/weaver/interference.ml: Aspects Joinpoint List Matcher Precedence Printf String

@@ -1,0 +1,1 @@
+lib/weaver/interference.mli: Aspects Code Joinpoint

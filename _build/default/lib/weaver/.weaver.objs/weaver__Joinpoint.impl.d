@@ -1,0 +1,1 @@
+lib/weaver/joinpoint.ml: Code List Option Printf

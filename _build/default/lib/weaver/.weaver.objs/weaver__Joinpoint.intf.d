@@ -1,0 +1,1 @@
+lib/weaver/joinpoint.mli: Code

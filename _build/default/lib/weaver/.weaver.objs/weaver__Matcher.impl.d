@@ -1,0 +1,1 @@
+lib/weaver/matcher.ml: Aspects Joinpoint String

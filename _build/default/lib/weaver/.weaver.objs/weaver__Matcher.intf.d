@@ -1,0 +1,1 @@
+lib/weaver/matcher.mli: Aspects Joinpoint

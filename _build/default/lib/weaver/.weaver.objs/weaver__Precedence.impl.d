@@ -1,0 +1,1 @@
+lib/weaver/precedence.ml: Aspects Int List Printf String

@@ -1,0 +1,1 @@
+lib/weaver/precedence.mli: Aspects

@@ -1,0 +1,1 @@
+lib/weaver/weave.ml: Aspects Code Joinpoint List Matcher Option Precedence String

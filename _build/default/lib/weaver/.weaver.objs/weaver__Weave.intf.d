@@ -1,0 +1,1 @@
+lib/weaver/weave.mli: Aspects Code

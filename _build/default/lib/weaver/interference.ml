@@ -1,0 +1,75 @@
+type advising = {
+  aspect_name : string;
+  concern : string;
+  advice_name : string;
+  time : Aspects.Advice.time;
+  precedence : int;
+}
+
+type entry = {
+  at : Joinpoint.shadow;
+  advisers : advising list;
+}
+
+type report = {
+  entries : entry list;
+  shared : entry list;
+}
+
+let analyze generated program =
+  let ordered = Precedence.order generated in
+  let shadows = Joinpoint.execution_shadows program in
+  let advisers_of shadow =
+    List.concat_map
+      (fun (g : Aspects.Generator.generated) ->
+        List.filter_map
+          (fun (a : Aspects.Advice.t) ->
+            if Matcher.matches a.Aspects.Advice.pointcut shadow then
+              Some
+                {
+                  aspect_name =
+                    g.Aspects.Generator.aspect.Aspects.Aspect.aspect_name;
+                  concern = g.Aspects.Generator.aspect.Aspects.Aspect.concern;
+                  advice_name = a.Aspects.Advice.advice_name;
+                  time = a.Aspects.Advice.time;
+                  precedence = g.Aspects.Generator.seq;
+                }
+            else None)
+          g.Aspects.Generator.aspect.Aspects.Aspect.advices)
+      ordered
+  in
+  let entries =
+    List.filter_map
+      (fun shadow ->
+        match advisers_of shadow with
+        | [] -> None
+        | advisers -> Some { at = shadow; advisers })
+      shadows
+  in
+  let distinct_concerns entry =
+    List.sort_uniq String.compare
+      (List.map (fun a -> a.concern) entry.advisers)
+  in
+  {
+    entries;
+    shared = List.filter (fun e -> List.length (distinct_concerns e) > 1) entries;
+  }
+
+let render report =
+  let entry_lines e =
+    let shared = List.memq e report.shared in
+    (Printf.sprintf "%s %s"
+       (if shared then "[!]" else "   ")
+       (Joinpoint.describe e.at))
+    :: List.map
+         (fun a ->
+           Printf.sprintf "      %d. %s/%s (%s, %s)" a.precedence a.aspect_name
+             a.advice_name a.concern
+             (Aspects.Advice.time_to_string a.time))
+         e.advisers
+  in
+  String.concat "\n"
+    ((Printf.sprintf "%d advised join point(s), %d shared across concerns"
+        (List.length report.entries)
+        (List.length report.shared))
+    :: List.concat_map entry_lines report.entries)

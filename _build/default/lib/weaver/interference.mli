@@ -1,0 +1,37 @@
+(** Aspect interference analysis.
+
+    The paper resolves multi-aspect composition by fixing precedence from
+    the transformation order — but a developer still wants to *see* where
+    that resolution matters: the join points advised by more than one
+    concern. This analysis reports every execution join point with the
+    advice that applies to it, in effective precedence order, and flags the
+    shared ones. *)
+
+(** Advice applying at one join point. *)
+type advising = {
+  aspect_name : string;
+  concern : string;
+  advice_name : string;
+  time : Aspects.Advice.time;
+  precedence : int;  (** sequence number of the source transformation *)
+}
+
+type entry = {
+  at : Joinpoint.shadow;
+  advisers : advising list;  (** highest precedence first *)
+}
+
+type report = {
+  entries : entry list;  (** only advised join points, program order *)
+  shared : entry list;  (** the subset advised by more than one concern *)
+}
+
+val analyze :
+  Aspects.Generator.generated list -> Code.Junit.program -> report
+(** Matches every generated aspect's advice against the program's execution
+    shadows. (Call and field-set shadows are wrapped statements rather than
+    interceptable signatures, so interference at those is local and not
+    reported here.) *)
+
+val render : report -> string
+(** Human-readable listing; shared join points are marked with [!]. *)

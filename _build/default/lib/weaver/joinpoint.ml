@@ -1,0 +1,49 @@
+type shadow =
+  | Sh_execution of {
+      class_name : string;
+      method_name : string;
+    }
+  | Sh_call of {
+      within_class : string;
+      within_method : string;
+      receiver_class : string option;
+      method_name : string;
+    }
+  | Sh_field_set of {
+      within_class : string;
+      within_method : string;
+      target_class : string;
+      field_name : string;
+    }
+
+let describe = function
+  | Sh_execution { class_name; method_name } ->
+      Printf.sprintf "execution(%s.%s)" class_name method_name
+  | Sh_call { receiver_class; method_name; _ } ->
+      Printf.sprintf "call(%s.%s)"
+        (Option.value ~default:"?" receiver_class)
+        method_name
+  | Sh_field_set { target_class; field_name; _ } ->
+      Printf.sprintf "set(%s.%s)" target_class field_name
+
+let enclosing_class = function
+  | Sh_execution { class_name; _ } -> class_name
+  | Sh_call { within_class; _ } -> within_class
+  | Sh_field_set { within_class; _ } -> within_class
+
+let execution_shadows program =
+  List.concat_map
+    (fun (c : Code.Jdecl.class_) ->
+      List.filter_map
+        (fun (m : Code.Jdecl.method_) ->
+          match m.Code.Jdecl.body with
+          | Some _ ->
+              Some
+                (Sh_execution
+                   {
+                     class_name = c.Code.Jdecl.class_name;
+                     method_name = m.Code.Jdecl.method_name;
+                   })
+          | None -> None)
+        c.Code.Jdecl.methods)
+    (Code.Junit.classes program)

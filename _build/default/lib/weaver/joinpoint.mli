@@ -1,0 +1,33 @@
+(** The join-point model: shadows in the code model where advice can
+    apply. *)
+
+type shadow =
+  | Sh_execution of {
+      class_name : string;
+      method_name : string;
+    }  (** the execution of a method body *)
+  | Sh_call of {
+      within_class : string;
+      within_method : string;
+      receiver_class : string option;
+          (** statically resolved receiver class; [None] when the receiver's
+              type cannot be resolved *)
+      method_name : string;
+    }  (** a call site inside a method body *)
+  | Sh_field_set of {
+      within_class : string;
+      within_method : string;
+      target_class : string;
+      field_name : string;
+    }  (** an assignment to a field *)
+
+val describe : shadow -> string
+(** AspectJ-style description, e.g. ["execution(Account.withdraw)"] — the
+    value of the [thisJoinPoint] pseudo-variable. *)
+
+val enclosing_class : shadow -> string
+(** The class the shadow is lexically within (for [within] pointcuts). *)
+
+val execution_shadows : Code.Junit.program -> shadow list
+(** Every method-execution shadow of a program (abstract/bodyless methods
+    excluded). *)

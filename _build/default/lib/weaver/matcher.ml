@@ -1,0 +1,26 @@
+let rec matches pc shadow =
+  match (pc, shadow) with
+  | Aspects.Pointcut.Execution mp, Joinpoint.Sh_execution { class_name; method_name } ->
+      Aspects.Pattern.matches_method mp ~class_name ~method_name
+  | Aspects.Pointcut.Call mp, Joinpoint.Sh_call { receiver_class; method_name; _ }
+    -> (
+      match receiver_class with
+      | Some class_name ->
+          Aspects.Pattern.matches_method mp ~class_name ~method_name
+      | None ->
+          String.equal mp.Aspects.Pattern.mp_class "*"
+          && Aspects.Pattern.matches mp.Aspects.Pattern.mp_method method_name)
+  | ( Aspects.Pointcut.Set_field (cls_pat, field_pat),
+      Joinpoint.Sh_field_set { target_class; field_name; _ } ) ->
+      Aspects.Pattern.matches cls_pat target_class
+      && Aspects.Pattern.matches field_pat field_name
+  | Aspects.Pointcut.Within cls_pat, shadow ->
+      Aspects.Pattern.matches cls_pat (Joinpoint.enclosing_class shadow)
+  | Aspects.Pointcut.And (a, b), shadow -> matches a shadow && matches b shadow
+  | Aspects.Pointcut.Or (a, b), shadow -> matches a shadow || matches b shadow
+  | Aspects.Pointcut.Not a, shadow -> not (matches a shadow)
+  | Aspects.Pointcut.Execution _, (Joinpoint.Sh_call _ | Joinpoint.Sh_field_set _)
+  | Aspects.Pointcut.Call _, (Joinpoint.Sh_execution _ | Joinpoint.Sh_field_set _)
+  | Aspects.Pointcut.Set_field _, (Joinpoint.Sh_execution _ | Joinpoint.Sh_call _)
+    ->
+      false

@@ -1,0 +1,8 @@
+(** Matching pointcuts against join-point shadows. *)
+
+val matches : Aspects.Pointcut.t -> Joinpoint.shadow -> bool
+(** Kinded pointcuts ([execution], [call], [set]) only match shadows of
+    their kind; [within] matches any shadow by enclosing class. A [call]
+    pointcut whose class pattern is not the universal ["*"] does not match a
+    call shadow with an unresolved receiver — the static weaver refuses to
+    guess. *)

@@ -1,0 +1,368 @@
+type application = {
+  aspect_name : string;
+  advice_name : string;
+  at : string;
+}
+
+type result = {
+  program : Code.Junit.program;
+  applications : application list;
+}
+
+(* Substitute the pseudo-variables of advice bodies for a concrete shadow. *)
+let instantiate_body shadow stmts =
+  let rewrite_names e =
+    let rec walk e =
+      match e with
+      | Code.Jexpr.E_name "thisJoinPoint" ->
+          Code.Jexpr.E_string (Joinpoint.describe shadow)
+      | Code.Jexpr.E_name "targetName" ->
+          Code.Jexpr.E_string (Joinpoint.enclosing_class shadow)
+      | Code.Jexpr.E_null | Code.Jexpr.E_this | Code.Jexpr.E_bool _
+      | Code.Jexpr.E_int _ | Code.Jexpr.E_double _ | Code.Jexpr.E_string _
+      | Code.Jexpr.E_name _ ->
+          e
+      | Code.Jexpr.E_field (r, f) -> Code.Jexpr.E_field (walk r, f)
+      | Code.Jexpr.E_call (r, m, args) ->
+          Code.Jexpr.E_call (Option.map walk r, m, List.map walk args)
+      | Code.Jexpr.E_new (c, args) -> Code.Jexpr.E_new (c, List.map walk args)
+      | Code.Jexpr.E_binary (op, a, b) -> Code.Jexpr.E_binary (op, walk a, walk b)
+      | Code.Jexpr.E_unary (op, a) -> Code.Jexpr.E_unary (op, walk a)
+      | Code.Jexpr.E_assign (l, r) -> Code.Jexpr.E_assign (walk l, walk r)
+      | Code.Jexpr.E_cast (t, a) -> Code.Jexpr.E_cast (t, walk a)
+      | Code.Jexpr.E_instanceof (a, c) -> Code.Jexpr.E_instanceof (walk a, c)
+    in
+    walk e
+  in
+  List.map (Code.Jstmt.map_expr rewrite_names) stmts
+
+(* Replace the statement containing the proceed() marker by the original
+   body (wrapped in a block). *)
+let rec splice_proceed original stmts =
+  List.concat_map
+    (fun stmt ->
+      let is_marker =
+        match stmt with
+        | Code.Jstmt.S_expr (Code.Jexpr.E_call (None, "proceed", [])) -> true
+        | _ -> false
+      in
+      if is_marker then [ Code.Jstmt.S_block original ]
+      else
+        match stmt with
+        | Code.Jstmt.S_if (c, t, f) ->
+            [ Code.Jstmt.S_if (c, splice_proceed original t, splice_proceed original f) ]
+        | Code.Jstmt.S_while (c, b) ->
+            [ Code.Jstmt.S_while (c, splice_proceed original b) ]
+        | Code.Jstmt.S_try (b, catches, fin) ->
+            [
+              Code.Jstmt.S_try
+                ( splice_proceed original b,
+                  List.map
+                    (fun (t, n, stmts) -> (t, n, splice_proceed original stmts))
+                    catches,
+                  splice_proceed original fin );
+            ]
+        | Code.Jstmt.S_sync (e, b) ->
+            [ Code.Jstmt.S_sync (e, splice_proceed original b) ]
+        | Code.Jstmt.S_block b -> [ Code.Jstmt.S_block (splice_proceed original b) ]
+        | stmt -> [ stmt ])
+    stmts
+
+(* Weave one piece of execution advice into a method body. *)
+let weave_execution_advice (a : Aspects.Advice.t) shadow body =
+  let advice_body = instantiate_body shadow a.Aspects.Advice.body in
+  match a.Aspects.Advice.time with
+  | Aspects.Advice.Before -> advice_body @ body
+  | Aspects.Advice.After -> [ Code.Jstmt.S_try (body, [], advice_body) ]
+  | Aspects.Advice.After_returning -> (
+      match List.rev body with
+      | Code.Jstmt.S_return _ as ret :: prefix ->
+          List.rev prefix @ advice_body @ [ ret ]
+      | _ -> body @ advice_body)
+  | Aspects.Advice.Around -> splice_proceed body advice_body
+
+(* --- receiver-type resolution for call/set shadows ------------------- *)
+
+type scope = {
+  current_class : string;
+  var_types : (string * string) list;  (* variable -> class name, when known *)
+}
+
+let class_of_jtype = function
+  | Code.Jtype.T_named n -> Some n
+  | _ -> None
+
+let scope_of_method (c : Code.Jdecl.class_) (m : Code.Jdecl.method_) =
+  let param_types =
+    List.filter_map
+      (fun (p : Code.Jdecl.param) ->
+        Option.map
+          (fun cls -> (p.Code.Jdecl.param_name, cls))
+          (class_of_jtype p.Code.Jdecl.param_type))
+      m.Code.Jdecl.params
+  in
+  let field_types =
+    List.filter_map
+      (fun (f : Code.Jdecl.field) ->
+        Option.map
+          (fun cls -> (f.Code.Jdecl.field_name, cls))
+          (class_of_jtype f.Code.Jdecl.field_type))
+      c.Code.Jdecl.fields
+  in
+  let local_types =
+    match m.Code.Jdecl.body with
+    | None -> []
+    | Some body ->
+        let rec collect acc stmts =
+          List.fold_left
+            (fun acc stmt ->
+              match stmt with
+              | Code.Jstmt.S_local (t, name, _) -> (
+                  match class_of_jtype t with
+                  | Some cls -> (name, cls) :: acc
+                  | None -> acc)
+              | Code.Jstmt.S_if (_, a, b) -> collect (collect acc a) b
+              | Code.Jstmt.S_while (_, b)
+              | Code.Jstmt.S_sync (_, b)
+              | Code.Jstmt.S_block b ->
+                  collect acc b
+              | Code.Jstmt.S_try (b, catches, fin) ->
+                  let acc = collect acc b in
+                  let acc =
+                    List.fold_left
+                      (fun acc (_, _, stmts) -> collect acc stmts)
+                      acc catches
+                  in
+                  collect acc fin
+              | Code.Jstmt.S_expr _ | Code.Jstmt.S_return _
+              | Code.Jstmt.S_throw _ | Code.Jstmt.S_comment _ ->
+                  acc)
+            acc stmts
+        in
+        collect [] body
+  in
+  {
+    current_class = c.Code.Jdecl.class_name;
+    var_types = param_types @ field_types @ local_types;
+  }
+
+let receiver_class scope = function
+  | None -> Some scope.current_class (* unqualified call *)
+  | Some Code.Jexpr.E_this -> Some scope.current_class
+  | Some (Code.Jexpr.E_name v) -> List.assoc_opt v scope.var_types
+  | Some (Code.Jexpr.E_field (Code.Jexpr.E_this, f)) ->
+      List.assoc_opt f scope.var_types
+  | Some (Code.Jexpr.E_new (c, _)) -> Some c
+  | Some (Code.Jexpr.E_cast (t, _)) -> class_of_jtype t
+  | Some _ -> None
+
+(* Call shadows occurring anywhere inside an expression. *)
+let call_shadows_in_expr scope ~within_method e =
+  Code.Jexpr.fold_calls
+    (fun acc (recv, name, _) ->
+      if String.equal name "proceed" && recv = None then acc
+      else
+        Joinpoint.Sh_call
+          {
+            within_class = scope.current_class;
+            within_method;
+            receiver_class = receiver_class scope recv;
+            method_name = name;
+          }
+        :: acc)
+    [] e
+
+let field_set_shadows_in_expr scope ~within_method e =
+  let rec walk acc e =
+    match e with
+    | Code.Jexpr.E_assign (lhs, rhs) ->
+        let acc = walk acc rhs in
+        let target =
+          match lhs with
+          | Code.Jexpr.E_field (Code.Jexpr.E_this, f) ->
+              Some (scope.current_class, f)
+          | Code.Jexpr.E_field (Code.Jexpr.E_name v, f) ->
+              Option.map (fun cls -> (cls, f)) (List.assoc_opt v scope.var_types)
+          | _ -> None
+        in
+        (match target with
+        | Some (target_class, field_name) ->
+            Joinpoint.Sh_field_set
+              {
+                within_class = scope.current_class;
+                within_method;
+                target_class;
+                field_name;
+              }
+            :: acc
+        | None -> acc)
+    | Code.Jexpr.E_null | Code.Jexpr.E_this | Code.Jexpr.E_bool _
+    | Code.Jexpr.E_int _ | Code.Jexpr.E_double _ | Code.Jexpr.E_string _
+    | Code.Jexpr.E_name _ ->
+        acc
+    | Code.Jexpr.E_field (r, _) -> walk acc r
+    | Code.Jexpr.E_call (r, _, args) ->
+        let acc = match r with Some r -> walk acc r | None -> acc in
+        List.fold_left walk acc args
+    | Code.Jexpr.E_new (_, args) -> List.fold_left walk acc args
+    | Code.Jexpr.E_binary (_, a, b) -> walk (walk acc a) b
+    | Code.Jexpr.E_unary (_, a) -> walk acc a
+    | Code.Jexpr.E_cast (_, a) -> walk acc a
+    | Code.Jexpr.E_instanceof (a, _) -> walk acc a
+  in
+  walk [] e
+
+(* Wrap individual statements that contain matching call/set shadows. *)
+let weave_statement_advice (a : Aspects.Advice.t) scope ~within_method record body
+    =
+  let rec rewrite stmts =
+    List.map
+      (fun stmt ->
+        let nested =
+          match stmt with
+          | Code.Jstmt.S_if (c, t, f) -> Code.Jstmt.S_if (c, rewrite t, rewrite f)
+          | Code.Jstmt.S_while (c, b) -> Code.Jstmt.S_while (c, rewrite b)
+          | Code.Jstmt.S_try (b, catches, fin) ->
+              Code.Jstmt.S_try
+                ( rewrite b,
+                  List.map (fun (t, n, s) -> (t, n, rewrite s)) catches,
+                  rewrite fin )
+          | Code.Jstmt.S_sync (e, b) -> Code.Jstmt.S_sync (e, rewrite b)
+          | Code.Jstmt.S_block b -> Code.Jstmt.S_block (rewrite b)
+          | stmt -> stmt
+        in
+        (* only direct expressions of this statement, not nested ones —
+           nested statements were handled by the recursion above *)
+        let direct_exprs =
+          match nested with
+          | Code.Jstmt.S_expr e -> [ e ]
+          | Code.Jstmt.S_local (_, _, Some e) -> [ e ]
+          | Code.Jstmt.S_return (Some e) -> [ e ]
+          | Code.Jstmt.S_if (c, _, _) -> [ c ]
+          | Code.Jstmt.S_while (c, _) -> [ c ]
+          | Code.Jstmt.S_throw e -> [ e ]
+          | Code.Jstmt.S_sync (e, _) -> [ e ]
+          | _ -> []
+        in
+        let shadows =
+          List.concat_map
+            (fun e ->
+              call_shadows_in_expr scope ~within_method e
+              @ field_set_shadows_in_expr scope ~within_method e)
+            direct_exprs
+        in
+        let matching =
+          List.filter (Matcher.matches a.Aspects.Advice.pointcut) shadows
+        in
+        match matching with
+        | [] -> nested
+        | shadow :: _ ->
+            record shadow;
+            let advice_body = instantiate_body shadow a.Aspects.Advice.body in
+            (match a.Aspects.Advice.time with
+            | Aspects.Advice.Before ->
+                Code.Jstmt.S_block (advice_body @ [ nested ])
+            | Aspects.Advice.After | Aspects.Advice.After_returning ->
+                Code.Jstmt.S_block ([ nested ] @ advice_body)
+            | Aspects.Advice.Around ->
+                Code.Jstmt.S_block (splice_proceed [ nested ] advice_body)))
+      stmts
+  in
+  rewrite body
+
+let is_execution_advice (a : Aspects.Advice.t) =
+  let rec kinds = function
+    | Aspects.Pointcut.Execution _ -> (true, false)
+    | Aspects.Pointcut.Call _ | Aspects.Pointcut.Set_field _ -> (false, true)
+    | Aspects.Pointcut.Within _ -> (false, false)
+    | Aspects.Pointcut.And (x, y) | Aspects.Pointcut.Or (x, y) ->
+        let ex, st = kinds x and ey, sy = kinds y in
+        (ex || ey, st || sy)
+    | Aspects.Pointcut.Not x -> kinds x
+  in
+  kinds a.Aspects.Advice.pointcut
+
+let apply_intertypes (aspect : Aspects.Aspect.t) program =
+  List.fold_left
+    (fun program it ->
+      match it with
+      | Aspects.Aspect.It_field (pattern, field) ->
+          Code.Junit.map_classes
+            (fun c ->
+              if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
+                Code.Jdecl.add_field field c
+              else c)
+            program
+      | Aspects.Aspect.It_method (pattern, m) ->
+          Code.Junit.map_classes
+            (fun c ->
+              if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
+                Code.Jdecl.add_method m c
+              else c)
+            program)
+    program aspect.Aspects.Aspect.intertypes
+
+let weave_one (aspect : Aspects.Aspect.t) program =
+  let applications = ref [] in
+  let record advice_name shadow =
+    applications :=
+      {
+        aspect_name = aspect.Aspects.Aspect.aspect_name;
+        advice_name;
+        at = Joinpoint.describe shadow;
+      }
+      :: !applications
+  in
+  let program = apply_intertypes aspect program in
+  let weave_class (c : Code.Jdecl.class_) =
+    Code.Jdecl.map_methods
+      (fun m ->
+        match m.Code.Jdecl.body with
+        | None -> m
+        | Some body ->
+            let scope = scope_of_method c m in
+            let within_method = m.Code.Jdecl.method_name in
+            let exec_shadow =
+              Joinpoint.Sh_execution
+                {
+                  class_name = c.Code.Jdecl.class_name;
+                  method_name = m.Code.Jdecl.method_name;
+                }
+            in
+            let body =
+              List.fold_left
+                (fun body (a : Aspects.Advice.t) ->
+                  let wants_exec, wants_stmt = is_execution_advice a in
+                  let body =
+                    if wants_stmt then
+                      weave_statement_advice a scope ~within_method
+                        (record a.Aspects.Advice.advice_name)
+                        body
+                    else body
+                  in
+                  if
+                    wants_exec
+                    && Matcher.matches a.Aspects.Advice.pointcut exec_shadow
+                  then begin
+                    record a.Aspects.Advice.advice_name exec_shadow;
+                    weave_execution_advice a exec_shadow body
+                  end
+                  else body)
+                body aspect.Aspects.Aspect.advices
+            in
+            { m with Code.Jdecl.body = Some body })
+      c
+  in
+  let program = Code.Junit.map_classes weave_class program in
+  { program; applications = List.rev !applications }
+
+let weave generated program =
+  (* reverse precedence order: the last-woven (highest-precedence) aspect
+     ends up outermost at shared join points *)
+  let ordered = List.rev (Precedence.order generated) in
+  List.fold_left
+    (fun acc (g : Aspects.Generator.generated) ->
+      let r = weave_one g.Aspects.Generator.aspect acc.program in
+      { program = r.program; applications = acc.applications @ r.applications })
+    { program; applications = [] }
+    ordered

@@ -1,0 +1,1 @@
+lib/workflow/color.ml: Buffer Format List Mof Option Printf String Transform

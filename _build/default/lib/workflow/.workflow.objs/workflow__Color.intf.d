@@ -1,0 +1,1 @@
+lib/workflow/color.mli: Mof Transform

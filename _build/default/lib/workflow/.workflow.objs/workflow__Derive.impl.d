@@ -1,0 +1,1 @@
+lib/workflow/derive.ml: List Printf State String

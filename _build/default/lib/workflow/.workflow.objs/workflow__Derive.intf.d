@@ -1,0 +1,1 @@
+lib/workflow/derive.mli: State

@@ -1,0 +1,1 @@
+lib/workflow/guidance.ml: List Printf State String Transform

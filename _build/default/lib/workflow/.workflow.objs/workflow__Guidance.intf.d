@@ -1,0 +1,1 @@
+lib/workflow/guidance.mli: State Transform

@@ -1,0 +1,1 @@
+lib/workflow/state.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/workflow/state.mli:

@@ -1,0 +1,1 @@
+lib/workflow/wizard.ml: List Option Printf String Transform

@@ -1,0 +1,1 @@
+lib/workflow/wizard.mli: Transform

@@ -1,0 +1,93 @@
+type palette = (string * string) list
+
+let default_colors =
+  [ "red"; "blue"; "green"; "orange"; "purple"; "teal"; "magenta"; "olive" ]
+
+let assign concerns =
+  let count = List.length default_colors in
+  List.mapi
+    (fun i concern -> (concern, List.nth default_colors (i mod count)))
+    concerns
+
+let of_trace trace = assign (Transform.Trace.concerns_applied trace)
+
+let color_of palette trace id =
+  match Transform.Trace.introduced_by trace id with
+  | Some concern -> List.assoc_opt concern palette
+  | None -> None
+
+let legend palette =
+  String.concat "\n"
+    (List.map (fun (concern, color) -> color ^ " — " ^ concern) palette)
+
+let escape_html s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let demarcate_html model trace =
+  let palette = of_trace trace in
+  let row (e : Mof.Element.t) =
+    let label =
+      escape_html (Mof.Element.metaclass e ^ " " ^ e.Mof.Element.name)
+    in
+    match color_of palette trace e.Mof.Element.id with
+    | Some color ->
+        Printf.sprintf
+          "<li style=\"color:%s\"><b>%s</b> <small>(%s)</small></li>" color
+          label
+          (escape_html
+             (Option.value ~default:""
+                (Transform.Trace.introduced_by trace e.Mof.Element.id)))
+    | None -> Printf.sprintf "<li>%s</li>" label
+  in
+  let legend_rows =
+    List.map
+      (fun (concern, color) ->
+        let count =
+          Mof.Id.Set.cardinal (Transform.Trace.concern_space trace ~concern)
+        in
+        Printf.sprintf
+          "<tr><td style=\"color:%s\"><b>%s</b></td><td>%s</td><td>%d \
+           element(s)</td></tr>"
+          color color (escape_html concern) count)
+      palette
+  in
+  String.concat "\n"
+    ([
+       "<!doctype html>";
+       "<html><head><meta charset=\"utf-8\"><title>Concern demarcation: "
+       ^ escape_html (Mof.Model.name model)
+       ^ "</title></head><body>";
+       "<h1>Concern demarcation &mdash; " ^ escape_html (Mof.Model.name model) ^ "</h1>";
+       "<h2>Legend</h2>";
+       "<table border=\"1\" cellpadding=\"4\">";
+       "<tr><th>color</th><th>concern</th><th>space size</th></tr>";
+     ]
+    @ legend_rows
+    @ [ "</table>"; "<h2>Model elements</h2>"; "<ul>" ]
+    @ List.map row (Mof.Model.elements model)
+    @ [ "</ul>"; "</body></html>" ])
+
+let demarcate model trace =
+  let palette = of_trace trace in
+  let lines =
+    List.filter_map
+      (fun (e : Mof.Element.t) ->
+        let rendered =
+          Format.asprintf "%s %s" (Mof.Element.metaclass e) e.Mof.Element.name
+        in
+        match color_of palette trace e.Mof.Element.id with
+        | Some color -> Some ("[" ^ color ^ "] " ^ rendered)
+        | None -> Some rendered)
+      (Mof.Model.elements model)
+  in
+  String.concat "\n" (lines @ [ "--"; legend palette ])

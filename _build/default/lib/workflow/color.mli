@@ -1,0 +1,40 @@
+(** Concern coloring — the paper's Section 3 visual requirement: "Visual
+    tools capable of demarcating model parts that have been added to the
+    model through different specialized/concrete transformations by using
+    different colors. An association list between these colors and the
+    concerns that have already been covered would be helpful."
+
+    Colors are assigned to concerns in first-application order from a fixed
+    palette; element colors come from the transformation trace. *)
+
+type palette = (string * string) list
+(** concern key → color name. *)
+
+val default_colors : string list
+(** The rotation used by {!assign}: red, blue, green, … (reused cyclically
+    past its length). *)
+
+val assign : string list -> palette
+(** [assign concerns] pairs each concern with the next palette color. *)
+
+val of_trace : Transform.Trace.t -> palette
+(** Palette for the concerns a trace has applied, in application order. *)
+
+val color_of : palette -> Transform.Trace.t -> Mof.Id.t -> string option
+(** The color of an element: that of the concern whose transformation
+    created it; [None] for functional (untraced) elements. *)
+
+val legend : palette -> string
+(** The association list, one [color — concern] line per entry. *)
+
+val demarcate : Mof.Model.t -> Transform.Trace.t -> string
+(** A model listing in which every concern-introduced element is prefixed
+    with its color, e.g. ["[red] Class AccountProxy"], and functional
+    elements are unmarked. Ends with the legend. *)
+
+val demarcate_html : Mof.Model.t -> Transform.Trace.t -> string
+(** The same demarcation as a standalone HTML page — the closest a CLI tool
+    gets to the paper's "visual tools capable of demarcating model parts …
+    by using different colors": one row per element, colored by the
+    introducing concern, with the color/concern association list and the
+    per-concern element counts. Element names are HTML-escaped. *)

@@ -1,0 +1,32 @@
+let next_options = State.options
+
+let describe p =
+  let done_lines =
+    List.map
+      (fun (step, concern) -> Printf.sprintf "  [x] %s: %s" step concern)
+      (State.completed p)
+  in
+  let current =
+    match State.current_step p with
+    | Some s ->
+        [
+          Printf.sprintf "  [ ] %s: choose one of %s%s" s.State.step_name
+            (String.concat ", " s.State.choices)
+            (if s.State.optional then " (optional)" else "");
+        ]
+    | None -> [ "  workflow complete" ]
+  in
+  let remaining = State.remaining_concerns p in
+  String.concat "\n"
+    (("refinement progress:" :: done_lines)
+    @ current
+    @ [ "  remaining concerns: " ^ String.concat ", " remaining ])
+
+let consistent_with_trace p trace =
+  let from_workflow = State.applied_concerns p in
+  let from_trace =
+    List.map
+      (fun (e : Transform.Trace.entry) -> e.Transform.Trace.concern)
+      (Transform.Trace.entries trace)
+  in
+  List.equal String.equal from_workflow from_trace

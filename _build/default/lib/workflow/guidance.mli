@@ -1,0 +1,14 @@
+(** Developer guidance over a workflow in progress. *)
+
+val next_options : State.progress -> string list
+(** Concerns applicable right now (current step, plus later steps reachable
+    through optional ones). *)
+
+val describe : State.progress -> string
+(** Multi-line status: completed steps, current options, remaining
+    concerns. *)
+
+val consistent_with_trace : State.progress -> Transform.Trace.t -> bool
+(** Whether the concerns recorded by the workflow match the transformation
+    trace, in order — a cross-check between the guidance layer and the
+    engine. *)

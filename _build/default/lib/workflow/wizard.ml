@@ -1,0 +1,89 @@
+type question = {
+  parameter : string;
+  type_hint : string;
+  doc : string;
+  default_hint : string option;
+}
+
+let questions decls =
+  List.map
+    (fun (d : Transform.Params.decl) ->
+      {
+        parameter = d.Transform.Params.pname;
+        type_hint = Transform.Params.ptype_to_string d.Transform.Params.ptype;
+        doc = d.Transform.Params.doc;
+        default_hint =
+          Option.map Transform.Params.value_to_string d.Transform.Params.default;
+      })
+    decls
+
+let render_questions decls =
+  String.concat "\n"
+    (List.map
+       (fun q ->
+         Printf.sprintf "  %s : %s — %s%s" q.parameter q.type_hint q.doc
+           (match q.default_hint with
+           | Some d -> " (default " ^ d ^ ")"
+           | None -> " (required)"))
+       (questions decls))
+
+let rec parse_value ptype text =
+  match ptype with
+  | Transform.Params.P_string -> Ok (Transform.Params.V_string text)
+  | Transform.Params.P_ident -> Ok (Transform.Params.V_ident text)
+  | Transform.Params.P_int -> (
+      match int_of_string_opt text with
+      | Some n -> Ok (Transform.Params.V_int n)
+      | None -> Error (Printf.sprintf "%s is not an integer" text))
+  | Transform.Params.P_bool -> (
+      match text with
+      | "true" -> Ok (Transform.Params.V_bool true)
+      | "false" -> Ok (Transform.Params.V_bool false)
+      | _ -> Error (Printf.sprintf "%s is not a boolean" text))
+  | Transform.Params.P_enum cases ->
+      if List.mem text cases then Ok (Transform.Params.V_string text)
+      else
+        Error
+          (Printf.sprintf "%s is not one of %s" text (String.concat "|" cases))
+  | Transform.Params.P_list inner ->
+      let items =
+        List.filter
+          (fun s -> not (String.equal s ""))
+          (List.map String.trim (String.split_on_char ',' text))
+      in
+      let rec parse_all acc = function
+        | [] -> Ok (Transform.Params.V_list (List.rev acc))
+        | item :: rest -> (
+            match parse_value inner item with
+            | Ok v -> parse_all (v :: acc) rest
+            | Error e -> Error e)
+      in
+      parse_all [] items
+
+let parse_assignment decls text =
+  match String.index_opt text '=' with
+  | None -> Error (Printf.sprintf "expected name=value, got %s" text)
+  | Some i -> (
+      let name = String.sub text 0 i in
+      let raw = String.sub text (i + 1) (String.length text - i - 1) in
+      match
+        List.find_opt
+          (fun (d : Transform.Params.decl) ->
+            String.equal d.Transform.Params.pname name)
+          decls
+      with
+      | None -> Error (Printf.sprintf "unknown parameter %s" name)
+      | Some d -> (
+          match parse_value d.Transform.Params.ptype raw with
+          | Ok v -> Ok (name, v)
+          | Error e -> Error (Printf.sprintf "parameter %s: %s" name e)))
+
+let parse_assignments decls texts =
+  let rec loop acc = function
+    | [] -> Ok (List.rev acc)
+    | text :: rest -> (
+        match parse_assignment decls text with
+        | Ok pair -> loop (pair :: acc) rest
+        | Error e -> Error e)
+  in
+  loop [] texts

@@ -1,0 +1,1 @@
+lib/xmi/dtype.ml: Mof Option String

@@ -1,0 +1,1 @@
+lib/xmi/dtype.mli: Mof

@@ -1,0 +1,1 @@
+lib/xmi/export.ml: Dtype Fun List Mof String Xml Xml_printer

@@ -1,0 +1,1 @@
+lib/xmi/export.mli: Mof Xml

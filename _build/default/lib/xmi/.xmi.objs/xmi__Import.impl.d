@@ -1,0 +1,1 @@
+lib/xmi/import.ml: Dtype Format Fun List Mof Option String Xml Xml_parser

@@ -1,0 +1,1 @@
+lib/xmi/import.mli: Mof Xml

@@ -1,0 +1,1 @@
+lib/xmi/xml.mli:

@@ -1,0 +1,1 @@
+lib/xmi/xml_parser.ml: Buffer Char Format List String Xml

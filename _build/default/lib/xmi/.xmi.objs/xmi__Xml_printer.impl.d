@@ -1,0 +1,1 @@
+lib/xmi/xml_printer.ml: Buffer List String Xml

@@ -1,0 +1,1 @@
+lib/xmi/xml_printer.mli: Xml

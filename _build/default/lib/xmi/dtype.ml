@@ -1,0 +1,30 @@
+let rec to_string = function
+  | Mof.Kind.Dt_void -> "void"
+  | Mof.Kind.Dt_boolean -> "Boolean"
+  | Mof.Kind.Dt_integer -> "Integer"
+  | Mof.Kind.Dt_real -> "Real"
+  | Mof.Kind.Dt_string -> "String"
+  | Mof.Kind.Dt_ref id -> "ref:" ^ Mof.Id.to_string id
+  | Mof.Kind.Dt_collection inner -> "Set(" ^ to_string inner ^ ")"
+
+let rec of_string s =
+  match s with
+  | "void" -> Some Mof.Kind.Dt_void
+  | "Boolean" -> Some Mof.Kind.Dt_boolean
+  | "Integer" -> Some Mof.Kind.Dt_integer
+  | "Real" -> Some Mof.Kind.Dt_real
+  | "String" -> Some Mof.Kind.Dt_string
+  | _ ->
+      if String.length s > 4 && String.sub s 0 4 = "ref:" then
+        Option.map
+          (fun id -> Mof.Kind.Dt_ref id)
+          (Mof.Id.of_string (String.sub s 4 (String.length s - 4)))
+      else if
+        String.length s > 5
+        && String.sub s 0 4 = "Set("
+        && s.[String.length s - 1] = ')'
+      then
+        Option.map
+          (fun inner -> Mof.Kind.Dt_collection inner)
+          (of_string (String.sub s 4 (String.length s - 5)))
+      else None

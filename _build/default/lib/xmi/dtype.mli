@@ -1,0 +1,8 @@
+(** Textual form of {!Mof.Kind.datatype} used in XMI attributes. *)
+
+val to_string : Mof.Kind.datatype -> string
+(** ["void"], ["Boolean"], …, ["ref:e5"] for classifier references, and
+    ["Set(<inner>)"] for collections. *)
+
+val of_string : string -> Mof.Kind.datatype option
+(** Inverse of {!to_string}. *)

@@ -1,0 +1,156 @@
+let ids_attr ids = String.concat " " (List.map Mof.Id.to_string ids)
+
+let bool_attr b = if b then "true" else "false"
+
+(* Stereotype and tagged-value children shared by every element kind. *)
+let extension_children (e : Mof.Element.t) =
+  List.map (fun s -> Xml.elem ~attrs:[ ("name", s) ] "Stereotype" []) e.stereotypes
+  @ List.map
+      (fun (k, v) -> Xml.elem ~attrs:[ ("tag", k); ("value", v) ] "TaggedValue" [])
+      e.tags
+
+let rec element_to_xml m (e : Mof.Element.t) =
+  let id_attr = ("xmi.id", Mof.Id.to_string e.id) in
+  let name_attr = ("name", e.name) in
+  let nested ids = List.map (fun c -> element_to_xml m (Mof.Model.find_exn m c)) ids in
+  let ext = extension_children e in
+  match e.kind with
+  | Mof.Kind.Package { owned } ->
+      Xml.elem ~attrs:[ id_attr; name_attr ] "Package" (ext @ nested owned)
+  | Mof.Kind.Class c ->
+      Xml.elem
+        ~attrs:
+          [
+            id_attr;
+            name_attr;
+            ("isAbstract", bool_attr c.is_abstract);
+            ("supers", ids_attr c.supers);
+            ("realizes", ids_attr c.realizes);
+          ]
+        "Class"
+        (ext @ nested c.attributes @ nested c.operations)
+  | Mof.Kind.Interface { operations } ->
+      Xml.elem ~attrs:[ id_attr; name_attr ] "Interface" (ext @ nested operations)
+  | Mof.Kind.Attribute a ->
+      let attrs =
+        [
+          id_attr;
+          name_attr;
+          ("type", Dtype.to_string a.attr_type);
+          ("visibility", Mof.Kind.visibility_to_string a.attr_visibility);
+          ("multiplicity", Mof.Kind.mult_to_string a.attr_mult);
+          ("isDerived", bool_attr a.is_derived);
+          ("isStatic", bool_attr a.is_static);
+        ]
+        @
+        match a.initial_value with
+        | Some v -> [ ("initial", v) ]
+        | None -> []
+      in
+      Xml.elem ~attrs "Attribute" ext
+  | Mof.Kind.Operation o ->
+      Xml.elem
+        ~attrs:
+          [
+            id_attr;
+            name_attr;
+            ("visibility", Mof.Kind.visibility_to_string o.op_visibility);
+            ("isQuery", bool_attr o.is_query);
+            ("isAbstract", bool_attr o.is_abstract_op);
+            ("isStatic", bool_attr o.is_static_op);
+          ]
+        "Operation"
+        (ext @ nested o.params)
+  | Mof.Kind.Parameter p ->
+      Xml.elem
+        ~attrs:
+          [
+            id_attr;
+            name_attr;
+            ("type", Dtype.to_string p.param_type);
+            ("direction", Mof.Kind.direction_to_string p.direction);
+          ]
+        "Parameter" ext
+  | Mof.Kind.Association { ends } ->
+      let end_to_xml (en : Mof.Kind.assoc_end) =
+        Xml.elem
+          ~attrs:
+            [
+              ("name", en.end_name);
+              ("type", Mof.Id.to_string en.end_type);
+              ("multiplicity", Mof.Kind.mult_to_string en.end_mult);
+              ("navigable", bool_attr en.end_navigable);
+              ("aggregation", Mof.Kind.aggregation_to_string en.end_aggregation);
+            ]
+          "AssociationEnd" []
+      in
+      Xml.elem ~attrs:[ id_attr; name_attr ] "Association"
+        (ext @ List.map end_to_xml ends)
+  | Mof.Kind.Generalization { child; parent } ->
+      Xml.elem
+        ~attrs:
+          [
+            id_attr;
+            name_attr;
+            ("child", Mof.Id.to_string child);
+            ("parent", Mof.Id.to_string parent);
+          ]
+        "Generalization" ext
+  | Mof.Kind.Dependency { client; supplier } ->
+      Xml.elem
+        ~attrs:
+          [
+            id_attr;
+            name_attr;
+            ("client", Mof.Id.to_string client);
+            ("supplier", Mof.Id.to_string supplier);
+          ]
+        "Dependency" ext
+  | Mof.Kind.Constraint_ { constrained; body; language } ->
+      Xml.elem
+        ~attrs:
+          [ id_attr; name_attr; ("language", language); ("constrained", ids_attr constrained) ]
+        "Constraint"
+        (ext @ [ Xml.elem "Constraint.body" [ Xml.text body ] ])
+  | Mof.Kind.Enumeration { literals } ->
+      Xml.elem ~attrs:[ id_attr; name_attr ] "Enumeration"
+        (ext
+        @ List.map
+            (fun lit -> Xml.elem ~attrs:[ ("name", lit) ] "Literal" [])
+            literals)
+
+let to_xml m =
+  let root = Mof.Model.root m in
+  let next =
+    Mof.Model.fold (fun e acc -> max acc (Mof.Id.to_int e.Mof.Element.id + 1)) m 0
+  in
+  Xml.elem
+    ~attrs:[ ("xmi.version", "1.2") ]
+    "XMI"
+    [
+      Xml.elem "XMI.header"
+        [
+          Xml.elem "XMI.documentation"
+            [ Xml.elem ~attrs:[ ("name", "mdweave") ] "XMI.exporter" [] ];
+        ];
+      Xml.elem "XMI.content"
+        [
+          Xml.elem
+            ~attrs:
+              [
+                ("name", Mof.Model.name m);
+                ("root", Mof.Id.to_string root);
+                ("next", string_of_int next);
+              ]
+            "Model"
+            [ element_to_xml m (Mof.Model.find_exn m root) ];
+        ];
+    ]
+
+let to_string m = Xml_printer.to_string (to_xml m)
+
+let write_file path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string m))

@@ -1,0 +1,223 @@
+exception Import_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Import_error s)) fmt
+
+let require node name =
+  match Xml.attr name node with
+  | Some v -> v
+  | None ->
+      error "missing attribute %s on <%s>" name
+        (Option.value ~default:"?" (Xml.tag node))
+
+let id_of node name =
+  let raw = require node name in
+  match Mof.Id.of_string raw with
+  | Some id -> id
+  | None -> error "malformed id %s in attribute %s" raw name
+
+let ids_of node name =
+  let raw = require node name in
+  if String.equal raw "" then []
+  else
+    List.map
+      (fun part ->
+        match Mof.Id.of_string part with
+        | Some id -> id
+        | None -> error "malformed id %s in attribute %s" part name)
+      (String.split_on_char ' ' raw)
+
+let bool_of node name =
+  match require node name with
+  | "true" -> true
+  | "false" -> false
+  | v -> error "malformed boolean %s in attribute %s" v name
+
+let dtype_of node name =
+  let raw = require node name in
+  match Dtype.of_string raw with
+  | Some dt -> dt
+  | None -> error "malformed datatype %s" raw
+
+let mult_of node name =
+  let raw = require node name in
+  match Mof.Kind.mult_of_string raw with
+  | Some mult -> mult
+  | None -> error "malformed multiplicity %s" raw
+
+let visibility_of node =
+  let raw = require node "visibility" in
+  match Mof.Kind.visibility_of_string raw with
+  | Some v -> v
+  | None -> error "malformed visibility %s" raw
+
+(* Children that represent owned elements, as opposed to Stereotype /
+   TaggedValue / AssociationEnd / Constraint.body extension nodes. *)
+let owned_children node =
+  List.filter
+    (fun c ->
+      match Xml.tag c with
+      | Some
+          ( "Stereotype" | "TaggedValue" | "AssociationEnd" | "Constraint.body"
+          | "Literal" ) ->
+          false
+      | Some _ -> true
+      | None -> false)
+    (Xml.children node)
+
+let stereotypes_of node =
+  List.map (fun c -> require c "name") (Xml.find_children "Stereotype" node)
+
+let tags_of node =
+  List.map
+    (fun c -> (require c "tag", require c "value"))
+    (Xml.find_children "TaggedValue" node)
+
+let assoc_end_of node =
+  {
+    Mof.Kind.end_name = require node "name";
+    end_type =
+      (match Mof.Id.of_string (require node "type") with
+      | Some id -> id
+      | None -> error "malformed association end type");
+    end_mult = mult_of node "multiplicity";
+    end_navigable = bool_of node "navigable";
+    end_aggregation =
+      (match Mof.Kind.aggregation_of_string (require node "aggregation") with
+      | Some a -> a
+      | None -> error "malformed aggregation");
+  }
+
+(* Walk the containment tree, emitting elements in document order. *)
+let rec walk_element ~owner node acc =
+  let id = id_of node "xmi.id" in
+  let name = require node "name" in
+  let tag = match Xml.tag node with Some t -> t | None -> error "text node" in
+  let child_ids_of_kind wanted =
+    List.filter_map
+      (fun c ->
+        match Xml.tag c with
+        | Some t when String.equal t wanted -> Some (id_of c "xmi.id")
+        | _ -> None)
+      (Xml.children node)
+  in
+  let kind =
+    match tag with
+    | "Package" ->
+        Mof.Kind.Package
+          { owned = List.map (fun c -> id_of c "xmi.id") (owned_children node) }
+    | "Class" ->
+        Mof.Kind.Class
+          {
+            is_abstract = bool_of node "isAbstract";
+            attributes = child_ids_of_kind "Attribute";
+            operations = child_ids_of_kind "Operation";
+            supers = ids_of node "supers";
+            realizes = ids_of node "realizes";
+          }
+    | "Interface" ->
+        Mof.Kind.Interface { operations = child_ids_of_kind "Operation" }
+    | "Attribute" ->
+        Mof.Kind.Attribute
+          {
+            attr_type = dtype_of node "type";
+            attr_visibility = visibility_of node;
+            attr_mult = mult_of node "multiplicity";
+            is_derived = bool_of node "isDerived";
+            is_static = bool_of node "isStatic";
+            initial_value = Xml.attr "initial" node;
+          }
+    | "Operation" ->
+        Mof.Kind.Operation
+          {
+            params = child_ids_of_kind "Parameter";
+            op_visibility = visibility_of node;
+            is_query = bool_of node "isQuery";
+            is_abstract_op = bool_of node "isAbstract";
+            is_static_op = bool_of node "isStatic";
+          }
+    | "Parameter" ->
+        Mof.Kind.Parameter
+          {
+            param_type = dtype_of node "type";
+            direction =
+              (match Mof.Kind.direction_of_string (require node "direction") with
+              | Some d -> d
+              | None -> error "malformed direction");
+          }
+    | "Association" ->
+        Mof.Kind.Association
+          { ends = List.map assoc_end_of (Xml.find_children "AssociationEnd" node) }
+    | "Generalization" ->
+        Mof.Kind.Generalization
+          { child = id_of node "child"; parent = id_of node "parent" }
+    | "Dependency" ->
+        Mof.Kind.Dependency
+          { client = id_of node "client"; supplier = id_of node "supplier" }
+    | "Constraint" ->
+        let body =
+          match Xml.find_child "Constraint.body" node with
+          | Some b -> Xml.text_content b
+          | None -> ""
+        in
+        Mof.Kind.Constraint_
+          {
+            constrained = ids_of node "constrained";
+            body;
+            language = require node "language";
+          }
+    | "Enumeration" ->
+        Mof.Kind.Enumeration
+          {
+            literals =
+              List.map
+                (fun c -> require c "name")
+                (Xml.find_children "Literal" node);
+          }
+    | t -> error "unknown element tag <%s>" t
+  in
+  let element =
+    Mof.Element.make
+      ~stereotypes:(stereotypes_of node)
+      ~tags:(tags_of node) ~id ~name ~owner kind
+  in
+  List.fold_left
+    (fun acc child -> walk_element ~owner:(Some id) child acc)
+    (element :: acc) (owned_children node)
+
+let of_xml doc =
+  if Xml.tag doc <> Some "XMI" then error "root element is not <XMI>";
+  let content =
+    match Xml.find_child "XMI.content" doc with
+    | Some c -> c
+    | None -> error "missing <XMI.content>"
+  in
+  let model_node =
+    match Xml.find_child "Model" content with
+    | Some node -> node
+    | None -> error "missing <Model>"
+  in
+  let root = id_of model_node "root" in
+  let next =
+    match int_of_string_opt (require model_node "next") with
+    | Some n -> n
+    | None -> error "malformed next counter"
+  in
+  let root_node =
+    match Xml.child_elems model_node with
+    | [ node ] -> node
+    | nodes -> error "expected exactly one root element, found %d" (List.length nodes)
+  in
+  let elements = walk_element ~owner:None root_node [] in
+  match Mof.Model.of_elements ~root ~next elements with
+  | m -> m
+  | exception Invalid_argument msg -> error "%s" msg
+
+let from_string s = of_xml (Xml_parser.parse s)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      from_string (really_input_string ic len))

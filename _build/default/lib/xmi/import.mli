@@ -1,0 +1,21 @@
+(** XMI import: interchange documents back to models.
+
+    [import (Export.to_string m)] reconstructs a model structurally equal to
+    [m] — ids, containment order, stereotypes, tagged values, and constraint
+    bodies included. This round-trip property is what tool interoperability
+    (the paper's Section 3 XMI requirement) rests on, and it is enforced by
+    property-based tests. *)
+
+exception Import_error of string
+
+val of_xml : Xml.t -> Mof.Model.t
+(** Reconstructs a model from a parsed XMI document.
+    @raise Import_error when the document is not valid XMI produced by
+    {!Export} (missing attributes, unknown tags, malformed ids, …). *)
+
+val from_string : string -> Mof.Model.t
+(** Parse then {!of_xml}.
+    @raise Xml_parser.Xml_error on malformed XML
+    @raise Import_error on malformed XMI. *)
+
+val read_file : string -> Mof.Model.t

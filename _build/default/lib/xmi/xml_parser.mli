@@ -1,0 +1,18 @@
+(** XML parser for the interchange subset: prolog, comments, CDATA,
+    elements, attributes (single or double quoted), character data, and the
+    five predefined entities plus decimal/hex character references.
+
+    Not supported (not needed for XMI interchange): DTDs, processing
+    instructions other than the prolog, namespace resolution. *)
+
+exception Xml_error of string * int
+(** [Xml_error (message, offset)]. *)
+
+val parse : string -> Xml.t
+(** Parses a document and returns its root element. Whitespace-only text
+    between elements is dropped; other text is kept verbatim.
+    @raise Xml_error on malformed input. *)
+
+val unescape : string -> string
+(** Resolves entity and character references in attribute or text content.
+    @raise Xml_error on malformed references. *)

@@ -1,0 +1,65 @@
+let escape common s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when common -> Buffer.add_string buf "&quot;"
+      | '\'' when common -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s = escape true s
+let escape_text s = escape false s
+
+let to_string ?(indent = 2) ?(declaration = true) root =
+  let buf = Buffer.create 1024 in
+  if declaration then
+    Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let add_attrs attrs =
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr v);
+        Buffer.add_char buf '"')
+      attrs
+  in
+  let only_text children =
+    children <> [] && List.for_all (function Xml.Text _ -> true | Xml.Elem _ -> false) children
+  in
+  let rec render depth node =
+    match node with
+    | Xml.Text s ->
+        pad depth;
+        Buffer.add_string buf (escape_text s);
+        Buffer.add_char buf '\n'
+    | Xml.Elem { tag; attrs; children } ->
+        pad depth;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        add_attrs attrs;
+        if children = [] then Buffer.add_string buf "/>\n"
+        else if only_text children then begin
+          Buffer.add_char buf '>';
+          List.iter
+            (function
+              | Xml.Text s -> Buffer.add_string buf (escape_text s)
+              | Xml.Elem _ -> assert false)
+            children;
+          Buffer.add_string buf ("</" ^ tag ^ ">\n")
+        end
+        else begin
+          Buffer.add_string buf ">\n";
+          List.iter (render (depth + 1)) children;
+          pad depth;
+          Buffer.add_string buf ("</" ^ tag ^ ">\n")
+        end
+  in
+  render 0 root;
+  Buffer.contents buf

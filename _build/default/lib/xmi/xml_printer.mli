@@ -1,0 +1,14 @@
+(** Serialization of XML documents. *)
+
+val escape_attr : string -> string
+(** Escapes ampersand, angle brackets, and both quote characters for
+    attribute-value position. *)
+
+val escape_text : string -> string
+(** Escapes ampersand and angle brackets for character-data position. *)
+
+val to_string : ?indent:int -> ?declaration:bool -> Xml.t -> string
+(** Pretty-prints a document. [indent] (default 2) controls nesting;
+    [declaration] (default true) prepends the [<?xml …?>] prolog. Elements
+    with only text children print inline so that round-tripping preserves
+    their text exactly. *)

@@ -1,0 +1,17 @@
+  $ mdweave sample bank.xmi
+  $ mdweave info bank.xmi
+  $ mdweave apply bank.xmi -c distribution -p remote=Account -o bank2.xmi
+  $ mdweave check bank2.xmi -e "Class.allInstances()->exists(c | c.hasStereotype('remote'))"
+  $ mdweave check bank.xmi -e "Class.allInstances()->exists(c | c.hasStereotype('remote'))"
+  $ mdweave build bank.xmi -s "distribution: remote=Account|Teller" -s "transactions: transactional=Account" -o out
+  $ ls out
+  $ mdweave joinpoints bank.xmi --pointcut "execution(Teller.*)"
+  $ mdweave run bank.xmi -s "transactions: transactional=Account" --class Account --method deposit
+  $ mdweave run bank.xmi -s "transactions: transactional=Account" --class Account --method deposit --fault Account.deposit
+  $ mdweave ship bank.xmi -s "distribution: remote=Account" -s "security: secured=Account, roles=clerk|manager" -o pkg
+  $ cat pkg/MANIFEST
+  $ mdweave replay pkg
+  $ mdweave color bank.xmi -s "distribution: remote=Teller" --html demarcation.html | tail -4
+  $ grep -c "li style" demarcation.html
+  $ grep -A2 "interference analysis:" out/BUILD-REPORT.txt | head -2
+  $ mdweave stats bank.xmi -s "distribution: remote=Account" -s "transactions: transactional=Account" | tail -7

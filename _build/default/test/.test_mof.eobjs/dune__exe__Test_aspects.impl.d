@@ -1,0 +1,1 @@
+test/test_aspects.ml: Alcotest Aspects Code Gen List QCheck2 QCheck_alcotest Result String Transform

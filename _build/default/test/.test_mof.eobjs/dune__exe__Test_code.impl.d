@@ -1,0 +1,1 @@
+test/test_code.ml: Alcotest Code Core Fixtures Gen List Mof QCheck2 QCheck_alcotest Result String Transform

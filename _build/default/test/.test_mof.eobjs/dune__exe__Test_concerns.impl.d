@@ -1,0 +1,1 @@
+test/test_concerns.ml: Alcotest Aspects Concerns Fixtures Format Gen List Mof Ocl QCheck2 QCheck_alcotest Result String Transform Xmi

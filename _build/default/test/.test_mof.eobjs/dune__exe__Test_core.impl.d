@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Aspects Code Concerns Core Filename Fixtures Format Fun List Mof Option Printf Random Result String Sys Transform Unix Weaver Workflow

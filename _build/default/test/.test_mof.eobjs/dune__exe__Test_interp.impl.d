@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Code Core Fixtures Interp List Result Transform Weaver

@@ -1,0 +1,1 @@
+test/test_mof.ml: Alcotest Fixtures Format Fun Gen List Mof QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ocl.ml: Alcotest Fixtures Format Gen List Mof Ocl Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_repository.ml: Alcotest Fixtures List Mof Option Repository String

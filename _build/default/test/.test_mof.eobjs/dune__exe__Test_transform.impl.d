@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Cmt Compose Engine Fixtures Format Gen Gmt List Mof Ocl Params QCheck2 QCheck_alcotest Report Result String Trace Transform

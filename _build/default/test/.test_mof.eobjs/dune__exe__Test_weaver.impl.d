@@ -1,0 +1,1 @@
+test/test_weaver.ml: Alcotest Aspects Code Gen List Option QCheck2 QCheck_alcotest String Weaver

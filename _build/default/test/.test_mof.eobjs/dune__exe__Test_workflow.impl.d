@@ -1,0 +1,1 @@
+test/test_workflow.ml: Alcotest Concerns Fixtures List Mof Result String Transform Workflow

@@ -1,0 +1,1 @@
+test/test_xmi.ml: Alcotest Concerns Filename Fixtures Fun Gen List Mof QCheck2 QCheck_alcotest String Sys Transform Xmi

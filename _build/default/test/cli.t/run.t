@@ -1,0 +1,93 @@
+The mdweave CLI, end to end: sample model, inspection, wizard listing,
+single transformation, OCL checking, full build, join-point queries, and
+interpreted execution of the woven program.
+
+  $ mdweave sample bank.xmi
+  wrote sample banking PIM to bank.xmi
+
+  $ mdweave info bank.xmi
+  model: banking (13 elements, level PIM)
+  package banking
+    class Account
+      -balance : Real [1]
+      +deposit(in amount : Real) : void
+      +withdraw(in amount : Real) : Boolean
+    class Teller
+      +transfer(in from : Account, in target : Account, in amount : Real) : void
+  well-formed: yes
+
+  $ mdweave apply bank.xmi -c distribution -p remote=Account -o bank2.xmi
+  T.distribution<[Account], "rmi", "localhost:1099"> [distribution] +23 -0 ~2
+  -> bank2.xmi
+
+  $ mdweave check bank2.xmi -e "Class.allInstances()->exists(c | c.hasStereotype('remote'))"
+  holds
+
+  $ mdweave check bank.xmi -e "Class.allInstances()->exists(c | c.hasStereotype('remote'))"
+  fails
+  [1]
+
+  $ mdweave build bank.xmi -s "distribution: remote=Account|Teller" -s "transactions: transactional=Account" -o out
+  T.distribution<[Account, Teller], "rmi", "localhost:1099"> [distribution] +37 -0 ~3
+  T.transactions<[Account], "serializable", "required"> [transactions] +8 -0 ~2
+  1 unit(s), 2 class(es), 5 method(s); 2 aspect(s), 9 advice application(s)
+  artifacts written to out
+
+  $ ls out
+  BUILD-REPORT.txt
+  aspects.aj
+  functional.java
+  refined.xmi
+  woven.java
+
+  $ mdweave joinpoints bank.xmi --pointcut "execution(Teller.*)"
+  execution(Teller.transfer)
+  1 of 5 execution join point(s) match execution(Teller.*)
+
+  $ mdweave run bank.xmi -s "transactions: transactional=Account" --class Account --method deposit
+  T.transactions<[Account], "serializable", "required"> [transactions] +8 -0 ~2
+  executing woven Account.deposit (1 default argument(s))
+    TransactionManager.begin(serializable, required)
+    TransactionManager.commit()
+  -> returned null
+
+  $ mdweave run bank.xmi -s "transactions: transactional=Account" --class Account --method deposit --fault Account.deposit
+  T.transactions<[Account], "serializable", "required"> [transactions] +8 -0 ~2
+  executing woven Account.deposit (1 default argument(s))
+    FaultInjector.throw(Account.deposit)
+  -> threw RuntimeException
+  [1]
+
+  $ mdweave ship bank.xmi -s "distribution: remote=Account" -s "security: secured=Account, roles=clerk|manager" -o pkg
+  T.distribution<[Account], "rmi", "localhost:1099"> [distribution] +23 -0 ~2
+  T.security<[Account], ["clerk", "manager"], "token"> [security] +10 -0 ~2
+  shipped 2 step(s) to pkg
+
+  $ cat pkg/MANIFEST
+  step	distribution	remote=Account	protocol=rmi	registry=localhost:1099
+  step	security	secured=Account	roles=clerk,manager	authentication=token
+
+  $ mdweave replay pkg
+  replay verified: final model reproduced
+
+  $ mdweave color bank.xmi -s "distribution: remote=Teller" --html demarcation.html | tail -4
+  [red] Dependency TellerProxy->Teller
+  --
+  red — distribution
+  HTML demarcation written to demarcation.html
+
+  $ grep -c "li style" demarcation.html
+  21
+
+  $ grep -A2 "interference analysis:" out/BUILD-REPORT.txt | head -2
+  interference analysis:
+  5 advised join point(s), 4 shared across concerns
+
+  $ mdweave stats bank.xmi -s "distribution: remote=Account" -s "transactions: transactional=Account" | tail -7
+  model: banking (PIM)
+  elements: 44 total
+    1 package(s), 5 class(es), 1 interface(s), 0 enumeration(s)
+    0 association(s), 1 constraint(s)
+  concerns applied: distribution, transactions
+    distribution   25 element(s) in its concern space
+    transactions   10 element(s) in its concern space

@@ -1,0 +1,1 @@
+test/support/fixtures.ml: List Mof Printf

@@ -1,0 +1,1 @@
+test/support/gen.ml: Aspects List Mof Ocl Printf QCheck2 String

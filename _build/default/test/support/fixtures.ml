@@ -1,0 +1,115 @@
+(* Model fixtures shared across the test suites. *)
+
+(* The banking PIM used throughout: two service classes, a data class, an
+   association, a generalization, and a constraint — one element of every
+   interesting kind. *)
+let banking () =
+  let m = Mof.Model.create ~name:"banking" in
+  let root = Mof.Model.root m in
+  let m, bank = Mof.Builder.add_package m ~owner:root ~name:"bank" in
+  let m, acct = Mof.Builder.add_class m ~owner:bank ~name:"Account" in
+  let m, balance =
+    Mof.Builder.add_attribute m ~cls:acct ~name:"balance" ~typ:Mof.Kind.Dt_real
+  in
+  let m, _ =
+    Mof.Builder.add_attribute m ~cls:acct ~name:"number"
+      ~typ:Mof.Kind.Dt_string ~visibility:Mof.Kind.Public
+  in
+  let m, dep = Mof.Builder.add_operation m ~owner:acct ~name:"deposit" in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:dep ~name:"amount" ~typ:Mof.Kind.Dt_real
+  in
+  let m, wd = Mof.Builder.add_operation m ~owner:acct ~name:"withdraw" in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:wd ~name:"amount" ~typ:Mof.Kind.Dt_real
+  in
+  let m = Mof.Builder.set_result m ~op:wd ~typ:Mof.Kind.Dt_boolean in
+  let m, savings = Mof.Builder.add_class m ~owner:bank ~name:"SavingsAccount" in
+  let m, _ = Mof.Builder.add_generalization m ~child:savings ~parent:acct in
+  let m, teller = Mof.Builder.add_class m ~owner:bank ~name:"Teller" in
+  let m, tr = Mof.Builder.add_operation m ~owner:teller ~name:"transfer" in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:tr ~name:"from" ~typ:(Mof.Kind.Dt_ref acct)
+  in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:tr ~name:"target" ~typ:(Mof.Kind.Dt_ref acct)
+  in
+  let m, _ =
+    Mof.Builder.add_parameter m ~op:tr ~name:"amount" ~typ:Mof.Kind.Dt_real
+  in
+  let m, customer = Mof.Builder.add_class m ~owner:bank ~name:"Customer" in
+  let m, _ =
+    Mof.Builder.add_attribute m ~cls:customer ~name:"name" ~typ:Mof.Kind.Dt_string
+  in
+  let m, _ =
+    Mof.Builder.add_association m ~owner:bank ~name:"holds"
+      ~ends:
+        [
+          {
+            Mof.Kind.end_name = "owner";
+            end_type = customer;
+            end_mult = Mof.Kind.mult_one;
+            end_navigable = true;
+            end_aggregation = Mof.Kind.Ag_none;
+          };
+          {
+            Mof.Kind.end_name = "accounts";
+            end_type = acct;
+            end_mult = Mof.Kind.mult_many;
+            end_navigable = true;
+            end_aggregation = Mof.Kind.Ag_composite;
+          };
+        ]
+  in
+  let m, _ =
+    Mof.Builder.add_constraint m ~owner:bank ~name:"positive-balance"
+      ~constrained:[ balance ]
+      ~body:"Attribute.allInstances()->forAll(a | a.lower >= 0)"
+  in
+  m
+
+(* Handy handles into the banking fixture. *)
+let class_id m name =
+  match Mof.Query.find_class m name with
+  | Some e -> e.Mof.Element.id
+  | None -> failwith ("fixture class missing: " ^ name)
+
+(* A synthetic model with [n] classes, each carrying [attrs] attributes and
+   [ops] operations with one parameter — the scaling workload for benches
+   and property tests. *)
+let synthetic ?(attrs = 3) ?(ops = 3) n =
+  let m = Mof.Model.create ~name:"synthetic" in
+  let root = Mof.Model.root m in
+  let rec add_class m i =
+    if i >= n then m
+    else
+      let m, cls =
+        Mof.Builder.add_class m ~owner:root ~name:(Printf.sprintf "C%d" i)
+      in
+      let rec add_attr m j =
+        if j >= attrs then m
+        else
+          let m, _ =
+            Mof.Builder.add_attribute m ~cls ~name:(Printf.sprintf "f%d" j)
+              ~typ:(if j mod 2 = 0 then Mof.Kind.Dt_integer else Mof.Kind.Dt_string)
+          in
+          add_attr m (j + 1)
+      in
+      let rec add_op m j =
+        if j >= ops then m
+        else
+          let m, op =
+            Mof.Builder.add_operation m ~owner:cls ~name:(Printf.sprintf "m%d" j)
+          in
+          let m, _ =
+            Mof.Builder.add_parameter m ~op ~name:"x" ~typ:Mof.Kind.Dt_integer
+          in
+          let m = Mof.Builder.set_result m ~op ~typ:Mof.Kind.Dt_integer in
+          add_op m (j + 1)
+      in
+      add_class (add_op (add_attr m 0) 0) (i + 1)
+  in
+  add_class m 0
+
+let class_names m =
+  List.map (fun (e : Mof.Element.t) -> e.Mof.Element.name) (Mof.Query.classes m)

@@ -1,0 +1,149 @@
+(* QCheck generators shared across the property-test suites. *)
+
+let name_gen =
+  (* short alphabetic names, first letter's case chosen by the caller *)
+  QCheck2.Gen.(
+    map
+      (fun (c, rest) ->
+        String.make 1 c ^ String.concat "" (List.map (String.make 1) rest))
+      (pair (char_range 'a' 'z') (small_list (char_range 'a' 'z'))))
+
+let upper_name_gen = QCheck2.Gen.map String.capitalize_ascii name_gen
+
+(* OCL runtime values, sized to keep collections small. *)
+let value_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let scalar =
+        oneof
+          [
+            map (fun b -> Ocl.Value.V_bool b) bool;
+            map (fun i -> Ocl.Value.V_int i) small_signed_int;
+            map (fun f -> Ocl.Value.V_real f) (float_bound_inclusive 100.0);
+            map (fun s -> Ocl.Value.of_string s) name_gen;
+            return Ocl.Value.V_undefined;
+          ]
+      in
+      if n <= 1 then scalar
+      else
+        frequency
+          [
+            (4, scalar);
+            (1, map Ocl.Value.set (list_size (int_bound 4) (self (n / 2))));
+            (1, map Ocl.Value.seq (list_size (int_bound 4) (self (n / 2))));
+            (1, map Ocl.Value.bag (list_size (int_bound 4) (self (n / 2))));
+          ])
+
+(* A random well-formed model built through the Builder API: a root with up
+   to [max_classes] classes, random attributes/operations, random
+   generalizations (acyclic by construction: parents are earlier classes),
+   stereotypes and tags. *)
+let model_gen =
+  let open QCheck2.Gen in
+  let* n_classes = int_range 1 8 in
+  let* specs =
+    list_repeat n_classes
+      (triple (int_bound 3) (int_bound 3) (option (int_bound (max 0 (n_classes - 1)))))
+  in
+  let* stereo = name_gen in
+  return
+    (let m = Mof.Model.create ~name:"random" in
+     let root = Mof.Model.root m in
+     let m, ids =
+       List.fold_left
+         (fun (m, ids) (n_attrs, n_ops, parent_idx) ->
+           let i = List.length ids in
+           let m, cls =
+             Mof.Builder.add_class m ~owner:root ~name:(Printf.sprintf "R%d" i)
+           in
+           let rec attrs m j =
+             if j >= n_attrs then m
+             else
+               let m, _ =
+                 Mof.Builder.add_attribute m ~cls
+                   ~name:(Printf.sprintf "a%d" j)
+                   ~typ:Mof.Kind.Dt_integer
+               in
+               attrs m (j + 1)
+           in
+           let rec ops m j =
+             if j >= n_ops then m
+             else
+               let m, op =
+                 Mof.Builder.add_operation m ~owner:cls
+                   ~name:(Printf.sprintf "o%d" j)
+               in
+               let m = Mof.Builder.set_result m ~op ~typ:Mof.Kind.Dt_boolean in
+               ops m (j + 1)
+           in
+           let m = ops (attrs m 0) 0 in
+           let m =
+             match parent_idx with
+             | Some p when p < i ->
+                 let parent = List.nth ids p in
+                 fst (Mof.Builder.add_generalization m ~child:cls ~parent)
+             | Some _ | None -> m
+           in
+           let m =
+             if i mod 2 = 0 then Mof.Builder.add_stereotype m cls stereo else m
+           in
+           (m, ids @ [ cls ]))
+         (m, []) specs
+     in
+     ignore ids;
+     m)
+
+(* Random pointcuts over a small vocabulary, for parser round-trip
+   properties. *)
+let pointcut_gen =
+  let open QCheck2.Gen in
+  let pat = oneofl [ "Account"; "Teller"; "*Proxy"; "set*"; "*" ] in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            map2 Aspects.Pointcut.execution pat pat;
+            map2 Aspects.Pointcut.call pat pat;
+            map2 Aspects.Pointcut.set_field pat pat;
+            map Aspects.Pointcut.within pat;
+          ]
+      in
+      if n <= 1 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            ( 1,
+              map2
+                (fun a b -> Aspects.Pointcut.And (a, b))
+                (self (n / 2)) (self (n / 2)) );
+            ( 1,
+              map2
+                (fun a b -> Aspects.Pointcut.Or (a, b))
+                (self (n / 2)) (self (n / 2)) );
+            (1, map (fun a -> Aspects.Pointcut.Not a) (self (n / 2)));
+          ])
+
+(* Wildcard patterns paired with names engineered to sometimes match. *)
+let pattern_and_name_gen =
+  let open QCheck2.Gen in
+  let* base = upper_name_gen in
+  let* variant =
+    oneof
+      [
+        return base;
+        map (fun s -> base ^ s) name_gen;
+        map (fun s -> s ^ base) name_gen;
+      ]
+  in
+  let* pattern =
+    oneof
+      [
+        return base;
+        return (base ^ "*");
+        return ("*" ^ base);
+        return ("*" ^ base ^ "*");
+        return "*";
+      ]
+  in
+  return (pattern, variant)

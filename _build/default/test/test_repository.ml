@@ -1,0 +1,129 @@
+(* Tests for the versioned model repository: commits, undo/redo, tags,
+   history rendering. *)
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* A repository with three versions: initial banking, +One, +Two. *)
+let three_versions () =
+  let m0 = Fixtures.banking () in
+  let repo = Repository.Repo.init m0 in
+  let m1, _ = Mof.Builder.add_class m0 ~owner:(Mof.Model.root m0) ~name:"One" in
+  let repo = Repository.Repo.commit ~concern:"a" ~message:"add One" m1 repo in
+  let m2, _ = Mof.Builder.add_class m1 ~owner:(Mof.Model.root m1) ~name:"Two" in
+  let repo = Repository.Repo.commit ~concern:"b" ~message:"add Two" m2 repo in
+  (repo, m0, m1, m2)
+
+let repo_tests =
+  [
+    Alcotest.test_case "init stores the root commit" `Quick (fun () ->
+        let m = Fixtures.banking () in
+        let repo = Repository.Repo.init m in
+        check ci "one commit" 1 (Repository.Repo.size repo);
+        check cb "head model" true (Mof.Model.equal m (Repository.Repo.head_model repo));
+        check cb "no undo" false (Repository.Repo.can_undo repo));
+    Alcotest.test_case "commits chain and log is head-first" `Quick (fun () ->
+        let repo, _, _, m2 = three_versions () in
+        check ci "three commits" 3 (Repository.Repo.size repo);
+        check cb "head is m2" true (Mof.Model.equal m2 (Repository.Repo.head_model repo));
+        let log = Repository.Repo.log repo in
+        check (Alcotest.list cs) "messages head-first"
+          [ "add Two"; "add One"; "initial model" ]
+          (List.map (fun c -> c.Repository.Commit.message) log));
+    Alcotest.test_case "diffs recorded against the parent" `Quick (fun () ->
+        let repo, _, _, _ = three_versions () in
+        let head = Repository.Repo.head repo in
+        check ci "one class added" 1
+          (Mof.Id.Set.cardinal head.Repository.Commit.diff.Mof.Diff.added));
+    Alcotest.test_case "undo and redo move the head" `Quick (fun () ->
+        let repo, m0, m1, m2 = three_versions () in
+        let repo = Option.get (Repository.Repo.undo repo) in
+        check cb "back to m1" true (Mof.Model.equal m1 (Repository.Repo.head_model repo));
+        check cb "can redo" true (Repository.Repo.can_redo repo);
+        let repo = Option.get (Repository.Repo.undo repo) in
+        check cb "back to m0" true (Mof.Model.equal m0 (Repository.Repo.head_model repo));
+        check cb "undo exhausted" true (Repository.Repo.undo repo = None);
+        let repo = Option.get (Repository.Repo.redo repo) in
+        let repo = Option.get (Repository.Repo.redo repo) in
+        check cb "forward to m2" true (Mof.Model.equal m2 (Repository.Repo.head_model repo));
+        check cb "redo exhausted" true (Repository.Repo.redo repo = None));
+    Alcotest.test_case "commit clears the redo path" `Quick (fun () ->
+        let repo, _, m1, _ = three_versions () in
+        let repo = Option.get (Repository.Repo.undo repo) in
+        let m1', _ = Mof.Builder.add_class m1 ~owner:(Mof.Model.root m1) ~name:"Branch" in
+        let repo = Repository.Repo.commit ~message:"branch" m1' repo in
+        check cb "no redo" false (Repository.Repo.can_redo repo);
+        (* nothing is lost: all four commits remain stored *)
+        check ci "four commits" 4 (Repository.Repo.size repo));
+    Alcotest.test_case "tags name and recall versions" `Quick (fun () ->
+        let repo, _, m1, m2 = three_versions () in
+        let repo = Option.get (Repository.Repo.undo repo) in
+        let repo = Repository.Repo.tag "stable" repo in
+        let repo = Option.get (Repository.Repo.redo repo) in
+        check cb "at head again" true (Mof.Model.equal m2 (Repository.Repo.head_model repo));
+        let repo = Option.get (Repository.Repo.checkout "stable" repo) in
+        check cb "checked out" true (Mof.Model.equal m1 (Repository.Repo.head_model repo));
+        check cb "unknown tag" true (Repository.Repo.checkout "nope" repo = None));
+    Alcotest.test_case "re-tagging moves the tag" `Quick (fun () ->
+        let repo, _, _, _ = three_versions () in
+        let repo = Repository.Repo.tag "mark" repo in
+        let repo = Option.get (Repository.Repo.undo repo) in
+        let repo = Repository.Repo.tag "mark" repo in
+        check ci "one binding" 1 (List.length (Repository.Repo.tags repo)));
+    Alcotest.test_case "commit after checkout branches from the tag" `Quick
+      (fun () ->
+        let repo, _, m1, _ = three_versions () in
+        let repo = Option.get (Repository.Repo.undo repo) in
+        let repo = Repository.Repo.tag "base" repo in
+        let repo = Option.get (Repository.Repo.redo repo) in
+        let repo = Option.get (Repository.Repo.checkout "base" repo) in
+        let m1', _ = Mof.Builder.add_class m1 ~owner:(Mof.Model.root m1) ~name:"Side" in
+        let repo = Repository.Repo.commit ~message:"side" m1' repo in
+        let log = Repository.Repo.log repo in
+        check (Alcotest.list cs) "side chain"
+          [ "side"; "add One"; "initial model" ]
+          (List.map (fun c -> c.Repository.Commit.message) log);
+        (* the other branch's commits are still stored *)
+        check ci "all commits kept" 4 (Repository.Repo.size repo));
+    Alcotest.test_case "diff_between" `Quick (fun () ->
+        let repo, _, _, _ = three_versions () in
+        match Repository.Repo.diff_between repo ~from_id:0 ~to_id:2 with
+        | Some d -> check ci "two added" 2 (Mof.Id.Set.cardinal d.Mof.Diff.added)
+        | None -> Alcotest.fail "diff failed");
+    Alcotest.test_case "diff_between unknown ids" `Quick (fun () ->
+        let repo, _, _, _ = three_versions () in
+        check cb "none" true (Repository.Repo.diff_between repo ~from_id:0 ~to_id:99 = None));
+  ]
+
+let history_tests =
+  [
+    Alcotest.test_case "render marks the head and shows tags" `Quick (fun () ->
+        let repo, _, _, _ = three_versions () in
+        let repo = Repository.Repo.tag "v1" repo in
+        let text = Repository.History.render repo in
+        check cb "head marker" true (contains text "* #2 add Two");
+        check cb "tag shown" true (contains text "<v1>");
+        check cb "root listed" true (contains text "#0 initial model"));
+    Alcotest.test_case "concerns_in_history oldest-first without duplicates"
+      `Quick (fun () ->
+        let repo, _, _, m2 = three_versions () in
+        let m3, _ = Mof.Builder.add_class m2 ~owner:(Mof.Model.root m2) ~name:"Three" in
+        let repo = Repository.Repo.commit ~concern:"a" ~message:"again" m3 repo in
+        check (Alcotest.list cs) "order" [ "a"; "b" ]
+          (Repository.History.concerns_in_history repo));
+    Alcotest.test_case "total_churn sums the diffs" `Quick (fun () ->
+        let repo, _, _, _ = three_versions () in
+        (* each commit adds one class and modifies its owner package *)
+        check ci "churn" 4 (Repository.History.total_churn repo));
+  ]
+
+let () =
+  Alcotest.run "repository"
+    [ ("repo", repo_tests); ("history", history_tests) ]

@@ -1,0 +1,324 @@
+(* Tests for the workflow layer: concern coloring, the workflow state
+   machine, guidance, and the wizard parsing. *)
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---- color ---------------------------------------------------------------- *)
+
+let diff_adding ids =
+  {
+    Mof.Diff.added = Mof.Id.Set.of_list (List.map Mof.Id.of_int ids);
+    removed = Mof.Id.Set.empty;
+    modified = Mof.Id.Set.empty;
+  }
+
+let color_tests =
+  [
+    Alcotest.test_case "assignment follows first-application order" `Quick
+      (fun () ->
+        let palette = Workflow.Color.assign [ "x"; "y" ] in
+        check cb "x red" true (List.assoc_opt "x" palette = Some "red");
+        check cb "y blue" true (List.assoc_opt "y" palette = Some "blue"));
+    Alcotest.test_case "palette wraps past its length" `Quick (fun () ->
+        let many = List.init 10 (fun i -> "c" ^ string_of_int i) in
+        let palette = Workflow.Color.assign many in
+        check ci "all assigned" 10 (List.length palette);
+        check cb "wrapped" true
+          (List.assoc_opt "c8" palette = List.assoc_opt "c0" palette));
+    Alcotest.test_case "color_of resolves through the trace" `Quick (fun () ->
+        let trace =
+          Transform.Trace.record ~transformation:"T" ~concern:"dist"
+            (diff_adding [ 5 ]) Transform.Trace.empty
+        in
+        let palette = Workflow.Color.of_trace trace in
+        check cb "traced element" true
+          (Workflow.Color.color_of palette trace (Mof.Id.of_int 5) = Some "red");
+        check cb "functional element" true
+          (Workflow.Color.color_of palette trace (Mof.Id.of_int 6) = None));
+    Alcotest.test_case "HTML demarcation escapes and colors" `Quick (fun () ->
+        let m = Fixtures.banking () in
+        let m2, added =
+          Mof.Builder.add_class m ~owner:(Mof.Model.root m) ~name:"A<B>&C"
+        in
+        let trace =
+          Transform.Trace.record ~transformation:"T" ~concern:"dist"
+            (diff_adding [ Mof.Id.to_int added ])
+            Transform.Trace.empty
+        in
+        let html = Workflow.Color.demarcate_html m2 trace in
+        let contains needle =
+          let nl = String.length needle and hl = String.length html in
+          let rec go i = i + nl <= hl && (String.sub html i nl = needle || go (i + 1)) in
+          go 0
+        in
+        check cb "escaped name" true (contains "A&lt;B&gt;&amp;C");
+        check cb "no raw angle name" false (contains "Class A<B>&C");
+        check cb "colored row" true (contains "style=\"color:red\"");
+        check cb "legend row" true (contains "<td>dist</td>");
+        check cb "well-formed page" true (contains "</html>"));
+    Alcotest.test_case "legend and demarcation" `Quick (fun () ->
+        let m = Fixtures.banking () in
+        let m2, added = Mof.Builder.add_class m ~owner:(Mof.Model.root m) ~name:"Proxy9" in
+        let trace =
+          Transform.Trace.record ~transformation:"T" ~concern:"dist"
+            (diff_adding [ Mof.Id.to_int added ])
+            Transform.Trace.empty
+        in
+        let text = Workflow.Color.demarcate m2 trace in
+        check cb "colored line" true (contains text "[red] Class Proxy9");
+        check cb "uncolored functional" true (contains text "\nClass Account");
+        check cb "legend" true (contains text "red — dist"));
+  ]
+
+(* ---- state ------------------------------------------------------------------ *)
+
+let state_tests =
+  let wf = Workflow.State.middleware_default in
+  [
+    Alcotest.test_case "the default middleware sequence advances" `Quick
+      (fun () ->
+        let p = Workflow.State.start wf in
+        let advance p concern =
+          match Workflow.State.advance p ~concern with
+          | Ok p -> p
+          | Error e -> Alcotest.fail e
+        in
+        let p = advance p "distribution" in
+        let p = advance p "transactions" in
+        let p = advance p "security" in
+        check cb "complete after mandatory steps" true (Workflow.State.is_complete p);
+        check (Alcotest.list cs) "applied"
+          [ "distribution"; "transactions"; "security" ]
+          (Workflow.State.applied_concerns p);
+        (* optional steps still available *)
+        let p = advance p "concurrency" in
+        let p = advance p "logging" in
+        check cb "still complete" true (Workflow.State.is_complete p));
+    Alcotest.test_case "wrong order is rejected with a helpful message" `Quick
+      (fun () ->
+        let p = Workflow.State.start wf in
+        match Workflow.State.advance p ~concern:"security" with
+        | Error msg ->
+            check cb "names the step" true (contains msg "distribute");
+            check cb "lists the choices" true (contains msg "distribution")
+        | Ok _ -> Alcotest.fail "should be rejected");
+    Alcotest.test_case "optional steps can be skipped" `Quick (fun () ->
+        let p = Workflow.State.start wf in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"distribution") in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"transactions") in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"security") in
+        (* jump straight to logging, skipping the optional concurrency step *)
+        match Workflow.State.advance p ~concern:"logging" with
+        | Ok p' ->
+            check cb "complete" true (Workflow.State.is_complete p');
+            check cb "workflow exhausted" true
+              (Workflow.State.current_step p' = None)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "mandatory steps cannot be skipped" `Quick (fun () ->
+        let p = Workflow.State.start wf in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"distribution") in
+        check cb "security too early" true
+          (Result.is_error (Workflow.State.advance p ~concern:"security")));
+    Alcotest.test_case "advance after completion is rejected" `Quick (fun () ->
+        let tiny = Workflow.State.workflow [ Workflow.State.step ~name:"only" [ "x" ] ] in
+        let p = Workflow.State.start tiny in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"x") in
+        check cb "rejected" true (Result.is_error (Workflow.State.advance p ~concern:"x")));
+    Alcotest.test_case "options look through optional steps" `Quick (fun () ->
+        let wf2 =
+          Workflow.State.workflow
+            [
+              Workflow.State.step ~optional:true ~name:"opt" [ "a" ];
+              Workflow.State.step ~name:"must" [ "b" ];
+            ]
+        in
+        let p = Workflow.State.start wf2 in
+        check (Alcotest.list cs) "both visible" [ "a"; "b" ] (Workflow.State.options p);
+        check cb "b allowed directly" true
+          (Result.is_ok (Workflow.State.advance p ~concern:"b")));
+    Alcotest.test_case "remaining_concerns covers the tail" `Quick (fun () ->
+        let p = Workflow.State.start wf in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"distribution") in
+        check (Alcotest.list cs) "rest"
+          [ "transactions"; "security"; "concurrency"; "logging" ]
+          (Workflow.State.remaining_concerns p));
+    Alcotest.test_case "completed pairs steps with concerns" `Quick (fun () ->
+        let p = Workflow.State.start wf in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"distribution") in
+        check cb "pair" true
+          (Workflow.State.completed p = [ ("distribute", "distribution") ]));
+    Alcotest.test_case "definition is recoverable" `Quick (fun () ->
+        let p = Workflow.State.start wf in
+        check ci "steps" 5 (List.length (Workflow.State.definition p).Workflow.State.steps));
+  ]
+
+(* ---- derive ------------------------------------------------------------------- *)
+
+let derive_tests =
+  [
+    Alcotest.test_case "topological order respects prerequisites" `Quick
+      (fun () ->
+        let wf =
+          Result.get_ok
+            (Workflow.Derive.from_dependencies
+               [ ("c", [ "b" ]); ("a", []); ("b", [ "a" ]) ])
+        in
+        let order =
+          List.concat_map (fun s -> s.Workflow.State.choices) wf.Workflow.State.steps
+        in
+        check (Alcotest.list cs) "a before b before c" [ "a"; "b"; "c" ] order);
+    Alcotest.test_case "declaration order breaks ties" `Quick (fun () ->
+        let wf =
+          Result.get_ok
+            (Workflow.Derive.from_dependencies [ ("x", []); ("y", []); ("z", []) ])
+        in
+        let order =
+          List.concat_map (fun s -> s.Workflow.State.choices) wf.Workflow.State.steps
+        in
+        check (Alcotest.list cs) "stable" [ "x"; "y"; "z" ] order);
+    Alcotest.test_case "optional concerns become optional steps" `Quick
+      (fun () ->
+        let wf =
+          Result.get_ok
+            (Workflow.Derive.from_dependencies ~optional:[ "y" ]
+               [ ("x", []); ("y", []) ])
+        in
+        check cb "y optional" true
+          (List.exists
+             (fun s -> s.Workflow.State.optional && s.Workflow.State.choices = [ "y" ])
+             wf.Workflow.State.steps));
+    Alcotest.test_case "cycles are reported with their members" `Quick
+      (fun () ->
+        match Workflow.Derive.from_dependencies [ ("a", [ "b" ]); ("b", [ "a" ]) ] with
+        | Error msg ->
+            check cb "names members" true
+              (let contains hay needle =
+                 let nl = String.length needle and hl = String.length hay in
+                 let rec go i =
+                   i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+                 in
+                 go 0
+               in
+               contains msg "a" && contains msg "b")
+        | Ok _ -> Alcotest.fail "cycle accepted");
+    Alcotest.test_case "unknown prerequisite and duplicates rejected" `Quick
+      (fun () ->
+        check cb "unknown" true
+          (Result.is_error (Workflow.Derive.from_dependencies [ ("a", [ "ghost" ]) ]));
+        check cb "duplicate" true
+          (Result.is_error
+             (Workflow.Derive.from_dependencies [ ("a", []); ("a", []) ])));
+    Alcotest.test_case
+      "middleware dependencies admit the default sequence" `Quick (fun () ->
+        let wf =
+          Result.get_ok
+            (Workflow.Derive.from_dependencies
+               ~optional:[ "concurrency"; "logging" ]
+               Workflow.Derive.middleware_dependencies)
+        in
+        let p = Workflow.State.start wf in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"distribution") in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"transactions") in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"security") in
+        check cb "complete" true (Workflow.State.is_complete p));
+  ]
+
+(* ---- guidance ----------------------------------------------------------------- *)
+
+let guidance_tests =
+  [
+    Alcotest.test_case "describe shows progress and remaining concerns" `Quick
+      (fun () ->
+        let p = Workflow.State.start Workflow.State.middleware_default in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"distribution") in
+        let text = Workflow.Guidance.describe p in
+        check cb "done line" true (contains text "[x] distribute: distribution");
+        check cb "current line" true (contains text "[ ] make-transactional");
+        check cb "remaining" true (contains text "remaining concerns:"));
+    Alcotest.test_case "consistent_with_trace compares sequences" `Quick
+      (fun () ->
+        let p = Workflow.State.start Workflow.State.middleware_default in
+        let p = Result.get_ok (Workflow.State.advance p ~concern:"distribution") in
+        let trace =
+          Transform.Trace.record ~transformation:"T" ~concern:"distribution"
+            Mof.Diff.empty Transform.Trace.empty
+        in
+        check cb "consistent" true (Workflow.Guidance.consistent_with_trace p trace);
+        let trace2 =
+          Transform.Trace.record ~transformation:"T" ~concern:"security"
+            Mof.Diff.empty Transform.Trace.empty
+        in
+        check cb "inconsistent" false (Workflow.Guidance.consistent_with_trace p trace2));
+  ]
+
+(* ---- wizard ------------------------------------------------------------------- *)
+
+let wizard_tests =
+  let decls = Concerns.Distribution.formals in
+  [
+    Alcotest.test_case "questions mirror the declarations" `Quick (fun () ->
+        let qs = Workflow.Wizard.questions decls in
+        check ci "three" 3 (List.length qs);
+        let q = List.hd qs in
+        check cs "name" "remote" q.Workflow.Wizard.parameter;
+        check cs "type" "list(ident)" q.Workflow.Wizard.type_hint;
+        check cb "required" true (q.Workflow.Wizard.default_hint = None));
+    Alcotest.test_case "render_questions mentions defaults" `Quick (fun () ->
+        let text = Workflow.Wizard.render_questions decls in
+        check cb "required marker" true (contains text "(required)");
+        check cb "default marker" true (contains text "(default \"rmi\")"));
+    Alcotest.test_case "parse_value per type" `Quick (fun () ->
+        let ok = Result.is_ok and err = Result.is_error in
+        check cb "int" true (ok (Workflow.Wizard.parse_value Transform.Params.P_int "42"));
+        check cb "bad int" true (err (Workflow.Wizard.parse_value Transform.Params.P_int "x"));
+        check cb "bool" true (ok (Workflow.Wizard.parse_value Transform.Params.P_bool "true"));
+        check cb "bad bool" true (err (Workflow.Wizard.parse_value Transform.Params.P_bool "yes"));
+        check cb "enum" true
+          (ok (Workflow.Wizard.parse_value (Transform.Params.P_enum [ "a"; "b" ]) "a"));
+        check cb "bad enum" true
+          (err (Workflow.Wizard.parse_value (Transform.Params.P_enum [ "a"; "b" ]) "c"));
+        match
+          Workflow.Wizard.parse_value
+            (Transform.Params.P_list Transform.Params.P_ident)
+            "A, B , C"
+        with
+        | Ok (Transform.Params.V_list vs) -> check ci "three items" 3 (List.length vs)
+        | _ -> Alcotest.fail "list parse failed");
+    Alcotest.test_case "parse_assignment uses the declared type" `Quick
+      (fun () ->
+        (match Workflow.Wizard.parse_assignment decls "remote=Account,Teller" with
+        | Ok ("remote", Transform.Params.V_list vs) ->
+            check ci "two" 2 (List.length vs)
+        | _ -> Alcotest.fail "assignment failed");
+        check cb "unknown param" true
+          (Result.is_error (Workflow.Wizard.parse_assignment decls "nope=1"));
+        check cb "missing equals" true
+          (Result.is_error (Workflow.Wizard.parse_assignment decls "remote")));
+    Alcotest.test_case "parse_assignments is all-or-nothing" `Quick (fun () ->
+        check cb "good" true
+          (Result.is_ok
+             (Workflow.Wizard.parse_assignments decls
+                [ "remote=A"; "protocol=ws" ]));
+        check cb "one bad poisons all" true
+          (Result.is_error
+             (Workflow.Wizard.parse_assignments decls
+                [ "remote=A"; "protocol=smoke-signals" ])));
+  ]
+
+let () =
+  Alcotest.run "workflow"
+    [
+      ("color", color_tests);
+      ("state", state_tests);
+      ("derive", derive_tests);
+      ("guidance", guidance_tests);
+      ("wizard", wizard_tests);
+    ]

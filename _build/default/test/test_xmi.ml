@@ -1,0 +1,282 @@
+(* Tests for the XML substrate and the XMI import/export round trip. *)
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let parse = Xmi.Xml_parser.parse
+let print ?declaration tree = Xmi.Xml_printer.to_string ?declaration tree
+
+(* ---- xml accessors ----------------------------------------------------- *)
+
+let xml_tests =
+  let tree =
+    Xmi.Xml.elem ~attrs:[ ("a", "1"); ("b", "2") ] "root"
+      [
+        Xmi.Xml.elem "child" [ Xmi.Xml.text "hello" ];
+        Xmi.Xml.elem ~attrs:[ ("k", "v") ] "child" [];
+        Xmi.Xml.elem "other" [];
+      ]
+  in
+  [
+    Alcotest.test_case "attr lookup" `Quick (fun () ->
+        check cb "a" true (Xmi.Xml.attr "a" tree = Some "1");
+        check cb "missing" true (Xmi.Xml.attr "z" tree = None));
+    Alcotest.test_case "find_child / find_children" `Quick (fun () ->
+        check ci "children named child" 2
+          (List.length (Xmi.Xml.find_children "child" tree));
+        check cb "first child has text" true
+          (match Xmi.Xml.find_child "child" tree with
+          | Some c -> Xmi.Xml.text_content c = "hello"
+          | None -> false));
+    Alcotest.test_case "child_elems skips text" `Quick (fun () ->
+        let mixed = Xmi.Xml.elem "m" [ Xmi.Xml.text "t"; Xmi.Xml.elem "e" [] ] in
+        check ci "one element" 1 (List.length (Xmi.Xml.child_elems mixed)));
+    Alcotest.test_case "tag of text is None" `Quick (fun () ->
+        check cb "none" true (Xmi.Xml.tag (Xmi.Xml.text "x") = None));
+  ]
+
+(* ---- xml parser -------------------------------------------------------- *)
+
+let parser_tests =
+  [
+    Alcotest.test_case "attributes with both quote styles" `Quick (fun () ->
+        let tree = parse "<a x=\"1\" y='2'/>" in
+        check cb "x" true (Xmi.Xml.attr "x" tree = Some "1");
+        check cb "y" true (Xmi.Xml.attr "y" tree = Some "2"));
+    Alcotest.test_case "entities resolved" `Quick (fun () ->
+        let tree = parse "<a x=\"&lt;&gt;&amp;&quot;&apos;\">&amp;text</a>" in
+        check cb "attr" true (Xmi.Xml.attr "x" tree = Some "<>&\"'");
+        check cs "text" "&text" (Xmi.Xml.text_content tree));
+    Alcotest.test_case "character references" `Quick (fun () ->
+        let tree = parse "<a>&#65;&#x42;</a>" in
+        check cs "AB" "AB" (Xmi.Xml.text_content tree));
+    Alcotest.test_case "CDATA preserved verbatim" `Quick (fun () ->
+        let tree = parse "<a><![CDATA[1 < 2 && 3 > 2]]></a>" in
+        check cs "cdata" "1 < 2 && 3 > 2" (Xmi.Xml.text_content tree));
+    Alcotest.test_case "comments and prolog skipped" `Quick (fun () ->
+        let tree =
+          parse "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/></a>"
+        in
+        check ci "one child" 1 (List.length (Xmi.Xml.child_elems tree)));
+    Alcotest.test_case "nested structure and order" `Quick (fun () ->
+        let tree = parse "<a><b/><c/><b/></a>" in
+        check (Alcotest.list cs) "order" [ "b"; "c"; "b" ]
+          (List.filter_map Xmi.Xml.tag (Xmi.Xml.children tree)));
+    Alcotest.test_case "whitespace-only text dropped" `Quick (fun () ->
+        let tree = parse "<a>\n  <b/>\n</a>" in
+        check ci "children" 1 (List.length (Xmi.Xml.children tree)));
+    Alcotest.test_case "mismatched closing tag rejected" `Quick (fun () ->
+        check cb "raises" true
+          (try
+             ignore (parse "<a></b>");
+             false
+           with Xmi.Xml_parser.Xml_error _ -> true));
+    Alcotest.test_case "trailing content rejected" `Quick (fun () ->
+        check cb "raises" true
+          (try
+             ignore (parse "<a/><b/>");
+             false
+           with Xmi.Xml_parser.Xml_error _ -> true));
+    Alcotest.test_case "unterminated input rejected" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            check cb src true
+              (try
+                 ignore (parse src);
+                 false
+               with Xmi.Xml_parser.Xml_error _ -> true))
+          [ "<a>"; "<a attr='1"; "<a><!-- never closed"; "" ]);
+    Alcotest.test_case "unknown entity rejected" `Quick (fun () ->
+        check cb "raises" true
+          (try
+             ignore (parse "<a>&nope;</a>");
+             false
+           with Xmi.Xml_parser.Xml_error _ -> true));
+  ]
+
+(* ---- xml printer ------------------------------------------------------- *)
+
+let printer_tests =
+  [
+    Alcotest.test_case "escaping in attributes and text" `Quick (fun () ->
+        let tree =
+          Xmi.Xml.elem ~attrs:[ ("x", "<a> & \"b\"") ] "t"
+            [ Xmi.Xml.text "1 < 2 & 3" ]
+        in
+        let round = parse (print tree) in
+        check cb "round trip" true (Xmi.Xml.equal tree round));
+    Alcotest.test_case "declaration toggle" `Quick (fun () ->
+        let tree = Xmi.Xml.elem "a" [] in
+        check cb "with" true
+          (String.length (print tree) > String.length (print ~declaration:false tree)));
+    Alcotest.test_case "print/parse round trip on nested trees" `Quick (fun () ->
+        let tree =
+          Xmi.Xml.elem "a"
+            [
+              Xmi.Xml.elem ~attrs:[ ("k", "v") ] "b"
+                [ Xmi.Xml.elem "c" [ Xmi.Xml.text "deep" ] ];
+              Xmi.Xml.elem "b" [];
+            ]
+        in
+        check cb "equal" true (Xmi.Xml.equal tree (parse (print tree))));
+  ]
+
+(* ---- datatype serialization -------------------------------------------- *)
+
+let dtype_tests =
+  [
+    Alcotest.test_case "round trips" `Quick (fun () ->
+        List.iter
+          (fun dt ->
+            check cb
+              (Xmi.Dtype.to_string dt)
+              true
+              (Xmi.Dtype.of_string (Xmi.Dtype.to_string dt) = Some dt))
+          [
+            Mof.Kind.Dt_void;
+            Mof.Kind.Dt_boolean;
+            Mof.Kind.Dt_integer;
+            Mof.Kind.Dt_real;
+            Mof.Kind.Dt_string;
+            Mof.Kind.Dt_ref (Mof.Id.of_int 12);
+            Mof.Kind.Dt_collection Mof.Kind.Dt_string;
+            Mof.Kind.Dt_collection (Mof.Kind.Dt_collection Mof.Kind.Dt_integer);
+            Mof.Kind.Dt_collection (Mof.Kind.Dt_ref (Mof.Id.of_int 3));
+          ]);
+    Alcotest.test_case "rejects malformed input" `Quick (fun () ->
+        List.iter
+          (fun s -> check cb s true (Xmi.Dtype.of_string s = None))
+          [ ""; "int"; "ref:"; "ref:x"; "Set("; "Set(Integer"; "Set()" ]);
+  ]
+
+(* ---- XMI round trip ----------------------------------------------------- *)
+
+let special_model () =
+  (* a model exercising every element kind, plus text needing escapes *)
+  let m = Fixtures.banking () in
+  let acct = Fixtures.class_id m "Account" in
+  let m = Mof.Builder.add_stereotype m acct "entity" in
+  let m = Mof.Builder.set_tag m acct "note" "a < b & \"c\" 'd'" in
+  let m, _ =
+    Mof.Builder.add_constraint m ~owner:(Mof.Model.root m) ~name:"tricky"
+      ~constrained:[ acct ]
+      ~body:"self.name <> '<&>' and 1 < 2"
+  in
+  let m, _ =
+    Mof.Builder.add_enumeration m ~owner:(Mof.Model.root m) ~name:"Currency"
+      ~literals:[ "CHF"; "EUR" ]
+  in
+  Mof.Model.set_level_tag "PIM" m
+
+let xmi_tests =
+  [
+    Alcotest.test_case "banking round trip is structurally equal" `Quick
+      (fun () ->
+        let m = Fixtures.banking () in
+        let m' = Xmi.Import.from_string (Xmi.Export.to_string m) in
+        check cb "equal" true (Mof.Model.equal m m'));
+    Alcotest.test_case "special characters survive the round trip" `Quick
+      (fun () ->
+        let m = special_model () in
+        let m' = Xmi.Import.from_string (Xmi.Export.to_string m) in
+        check cb "equal" true (Mof.Model.equal m m'));
+    Alcotest.test_case "refined model (stereotypes everywhere) round trips"
+      `Quick (fun () ->
+        let m = Fixtures.banking () in
+        let gmt = Concerns.Distribution.transformation in
+        let cmt =
+          Transform.Cmt.specialize_exn gmt
+            [
+              ( "remote",
+                Transform.Params.V_list
+                  [ Transform.Params.V_ident "Account" ] );
+            ]
+        in
+        match Transform.Engine.apply cmt m with
+        | Ok outcome ->
+            let refined = outcome.Transform.Engine.model in
+            let m' = Xmi.Import.from_string (Xmi.Export.to_string refined) in
+            check cb "equal" true (Mof.Model.equal refined m')
+        | Error _ -> Alcotest.fail "transformation failed");
+    Alcotest.test_case "fresh ids after import do not clash" `Quick (fun () ->
+        let m = Fixtures.banking () in
+        let m' = Xmi.Import.from_string (Xmi.Export.to_string m) in
+        let m'', id = Mof.Builder.add_class m' ~owner:(Mof.Model.root m') ~name:"New" in
+        check cb "well-formed" true (Mof.Wellformed.is_wellformed m'');
+        check cb "fresh id unbound before" true (not (Mof.Model.mem m' id)));
+    Alcotest.test_case "import rejects a non-XMI root" `Quick (fun () ->
+        check cb "raises" true
+          (try
+             ignore (Xmi.Import.from_string "<NotXmi/>");
+             false
+           with Xmi.Import.Import_error _ -> true));
+    Alcotest.test_case "import rejects missing content" `Quick (fun () ->
+        check cb "raises" true
+          (try
+             ignore (Xmi.Import.from_string "<XMI xmi.version=\"1.2\"/>");
+             false
+           with Xmi.Import.Import_error _ -> true));
+    Alcotest.test_case "import rejects malformed element ids" `Quick (fun () ->
+        let doc =
+          "<XMI xmi.version=\"1.2\"><XMI.content><Model name=\"x\" \
+           root=\"e0\" next=\"1\"><Package xmi.id=\"banana\" \
+           name=\"x\"/></Model></XMI.content></XMI>"
+        in
+        check cb "raises" true
+          (try
+             ignore (Xmi.Import.from_string doc);
+             false
+           with Xmi.Import.Import_error _ -> true));
+    Alcotest.test_case "import rejects unknown element tags" `Quick (fun () ->
+        let doc =
+          "<XMI xmi.version=\"1.2\"><XMI.content><Model name=\"x\" \
+           root=\"e0\" next=\"2\"><Widget xmi.id=\"e0\" \
+           name=\"x\"/></Model></XMI.content></XMI>"
+        in
+        check cb "raises" true
+          (try
+             ignore (Xmi.Import.from_string doc);
+             false
+           with Xmi.Import.Import_error _ -> true));
+    Alcotest.test_case "newlines in tagged values survive" `Quick (fun () ->
+        let m = Fixtures.banking () in
+        let acct = Fixtures.class_id m "Account" in
+        let m = Mof.Builder.set_tag m acct "doc" "line one\nline two" in
+        let m2 = Xmi.Import.from_string (Xmi.Export.to_string m) in
+        check cb "preserved" true
+          (Mof.Element.tag "doc" (Mof.Model.find_exn m2 acct)
+          = Some "line one\nline two"));
+    Alcotest.test_case "file round trip" `Quick (fun () ->
+        let path = Filename.temp_file "mdweave" ".xmi" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let m = special_model () in
+            Xmi.Export.write_file path m;
+            check cb "equal" true (Mof.Model.equal m (Xmi.Import.read_file path))));
+  ]
+
+(* ---- properties --------------------------------------------------------- *)
+
+let property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"XMI round trip on random models" ~count:50
+        Gen.model_gen (fun m ->
+          Mof.Model.equal m (Xmi.Import.from_string (Xmi.Export.to_string m)));
+      QCheck2.Test.make ~name:"export is deterministic" ~count:30 Gen.model_gen
+        (fun m -> String.equal (Xmi.Export.to_string m) (Xmi.Export.to_string m));
+    ]
+
+let () =
+  Alcotest.run "xmi"
+    [
+      ("xml", xml_tests);
+      ("xml-parser", parser_tests);
+      ("xml-printer", printer_tests);
+      ("dtype", dtype_tests);
+      ("roundtrip", xmi_tests);
+      ("properties", property_tests);
+    ]
