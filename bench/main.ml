@@ -243,6 +243,16 @@ let e7_tests =
                | Ok _ -> ()
                | Error f ->
                    failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)));
+        Test.make
+          ~name:(Printf.sprintf "ablation/precheck:full-wf:%d-classes" n)
+          (Staged.stage (fun () ->
+               match
+                 Transform.Engine.apply ~checks:Transform.Engine.full_checks cmt
+                   m
+               with
+               | Ok _ -> ()
+               | Error f ->
+                   failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)));
       ])
     [ 10; 50; 100 ]
 
@@ -355,6 +365,53 @@ let e10_tests =
                failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)));
   ]
 
+(* ---- E11: indexed store — lookup, diff and scoped WF scaling ------------- *)
+
+(* Each synthetic class carries 13 elements (3 attributes, 3 operations with
+   parameter and return), so 8/77/769 classes give models of ~10^2, 10^3 and
+   10^4 elements. Every pair contrasts the indexed/incremental path the
+   engine now takes by default with the full-scan baseline it replaced. *)
+let e11_tests =
+  List.concat_map
+    (fun n ->
+      let m = synthetic n in
+      let size = Mof.Model.size m in
+      let target = Printf.sprintf "C%d" (n - 1) in
+      let target_id =
+        match Mof.Query.find_class m target with
+        | Some e -> e.Mof.Element.id
+        | None -> failwith "synthetic target class missing"
+      in
+      let edited = Mof.Builder.add_stereotype m target_id "touched" in
+      let touched =
+        Mof.Diff.touched (Mof.Diff.compute ~old_model:m ~new_model:edited)
+      in
+      [
+        Test.make ~name:(Printf.sprintf "store/index:find-class:%d-elements" size)
+          (Staged.stage (fun () -> ignore (Mof.Query.find_class m target)));
+        Test.make ~name:(Printf.sprintf "store/scan:find-class:%d-elements" size)
+          (Staged.stage (fun () ->
+               ignore
+                 (List.find_opt
+                    (fun (e : Mof.Element.t) ->
+                      Mof.Element.metaclass e = "Class"
+                      && String.equal e.Mof.Element.name target)
+                    (Mof.Model.elements m))));
+        Test.make ~name:(Printf.sprintf "store/journal:diff:%d-elements" size)
+          (Staged.stage (fun () ->
+               ignore (Mof.Diff.compute ~old_model:m ~new_model:edited)));
+        Test.make ~name:(Printf.sprintf "store/scan:diff:%d-elements" size)
+          (Staged.stage (fun () ->
+               ignore (Mof.Diff.compute_scan ~old_model:m ~new_model:edited)));
+        Test.make
+          ~name:(Printf.sprintf "store/scoped:wellformed:%d-elements" size)
+          (Staged.stage (fun () ->
+               ignore (Mof.Wellformed.check_touched edited ~touched)));
+        Test.make ~name:(Printf.sprintf "store/full:wellformed:%d-elements" size)
+          (Staged.stage (fun () -> ignore (Mof.Wellformed.check edited)));
+      ])
+    [ 8; 77; 769 ]
+
 (* ---- harness ------------------------------------------------------------- *)
 
 let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -381,7 +438,7 @@ let run_group title tests =
 
 let () =
   print_endline
-    "mdweave benchmark harness — experiments E1..E10 (see EXPERIMENTS.md)";
+    "mdweave benchmark harness — experiments E1..E11 (see EXPERIMENTS.md)";
   print_newline ();
   run_group "E1  Fig.1: one refinement step (specialize+check+apply+CAC)" e1_tests;
   run_group "E2  Fig.2: three-concern pipeline on the banking PIM" e2_tests;
@@ -392,4 +449,5 @@ let () =
   run_group "E7  ablation: pre/postcondition checking cost" e7_tests;
   run_group "E8  ablation: aspect route vs monolithic generation" e8_tests;
   run_group "E9  runtime overhead of woven concerns (interpreted)" e9_tests;
-  run_group "E10 ablation: composed vs sequential transformations" e10_tests
+  run_group "E10 ablation: composed vs sequential transformations" e10_tests;
+  run_group "E11 indexed store: lookup, diff and scoped WF scaling" e11_tests

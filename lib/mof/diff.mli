@@ -16,7 +16,16 @@ val is_empty : t -> bool
 
 val compute : old_model:Model.t -> new_model:Model.t -> t
 (** [compute ~old_model ~new_model] classifies every id bound in either
-    model. *)
+    model. When [new_model] was derived from [old_model] (the common case:
+    a transformation's output against its input, or consecutive repository
+    versions), the classification replays the update journal and costs
+    O(changes); unrelated models fall back to {!compute_scan}. Both paths
+    produce identical diffs. *)
+
+val compute_scan : old_model:Model.t -> new_model:Model.t -> t
+(** The journal-free double fold over both populations, O(|old| + |new|).
+    Exposed as the baseline for the E11 experiment and the consistency
+    tests; {!compute} is never worse than this. *)
 
 val union : t -> t -> t
 (** Pointwise union; an id both added and later modified counts as added. *)

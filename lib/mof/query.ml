@@ -1,5 +1,10 @@
-let of_metaclass m mc =
-  Model.filter (fun e -> String.equal (Element.metaclass e) mc) m
+let resolve_all m ids = List.map (Model.find_exn m) ids
+
+(* Materialize an index bucket as elements; Id.Set.elements is ascending, so
+   the result order is byte-identical to the historical full-scan order. *)
+let resolve_set m ids = resolve_all m (Id.Set.elements ids)
+
+let of_metaclass m mc = resolve_set m (Model.by_kind m mc)
 
 let classes m = of_metaclass m "Class"
 let interfaces m = of_metaclass m "Interface"
@@ -7,8 +12,6 @@ let packages m = of_metaclass m "Package"
 let associations m = of_metaclass m "Association"
 let enumerations m = of_metaclass m "Enumeration"
 let constraints m = of_metaclass m "Constraint"
-
-let resolve_all m ids = List.map (Model.find_exn m) ids
 
 let attributes_of m id =
   match (Model.find_exn m id).Element.kind with
@@ -99,17 +102,35 @@ let qualified_name m id =
     String.concat "." (names @ [ e.Element.name ])
 
 let find_by_qualified_name m qname =
-  List.find_opt
-    (fun e -> String.equal (qualified_name m e.Element.id) qname)
-    (Model.elements m)
+  (* A matching element's simple name is the join of some suffix of the
+     dot-split of [qname] (the whole of it for the root, or for names that
+     themselves contain dots), so the name index narrows the candidates to
+     those few ids; each is then verified against its actual qualified name.
+     O(d·(log n + c·d)) for path depth d and c same-named candidates, vs the
+     historical scan's O(n·d). *)
+  let rec suffixes = function
+    | [] -> []
+    | _ :: rest as segments -> String.concat "." segments :: suffixes rest
+  in
+  let candidates =
+    List.fold_left
+      (fun acc name -> Id.Set.union acc (Model.by_name m name))
+      Id.Set.empty
+      (suffixes (String.split_on_char '.' qname))
+  in
+  (* first match in id order, as the scan returned *)
+  Id.Set.elements candidates
+  |> List.find_opt (fun id -> String.equal (qualified_name m id) qname)
+  |> Option.map (Model.find_exn m)
 
-let find_named m name =
-  Model.filter (fun e -> String.equal e.Element.name name) m
+let find_named m name = resolve_set m (Model.by_name m name)
 
 let find_class m name =
-  List.find_opt (fun e -> String.equal e.Element.name name) (classes m)
+  Option.map (Model.find_exn m)
+    (Id.Set.min_elt_opt
+       (Id.Set.inter (Model.by_kind m "Class") (Model.by_name m name)))
 
-let with_stereotype m s = Model.filter (Element.has_stereotype s) m
+let with_stereotype m s = resolve_set m (Model.by_stereotype m s)
 
 let containing_class m id =
   let is_class o =

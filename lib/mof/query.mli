@@ -1,8 +1,15 @@
 (** Read-only navigation over models: classifier listings, feature lookups,
-    qualified names, and inheritance closure. *)
+    qualified names, and inheritance closure.
+
+    All listings come back in ascending id order — the order the historical
+    full-scan implementations produced — but are now served from the model's
+    secondary indexes ({!Model.by_kind}, {!Model.by_name},
+    {!Model.by_stereotype}), so a lookup costs O(log n + r) for r results
+    instead of O(n). The byte-for-byte agreement with a full scan is pinned
+    by the randomized consistency test in [test_mof.ml]. *)
 
 val classes : Model.t -> Element.t list
-(** All class elements, in id order. *)
+(** All class elements, in id order. O(log n + r). *)
 
 val interfaces : Model.t -> Element.t list
 val packages : Model.t -> Element.t list
@@ -12,7 +19,7 @@ val enumerations : Model.t -> Element.t list
 
 val of_metaclass : Model.t -> string -> Element.t list
 (** [of_metaclass m "Class"] is all elements whose metaclass has that name;
-    unknown names yield the empty list. *)
+    unknown names yield the empty list. Served by {!Model.by_kind}. *)
 
 val attributes_of : Model.t -> Id.t -> Element.t list
 (** Attributes owned directly by a class (empty for other kinds). *)
@@ -50,19 +57,24 @@ val realizers_of : Model.t -> Id.t -> Element.t list
 val qualified_name : Model.t -> Id.t -> string
 (** Dot-separated path from the root package (excluded) to the element,
     e.g. ["bank.Account.balance"]. The root element's qualified name is its
-    own name. *)
+    own name. O(depth). *)
 
 val find_by_qualified_name : Model.t -> string -> Element.t option
-(** Inverse of {!qualified_name} (first match in id order). *)
+(** Inverse of {!qualified_name} (first match in id order). Resolved through
+    the name index: candidates are the elements whose simple name is a
+    dot-suffix of the path, each verified against its actual qualified name
+    — O(d·(log n + c·d)) for depth d and c candidates, not a model scan. *)
 
 val find_named : Model.t -> string -> Element.t list
-(** All elements with the given simple name. *)
+(** All elements with the given simple name. Served by {!Model.by_name}. *)
 
 val find_class : Model.t -> string -> Element.t option
-(** First class with the given simple name. *)
+(** First class with the given simple name (intersection of the kind and
+    name indexes). *)
 
 val with_stereotype : Model.t -> string -> Element.t list
-(** All elements carrying the given stereotype. *)
+(** All elements carrying the given stereotype. Served by
+    {!Model.by_stereotype}. *)
 
 val owner_chain : Model.t -> Id.t -> Id.t list
 (** Owners from the element's direct owner up to the root, nearest first. *)

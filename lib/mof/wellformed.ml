@@ -177,22 +177,71 @@ let check_name e =
     [ violation e.Element.id Empty_name "%s has an empty name" (Element.metaclass e) ]
   else []
 
-let check m =
-  Model.fold
-    (fun e acc ->
-      acc
-      @ check_name e
-      @ check_references m e
-      @ check_owner m e
-      @ check_duplicates m e
-      @ check_inheritance m e
-      @ check_multiplicity e
-      @ check_association e
-      @ check_abstract m e
-      @ check_literals e)
-    m []
+let check_element m e =
+  check_name e
+  @ check_references m e
+  @ check_owner m e
+  @ check_duplicates m e
+  @ check_inheritance m e
+  @ check_multiplicity e
+  @ check_association e
+  @ check_abstract m e
+  @ check_literals e
+
+let check m = Model.fold (fun e acc -> acc @ check_element m e) m []
 
 let is_wellformed m = check m = []
+
+(* Transitive subclasses of the seed ids, walked over the reverse-reference
+   index restricted to inheritance edges. A change to a class's supers can
+   flip the Inheritance_cycle verdict of every class whose superclass
+   closure passes through it — exactly its transitive subclasses. *)
+let subclasses_closure m seeds =
+  let subclasses_of id =
+    Id.Set.filter
+      (fun r ->
+        match Model.find m r with
+        | Some { Element.kind = Kind.Class c; _ } ->
+            List.exists (Id.equal id) c.supers
+        | Some _ | None -> false)
+      (Model.referrers m id)
+  in
+  let rec walk seen = function
+    | [] -> seen
+    | id :: rest ->
+        let fresh = Id.Set.diff (subclasses_of id) seen in
+        walk (Id.Set.union seen fresh) (Id.Set.elements fresh @ rest)
+  in
+  walk seeds (Id.Set.elements seeds)
+
+(* The ids whose rule verdicts can depend on a touched id:
+   - the touched elements themselves (every local rule);
+   - their referrers, one hop (Dangling_reference after a removal or
+     re-addition; Duplicate_name and Abstract_leaf, which an owner checks by
+     reading its children's payloads — the owner references its children);
+   - the elements whose [owner] field designates a touched id
+     (Owner_mismatch is checked on the child but decided by the owner's
+     containment lists);
+   - transitive subclasses of touched ids (Inheritance_cycle).
+   This over-approximates — re-checking an unaffected element is merely
+   redundant work — but never under-approximates: every rule reads only the
+   element itself, its reference targets, its owner's payload, or its
+   superclass closure, and each of those dependencies is covered above. *)
+let scope_of m touched =
+  let direct =
+    Id.Set.fold
+      (fun id acc ->
+        Id.Set.union (Model.referrers m id) (Id.Set.union (Model.owned_by m id) acc))
+      touched touched
+  in
+  Id.Set.filter (Model.mem m) (Id.Set.union direct (subclasses_closure m touched))
+
+let check_touched m ~touched =
+  (* Id.Set.fold visits ids in ascending order, so the violations of scoped
+     elements appear in exactly the order the full [check] lists them. *)
+  Id.Set.fold
+    (fun id acc -> acc @ check_element m (Model.find_exn m id))
+    (scope_of m touched) []
 
 let pp_violation ppf v =
   Format.fprintf ppf "[%s] %s: %s" (rule_name v.rule) (Id.to_string v.subject)

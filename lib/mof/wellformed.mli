@@ -28,8 +28,20 @@ val rule_name : rule -> string
 (** Stable identifier of a rule, e.g. ["dangling-reference"]. *)
 
 val check : Model.t -> violation list
-(** All violations in the model, in deterministic order. An empty list means
-    the model is well-formed. *)
+(** All violations in the model, in deterministic order (elements in
+    ascending id order, rules in a fixed order per element). An empty list
+    means the model is well-formed. O(model). *)
+
+val check_touched : Model.t -> touched:Id.Set.t -> violation list
+(** Re-validates only the region of the model whose verdicts can depend on
+    the [touched] ids (typically {!Diff.touched} of a journal diff): the
+    touched elements, their referrers, the elements they own, and their
+    transitive subclasses. Cost is proportional to that region, not the
+    model. Sound for incremental use: if the model was well-formed before
+    the touching mutations, [check_touched] reports exactly what {!check}
+    would — any violation a mutation can introduce is anchored at an element
+    in the scoped region. Violations outside the region that predate the
+    mutations are (by design) not re-reported. *)
 
 val is_wellformed : Model.t -> bool
 (** [is_wellformed m] is [check m = []]. *)

@@ -135,9 +135,9 @@ let all_instances m name =
   if String.equal name "Element" then
     Some (elem_set (List.map (fun e -> e.Mof.Element.id) (Mof.Model.elements m)))
   else if List.mem name Mof.Kind.all_names then
-    Some
-      (elem_set
-         (List.map (fun e -> e.Mof.Element.id) (Mof.Query.of_metaclass m name)))
+    (* the kind index yields the ids directly, in the same ascending order
+       the full scan produced — no need to materialize the elements *)
+    Some (elem_set (Mof.Id.Set.elements (Mof.Model.by_kind m name)))
   else None
 
 let common_names = [ "name"; "qualifiedName"; "metaclass"; "stereotypes"; "tagKeys"; "owner" ]

@@ -28,10 +28,16 @@ type checks = {
   check_pre : bool;
   check_post : bool;
   check_wf : bool;
+  full_wf : bool;
 }
 
-let all_checks = { check_pre = true; check_post = true; check_wf = true }
-let no_checks = { check_pre = false; check_post = false; check_wf = false }
+let all_checks =
+  { check_pre = true; check_post = true; check_wf = true; full_wf = false }
+
+let full_checks = { all_checks with full_wf = true }
+
+let no_checks =
+  { check_pre = false; check_post = false; check_wf = false; full_wf = false }
 
 type outcome = {
   model : Mof.Model.t;
@@ -64,13 +70,19 @@ let apply ?(checks = all_checks) cmt model =
         in
         if post_failures <> [] then Error (Postcondition_failed post_failures)
         else
+          (* journal-based: O(changes) when the rewrite derived [new_model]
+             from [model] (always the case for Builder-written rewrites) *)
+          let diff = Mof.Diff.compute ~old_model:model ~new_model in
           let violations =
-            if checks.check_wf then Mof.Wellformed.check new_model else []
+            if not checks.check_wf then []
+            else if checks.full_wf then Mof.Wellformed.check new_model
+            else
+              Mof.Wellformed.check_touched new_model
+                ~touched:(Mof.Diff.touched diff)
           in
           match violations with
           | _ :: _ -> Error (Not_wellformed violations)
           | [] ->
-              let diff = Mof.Diff.compute ~old_model:model ~new_model in
               let report = Report.make cmt diff in
               Ok { model = new_model; diff; report })
 

@@ -5,8 +5,10 @@
     + evaluate the specialized preconditions on the input model,
     + run the rewrite,
     + evaluate the specialized postconditions on the output model,
-    + check structural well-formedness,
-    + compute the diff and extend the trace.
+    + compute the diff (replayed from the model's update journal, O(changes)),
+    + re-check structural well-formedness on the touched region (or the
+      whole model under {!full_checks}),
+    + extend the trace.
 
     Each check can be disabled (the [ablation/precheck] experiment measures
     what the checks cost). *)
@@ -28,9 +30,24 @@ type checks = {
   check_pre : bool;
   check_post : bool;
   check_wf : bool;
+  full_wf : bool;
+      (** when [check_wf] is set: force the whole-model well-formedness pass
+          instead of the default scoped re-validation of the elements the
+          rewrite touched (journal diff → {!Mof.Wellformed.check_touched}).
+          The scoped pass reports exactly what the full pass would whenever
+          the input model was well-formed — which {!apply} has already
+          guaranteed for every model it produced. The flag exists for the
+          ablation experiments and for callers feeding in models of unknown
+          provenance. *)
 }
 
 val all_checks : checks
+(** Everything on, scoped well-formedness (the default). *)
+
+val full_checks : checks
+(** Everything on, whole-model well-formedness (the pre-indexing
+    behaviour). *)
+
 val no_checks : checks
 
 (** Result of one successful application. *)

@@ -282,25 +282,27 @@ let is_execution_advice (a : Aspects.Advice.t) =
   in
   kinds a.Aspects.Advice.pointcut
 
+(* One traversal of the program applies every inter-type declaration to each
+   class it reaches (declaration order preserved per class), instead of one
+   full rebuild of the program per declaration. *)
 let apply_intertypes (aspect : Aspects.Aspect.t) program =
-  List.fold_left
-    (fun program it ->
-      match it with
-      | Aspects.Aspect.It_field (pattern, field) ->
-          Code.Junit.map_classes
-            (fun c ->
-              if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
-                Code.Jdecl.add_field field c
-              else c)
-            program
-      | Aspects.Aspect.It_method (pattern, m) ->
-          Code.Junit.map_classes
-            (fun c ->
-              if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
-                Code.Jdecl.add_method m c
-              else c)
-            program)
-    program aspect.Aspects.Aspect.intertypes
+  match aspect.Aspects.Aspect.intertypes with
+  | [] -> program
+  | intertypes ->
+      let apply_to_class c it =
+        match it with
+        | Aspects.Aspect.It_field (pattern, field) ->
+            if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
+              Code.Jdecl.add_field field c
+            else c
+        | Aspects.Aspect.It_method (pattern, m) ->
+            if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
+              Code.Jdecl.add_method m c
+            else c
+      in
+      Code.Junit.map_classes
+        (fun c -> List.fold_left apply_to_class c intertypes)
+        program
 
 let weave_one (aspect : Aspects.Aspect.t) program =
   let applications = ref [] in

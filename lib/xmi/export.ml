@@ -121,9 +121,8 @@ let rec element_to_xml m (e : Mof.Element.t) =
 
 let to_xml m =
   let root = Mof.Model.root m in
-  let next =
-    Mof.Model.fold (fun e acc -> max acc (Mof.Id.to_int e.Mof.Element.id + 1)) m 0
-  in
+  (* the model's own counter already exceeds every bound id *)
+  let next = Mof.Model.next m in
   Xml.elem
     ~attrs:[ ("xmi.version", "1.2") ]
     "XMI"

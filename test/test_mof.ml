@@ -570,6 +570,134 @@ let diff_tests =
         check cs "zeroes" "+0 -0 ~0" (Format.asprintf "%a" Mof.Diff.pp d));
   ]
 
+(* ---- Store (indexes + journal) ---------------------------------------- *)
+
+let forged_attr ~id ~name ~owner ~target =
+  Mof.Element.make ~id ~name ~owner
+    (Mof.Kind.Attribute
+       {
+         attr_type = Mof.Kind.Dt_ref target;
+         attr_visibility = Mof.Kind.Private;
+         attr_mult = Mof.Kind.mult_one;
+         is_derived = false;
+         is_static = false;
+         initial_value = None;
+       })
+
+let diff_equal (a : Mof.Diff.t) (b : Mof.Diff.t) =
+  Mof.Id.Set.equal a.Mof.Diff.added b.Mof.Diff.added
+  && Mof.Id.Set.equal a.Mof.Diff.removed b.Mof.Diff.removed
+  && Mof.Id.Set.equal a.Mof.Diff.modified b.Mof.Diff.modified
+
+let store_tests =
+  [
+    Alcotest.test_case "kind and name indexes follow add/update/remove" `Quick
+      (fun () ->
+        let m, cls = with_class () in
+        check ci "one class" 1 (Mof.Id.Set.cardinal (Mof.Model.by_kind m "Class"));
+        check cb "named C" true (Mof.Id.Set.mem cls (Mof.Model.by_name m "C"));
+        let m = Mof.Model.update m cls (Mof.Element.with_name "D") in
+        check cb "old name bucket dropped" true
+          (Mof.Id.Set.is_empty (Mof.Model.by_name m "C"));
+        check cb "new name bucket gained" true
+          (Mof.Id.Set.mem cls (Mof.Model.by_name m "D"));
+        let m = Mof.Model.remove m cls in
+        check cb "kind bucket dropped" true
+          (Mof.Id.Set.is_empty (Mof.Model.by_kind m "Class")));
+    Alcotest.test_case "stereotype index follows element updates" `Quick
+      (fun () ->
+        let m, cls = with_class () in
+        let m = Mof.Builder.add_stereotype m cls "hot" in
+        check cb "indexed" true (Mof.Id.Set.mem cls (Mof.Model.by_stereotype m "hot"));
+        let m = Mof.Model.update m cls (Mof.Element.remove_stereotype "hot") in
+        check cb "dropped" true
+          (Mof.Id.Set.is_empty (Mof.Model.by_stereotype m "hot")));
+    Alcotest.test_case "owned_by mirrors the owner field" `Quick (fun () ->
+        let m, cls = with_class () in
+        check cb "listed" true
+          (Mof.Id.Set.mem cls (Mof.Model.owned_by m (Mof.Model.root m)));
+        let m = Mof.Builder.delete_element m cls in
+        check cb "gone" true
+          (not (Mof.Id.Set.mem cls (Mof.Model.owned_by m (Mof.Model.root m)))));
+    Alcotest.test_case "referrers tracks unbound targets" `Quick (fun () ->
+        let m, cls = with_class () in
+        let ghost = Mof.Id.of_int 999 in
+        let m, aid = Mof.Model.fresh_id m in
+        let m =
+          Mof.Model.add m
+            (forged_attr ~id:aid ~name:"x" ~owner:(Some cls) ~target:ghost)
+        in
+        check cb "indexed" true (Mof.Id.Set.mem aid (Mof.Model.referrers m ghost));
+        let m = Mof.Model.remove m aid in
+        check cb "dropped" true
+          (Mof.Id.Set.is_empty (Mof.Model.referrers m ghost)));
+    Alcotest.test_case "touched_since replays the journal" `Quick (fun () ->
+        let m, cls = with_class () in
+        let w = Mof.Model.watermark m in
+        let m2 = Mof.Builder.add_stereotype m cls "s" in
+        (match Mof.Model.touched_since m2 w with
+        | Some s -> check cb "cls touched" true (Mof.Id.Set.mem cls s)
+        | None -> Alcotest.fail "descendant not recognized");
+        match Mof.Model.touched_since m w with
+        | Some s -> check ci "self empty" 0 (Mof.Id.Set.cardinal s)
+        | None -> Alcotest.fail "self not recognized");
+    Alcotest.test_case "touched_since refuses foreign lineages" `Quick
+      (fun () ->
+        let m, _ = with_class () in
+        let other =
+          Mof.Model.of_elements ~root:(Mof.Model.root m) ~next:100
+            (Mof.Model.elements m)
+        in
+        check cb "unrelated" true
+          (Mof.Model.touched_since other (Mof.Model.watermark m) = None);
+        let left = Mof.Builder.add_stereotype m (Mof.Model.root m) "l" in
+        let right = Mof.Builder.add_stereotype m (Mof.Model.root m) "r" in
+        check cb "divergent branches" true
+          (Mof.Model.touched_since left (Mof.Model.watermark right) = None));
+    Alcotest.test_case "next is the serialized counter" `Quick (fun () ->
+        let m, _ = with_class () in
+        let m' =
+          Mof.Model.of_elements ~root:(Mof.Model.root m) ~next:100
+            (Mof.Model.elements m)
+        in
+        check ci "restored" 100 (Mof.Model.next m');
+        let m'', id = Mof.Model.fresh_id m' in
+        check ci "fresh uses it" 100 (Mof.Id.to_int id);
+        check ci "bumped" 101 (Mof.Model.next m''));
+    Alcotest.test_case "diff falls back to scanning foreign lineages" `Quick
+      (fun () ->
+        let a = Fixtures.banking () in
+        let b =
+          Mof.Model.of_elements ~root:(Mof.Model.root a) ~next:(Mof.Model.next a)
+            (Mof.Model.elements a)
+        in
+        let b, _ = Mof.Builder.add_class b ~owner:(Mof.Model.root b) ~name:"New" in
+        check cb "equal" true
+          (diff_equal
+             (Mof.Diff.compute ~old_model:a ~new_model:b)
+             (Mof.Diff.compute_scan ~old_model:a ~new_model:b)));
+    Alcotest.test_case "check_touched of nothing reports nothing" `Quick
+      (fun () ->
+        check ci "none" 0
+          (List.length
+             (Mof.Wellformed.check_touched (Fixtures.banking ())
+                ~touched:Mof.Id.Set.empty)));
+    Alcotest.test_case "scoped recheck catches a sibling duplicate" `Quick
+      (fun () ->
+        (* renaming touches only the renamed class, yet the duplicate-name
+           verdict is decided by the untouched owner: the scope must widen
+           through the referrers index to find it *)
+        let m, a = with_class () in
+        let m, _ = Mof.Builder.add_class m ~owner:(Mof.Model.root m) ~name:"B" in
+        let m2 = Mof.Builder.rename m a "B" in
+        let touched =
+          Mof.Diff.touched (Mof.Diff.compute ~old_model:m ~new_model:m2)
+        in
+        let scoped = Mof.Wellformed.check_touched m2 ~touched in
+        check cb "dup seen" true (has_rule Mof.Wellformed.Duplicate_name scoped);
+        check cb "same as full" true (Mof.Wellformed.check m2 = scoped));
+  ]
+
 (* ---- Pp --------------------------------------------------------------- *)
 
 let pp_tests =
@@ -602,6 +730,248 @@ let pp_tests =
              (Mof.Kind.Dt_collection Mof.Kind.Dt_integer)));
   ]
 
+(* ---- randomized store consistency ------------------------------------- *)
+
+(* Random mutation sequences over the full store vocabulary, replayed
+   against scan-based reference implementations of every index and query.
+   The op interpreters keep owner chains intact (qualified names must stay
+   total): raw [Model.remove] only ever hits forged leaf attributes owned by
+   the root, and structural deletes go through [Builder.delete_element]. *)
+
+let op_names = [| "A"; "B"; "C"; "Acct"; "We.ird"; "x" |]
+let op_stereos = [| "hot"; "cold"; "entity" |]
+
+let ops_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 50)
+      (triple (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+
+let apply_store_op (m, forged) (sel, a, b) =
+  let ids = List.map (fun (e : Mof.Element.t) -> e.Mof.Element.id) (Mof.Model.elements m) in
+  let pick k = List.nth ids (k mod List.length ids) in
+  let name k = op_names.(k mod Array.length op_names) in
+  match sel mod 9 with
+  | 0 ->
+      (fst (Mof.Builder.add_class m ~owner:(Mof.Model.root m) ~name:(name a)), forged)
+  | 1 -> (
+      match Mof.Query.classes m with
+      | [] -> (m, forged)
+      | cs ->
+          let c = (List.nth cs (a mod List.length cs)).Mof.Element.id in
+          ( fst (Mof.Builder.add_attribute m ~cls:c ~name:(name b) ~typ:Mof.Kind.Dt_integer),
+            forged ))
+  | 2 ->
+      ( Mof.Builder.add_stereotype m (pick a) op_stereos.(b mod Array.length op_stereos),
+        forged )
+  | 3 -> (Mof.Model.update m (pick a) (Mof.Element.with_name (name b)), forged)
+  | 4 ->
+      (* forged leaf: raw add, owner root, datatype ref to a possibly
+         unbound id — exercises the referrers index on dangling targets *)
+      let m, id = Mof.Model.fresh_id m in
+      let m =
+        Mof.Model.add m
+          (forged_attr ~id ~name:(name b) ~owner:(Some (Mof.Model.root m))
+             ~target:(Mof.Id.of_int (b mod 60)))
+      in
+      (m, id :: forged)
+  | 5 -> (
+      match forged with
+      | [] -> (m, forged)
+      | f :: rest -> (Mof.Model.remove m f, rest))
+  | 6 -> (
+      match List.filter (fun i -> not (Mof.Id.equal i (Mof.Model.root m))) ids with
+      | [] -> (m, forged)
+      | nr ->
+          let m = Mof.Builder.delete_element m (List.nth nr (a mod List.length nr)) in
+          (m, List.filter (Mof.Model.mem m) forged))
+  | 7 ->
+      (Mof.Model.update m (pick a) (Mof.Element.set_tag "k" (string_of_int (b mod 5))), forged)
+  | _ -> (
+      match Mof.Query.classes m with
+      | _ :: _ :: _ as cs ->
+          let child = (List.nth cs (a mod List.length cs)).Mof.Element.id in
+          let parent = (List.nth cs (b mod List.length cs)).Mof.Element.id in
+          if Mof.Id.equal child parent then (m, forged)
+          else (fst (Mof.Builder.add_generalization m ~child ~parent), forged)
+      | _ -> (m, forged))
+
+let scan_ids m p =
+  List.filter_map
+    (fun (e : Mof.Element.t) -> if p e then Some e.Mof.Element.id else None)
+    (Mof.Model.elements m)
+
+let indexes_agree m =
+  let elements = Mof.Model.elements m in
+  let eq_ids set ids = Mof.Id.Set.elements set = ids in
+  let id_probes =
+    Mof.Id.Set.elements
+      (Mof.Id.Set.of_list
+         ((Mof.Id.of_int 999
+          :: List.map (fun (e : Mof.Element.t) -> e.Mof.Element.id) elements)
+         @ List.concat_map
+             (fun (e : Mof.Element.t) -> Mof.Kind.refs e.Mof.Element.kind)
+             elements))
+  in
+  List.for_all
+    (fun k ->
+      eq_ids (Mof.Model.by_kind m k)
+        (scan_ids m (fun e -> Mof.Element.metaclass e = k)))
+    Mof.Kind.all_names
+  && List.for_all
+       (fun n ->
+         eq_ids (Mof.Model.by_name m n)
+           (scan_ids m (fun e -> e.Mof.Element.name = n)))
+       ("zz-missing"
+       :: List.map (fun (e : Mof.Element.t) -> e.Mof.Element.name) elements)
+  && List.for_all
+       (fun s ->
+         eq_ids (Mof.Model.by_stereotype m s)
+           (scan_ids m (Mof.Element.has_stereotype s)))
+       ("zz-missing"
+       :: List.concat_map
+            (fun (e : Mof.Element.t) -> e.Mof.Element.stereotypes)
+            elements)
+  && List.for_all
+       (fun t ->
+         eq_ids (Mof.Model.owned_by m t)
+           (scan_ids m (fun e -> e.Mof.Element.owner = Some t))
+         && eq_ids (Mof.Model.referrers m t)
+              (scan_ids m (fun e ->
+                   List.exists (Mof.Id.equal t) (Mof.Kind.refs e.Mof.Element.kind))))
+       id_probes
+
+(* Every id absent from [touched_since] must be bound identically in both
+   models: the journal may over-report (touch-and-revert) but never miss a
+   difference. *)
+let journal_complete base final =
+  match Mof.Model.touched_since final (Mof.Model.watermark base) with
+  | None -> false
+  | Some touched ->
+      let covered a b =
+        Mof.Model.fold
+          (fun e ok ->
+            ok
+            && (Mof.Id.Set.mem e.Mof.Element.id touched
+               ||
+               match Mof.Model.find b e.Mof.Element.id with
+               | Some e' -> Mof.Element.equal e e'
+               | None -> false))
+          a true
+      in
+      covered final base && covered base final
+
+let queries_agree m =
+  let eq_elts = List.equal Mof.Element.equal in
+  let eq_opt = Option.equal Mof.Element.equal in
+  let elements = Mof.Model.elements m in
+  let names =
+    "zz-missing"
+    :: List.map (fun (e : Mof.Element.t) -> e.Mof.Element.name) elements
+  in
+  List.for_all
+    (fun k ->
+      eq_elts (Mof.Query.of_metaclass m k)
+        (Mof.Model.filter (fun e -> Mof.Element.metaclass e = k) m))
+    Mof.Kind.all_names
+  && List.for_all
+       (fun n ->
+         eq_elts (Mof.Query.find_named m n)
+           (Mof.Model.filter (fun e -> e.Mof.Element.name = n) m)
+         && eq_opt (Mof.Query.find_class m n)
+              (List.find_opt
+                 (fun (e : Mof.Element.t) -> e.Mof.Element.name = n)
+                 (Mof.Model.filter
+                    (fun e -> Mof.Element.metaclass e = "Class")
+                    m)))
+       names
+  && List.for_all
+       (fun s ->
+         eq_elts (Mof.Query.with_stereotype m s)
+           (Mof.Model.filter (Mof.Element.has_stereotype s) m))
+       ("zz-missing" :: List.concat_map
+          (fun (e : Mof.Element.t) -> e.Mof.Element.stereotypes) elements)
+  && List.for_all
+       (fun q ->
+         eq_opt (Mof.Query.find_by_qualified_name m q)
+           (List.find_opt
+              (fun (e : Mof.Element.t) ->
+                Mof.Query.qualified_name m e.Mof.Element.id = q)
+              elements))
+       ("no.such.thing"
+       :: List.map
+            (fun (e : Mof.Element.t) -> Mof.Query.qualified_name m e.Mof.Element.id)
+            elements)
+
+(* Op interpreter for the scoped-wellformedness property: builder-level
+   mutations seeded with every violation family, while never deleting a
+   class (a dangling super would crash [supers_transitive] in the full
+   check too — deletion of classifiers is a builder-level concern). *)
+let apply_wf_op m (sel, a, b) =
+  let ids = List.map (fun (e : Mof.Element.t) -> e.Mof.Element.id) (Mof.Model.elements m) in
+  let pick k = List.nth ids (k mod List.length ids) in
+  let name k = op_names.(k mod Array.length op_names) in
+  try
+    match sel mod 8 with
+    | 0 -> fst (Mof.Builder.add_class m ~owner:(Mof.Model.root m) ~name:(name a))
+    | 1 -> (
+        match Mof.Query.classes m with
+        | [] -> m
+        | cs ->
+            let c = (List.nth cs (a mod List.length cs)).Mof.Element.id in
+            let typ =
+              if b mod 4 = 0 then Mof.Kind.Dt_ref (Mof.Id.of_int 998)
+              else Mof.Kind.Dt_integer
+            in
+            let mult =
+              if b mod 5 = 0 then { Mof.Kind.lower = 3; upper = Some 1 }
+              else Mof.Kind.mult_one
+            in
+            let nm = if b mod 7 = 0 then "" else name b in
+            fst (Mof.Builder.add_attribute m ~cls:c ~name:nm ~typ ~mult))
+    | 2 -> (
+        match Mof.Query.classes m with
+        | [] -> m
+        | cs ->
+            let c = (List.nth cs (a mod List.length cs)).Mof.Element.id in
+            fst
+              (Mof.Builder.add_operation m ~owner:c ~name:(name b)
+                 ~is_abstract:(b mod 3 = 0)))
+    | 3 -> (
+        match Mof.Query.classes m with
+        | _ :: _ :: _ as cs ->
+            let child = (List.nth cs (a mod List.length cs)).Mof.Element.id in
+            let parent = (List.nth cs (b mod List.length cs)).Mof.Element.id in
+            if Mof.Id.equal child parent then m
+            else fst (Mof.Builder.add_generalization m ~child ~parent)
+        | _ -> m)
+    | 4 -> (
+        let leaves =
+          Mof.Model.filter
+            (fun e ->
+              (match e.Mof.Element.kind with
+              | Mof.Kind.Attribute _ | Mof.Kind.Operation _ | Mof.Kind.Parameter _ -> true
+              | _ -> false)
+              (* orphans forged under a since-deleted owner cannot be
+                 unlinked; they stay as owner-mismatch violations *)
+              && match e.Mof.Element.owner with
+                 | Some o -> Mof.Model.mem m o
+                 | None -> false)
+            m
+        in
+        match leaves with
+        | [] -> m
+        | _ ->
+            Mof.Builder.delete_element m
+              (List.nth leaves (a mod List.length leaves)).Mof.Element.id)
+    | 5 -> Mof.Builder.rename m (pick a) (if b mod 6 = 0 then "" else name b)
+    | 6 -> Mof.Builder.add_stereotype m (pick a) "s"
+    | _ ->
+        (* orphan: owner never lists raw-added elements *)
+        let m, id = Mof.Model.fresh_id m in
+        Mof.Model.add m
+          (forged_attr ~id ~name:(name b) ~owner:(Some (pick a)) ~target:(pick b))
+  with Mof.Builder.Builder_error _ -> m
+
 (* ---- properties ------------------------------------------------------- *)
 
 let property_tests =
@@ -623,6 +993,28 @@ let property_tests =
               let q = Mof.Query.qualified_name m e.Mof.Element.id in
               String.length q > 0)
             (Mof.Model.elements m));
+      QCheck2.Test.make
+        ~name:"indexes, journal, diff and queries match a full rescan"
+        ~count:60 ops_gen
+        (fun ops ->
+          let base = Fixtures.banking () in
+          let final, _ = List.fold_left apply_store_op (base, []) ops in
+          indexes_agree final
+          && journal_complete base final
+          && diff_equal
+               (Mof.Diff.compute ~old_model:base ~new_model:final)
+               (Mof.Diff.compute_scan ~old_model:base ~new_model:final)
+          && queries_agree final);
+      QCheck2.Test.make
+        ~name:"scoped well-formedness equals the full pass" ~count:80 ops_gen
+        (fun ops ->
+          let base = Fixtures.banking () in
+          let final = List.fold_left apply_wf_op base ops in
+          let touched =
+            Mof.Diff.touched (Mof.Diff.compute ~old_model:base ~new_model:final)
+          in
+          Mof.Wellformed.check final
+          = Mof.Wellformed.check_touched final ~touched);
     ]
 
 let () =
@@ -636,6 +1028,7 @@ let () =
       ("query", query_tests);
       ("wellformed", wellformed_tests);
       ("diff", diff_tests);
+      ("store", store_tests);
       ("pp", pp_tests);
       ("properties", property_tests);
     ]

@@ -681,6 +681,23 @@ let property_tests =
           | Ocl.Value.V_set xs ->
               Ocl.Value.equal (Ocl.Value.set xs) (Ocl.Value.V_set xs)
           | _ -> false);
+      QCheck2.Test.make
+        ~name:"allInstances over the kind index matches a full scan" ~count:50
+        Gen.model_gen
+        (fun m ->
+          let scan name =
+            Some
+              (Ocl.Value.set
+                 (List.filter_map
+                    (fun (e : Mof.Element.t) ->
+                      if Mof.Element.metaclass e = name then
+                        Some (Ocl.Value.V_elem e.Mof.Element.id)
+                      else None)
+                    (Mof.Model.elements m)))
+          in
+          List.for_all
+            (fun name -> Ocl.Meta.all_instances m name = scan name)
+            Mof.Kind.all_names);
       QCheck2.Test.make ~name:"forAll agrees with List.for_all" ~count:100
         QCheck2.Gen.(pair int_list_gen (int_range (-20) 20))
         (fun (xs, k) ->

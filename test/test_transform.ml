@@ -454,6 +454,51 @@ let engine_tests =
         match Engine.step session (adder [ "Account" ]) with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "expected failure");
+    Alcotest.test_case "scoped and full well-formedness agree on Fig. 2" `Quick
+      (fun () ->
+        (* the paper's banking pipeline: every refinement step must pass the
+           scoped (journal-driven) re-validation exactly when it passes the
+           whole-model pass, and produce the same model *)
+        let v_names names =
+          Params.V_list (List.map (fun n -> Params.V_ident n) names)
+        in
+        let cmts =
+          [
+            Cmt.specialize_exn Concerns.Distribution.transformation
+              [ ("remote", v_names [ "Account"; "Teller" ]) ];
+            Cmt.specialize_exn Concerns.Transactions.transformation
+              [ ("transactional", v_names [ "Account" ]) ];
+            Cmt.specialize_exn Concerns.Security.transformation
+              [ ("secured", v_names [ "Teller" ]) ];
+          ]
+        in
+        let step m cmt =
+          match
+            ( Engine.apply cmt m,
+              Engine.apply ~checks:Engine.full_checks cmt m )
+          with
+          | Ok scoped, Ok full ->
+              check cb
+                (Printf.sprintf "%s: same model" (Cmt.name cmt))
+                true
+                (Mof.Model.equal scoped.Engine.model full.Engine.model);
+              scoped.Engine.model
+          | Error f, _ | _, Error f ->
+              Alcotest.fail (Format.asprintf "%a" Engine.pp_failure f)
+        in
+        ignore (List.fold_left step (Fixtures.banking ()) cmts));
+    Alcotest.test_case "scoped and full passes report the same violations"
+      `Quick (fun () ->
+        let cmt = Cmt.specialize_exn breaker_gmt [] in
+        match
+          ( Engine.apply cmt (Fixtures.banking ()),
+            Engine.apply ~checks:Engine.full_checks cmt (Fixtures.banking ()) )
+        with
+        | ( Error (Engine.Not_wellformed scoped),
+            Error (Engine.Not_wellformed full) ) ->
+            check cb "non-empty" true (scoped <> []);
+            check cb "identical" true (scoped = full)
+        | _, _ -> Alcotest.fail "expected well-formedness failures");
   ]
 
 (* ---- report --------------------------------------------------------------- *)
