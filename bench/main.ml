@@ -23,7 +23,7 @@ let fig2_project () =
   let refine project concern params =
     match Core.Pipeline.refine project ~concern ~params with
     | Ok (project, _) -> project
-    | Error e -> failwith e
+    | Error e -> failwith (Core.Pipeline.error_to_string e)
   in
   let project =
     refine project "distribution" [ ("remote", v_names [ "Account"; "Teller" ]) ]
@@ -72,13 +72,13 @@ let e2_tests =
        Staged.stage (fun () ->
            match Core.Pipeline.build project with
            | Ok a -> ignore a
-           | Error e -> failwith e));
+           | Error e -> failwith (Core.Pipeline.error_to_string e)));
     Test.make ~name:"fig2/pipeline:end-to-end"
       (Staged.stage (fun () ->
            let project = fig2_project () in
            match Core.Pipeline.build project with
            | Ok a -> ignore a
-           | Error e -> failwith e));
+           | Error e -> failwith (Core.Pipeline.error_to_string e)));
     Test.make ~name:"fig2/pipeline:pim-construction-baseline"
       (Staged.stage (fun () -> ignore (Fixtures.banking ())));
     Test.make ~name:"fig2/pipeline:coloring"
@@ -274,14 +274,14 @@ let e8_tests =
           ]
     with
     | Ok (p, _) -> p
-    | Error e -> failwith e
+    | Error e -> failwith (Core.Pipeline.error_to_string e)
   in
   [
     Test.make ~name:"ablation/monolithic:aspect-route-build"
       (Staged.stage (fun () ->
            match Core.Pipeline.build project with
            | Ok a -> ignore a
-           | Error e -> failwith e));
+           | Error e -> failwith (Core.Pipeline.error_to_string e)));
     Test.make ~name:"ablation/monolithic:monolithic-codegen"
       (Staged.stage (fun () -> ignore (Core.Pipeline.monolithic_code project)));
     Test.make ~name:"ablation/monolithic:reconfigure-aspect-route"
@@ -289,7 +289,7 @@ let e8_tests =
            let p = reconfigured () in
            match Core.Pipeline.build p with
            | Ok a -> ignore a
-           | Error e -> failwith e));
+           | Error e -> failwith (Core.Pipeline.error_to_string e)));
     Test.make ~name:"ablation/monolithic:reconfigure-monolithic"
       (Staged.stage (fun () ->
            let p = reconfigured () in
@@ -304,7 +304,7 @@ let e9_tests =
   let woven =
     match Core.Pipeline.build project with
     | Ok a -> a.Core.Artifacts.woven
-    | Error e -> failwith e
+    | Error e -> failwith (Core.Pipeline.error_to_string e)
   in
   let deposit program =
     ignore

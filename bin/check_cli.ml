@@ -1,0 +1,69 @@
+(* check — long-run driver for the metamorphic fuzz harness.
+
+   Runs each oracle for a given number of randomized cases, prints
+   throughput, and on failure prints the shrunk reproducer and exits 1.
+   Every case is replayable from (oracle, seed, case index); see
+   lib/check/harness.mli. *)
+
+let () =
+  let seed = ref 42 in
+  let count = ref 10_000 in
+  let oracles = ref [] in
+  let list_only = ref false in
+  let quiet = ref false in
+  let spec =
+    [
+      ("--seed", Arg.Set_int seed, "N  run seed (default 42)");
+      ("--count", Arg.Set_int count, "N  cases per oracle (default 10000)");
+      ( "--oracle",
+        Arg.String (fun s -> oracles := s :: !oracles),
+        "NAME  run only this oracle (repeatable); default: all" );
+      ("--list", Arg.Set list_only, "  list oracle names and exit");
+      ("--quiet", Arg.Set quiet, "  suppress per-oracle progress");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "check [--seed N] [--count N] [--oracle NAME]...";
+  if !list_only then begin
+    List.iter (fun (o : Check.Oracle.t) -> print_endline o.name) Check.Oracle.all;
+    exit 0
+  end;
+  let selected =
+    match !oracles with
+    | [] -> Check.Oracle.all
+    | names ->
+        List.rev_map
+          (fun n ->
+            match Check.Oracle.find n with
+            | Some o -> o
+            | None ->
+                Printf.eprintf "check: unknown oracle %S (try --list)\n" n;
+                exit 2)
+          names
+  in
+  let seed64 = Int64.of_int !seed in
+  let failed = ref false in
+  List.iter
+    (fun (o : Check.Oracle.t) ->
+      let progress i =
+        if not !quiet then begin
+          Printf.printf "\r%-6s %d/%d" o.name i !count;
+          flush stdout
+        end
+      in
+      let finish (s : Check.Harness.stats) =
+        let rate =
+          if s.elapsed > 0. then float_of_int s.cases /. s.elapsed else 0.
+        in
+        Printf.printf "\r%-6s %d cases in %.2fs (%.0f cases/s)\n" o.name
+          s.cases s.elapsed rate
+      in
+      match Check.Harness.run ~progress o ~seed:seed64 ~count:!count with
+      | Ok stats -> finish stats
+      | Error (f, stats) ->
+          finish stats;
+          failed := true;
+          Format.printf "%a@." Check.Harness.pp_failure f)
+    selected;
+  if !failed then exit 1

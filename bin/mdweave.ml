@@ -256,7 +256,7 @@ let refined_project m steps =
       | Ok (project, report) ->
           print_endline (Transform.Report.summary report);
           project
-      | Error e -> or_die (Error e))
+      | Error e -> or_die (Error (Core.Pipeline.error_to_string e)))
     project steps
 
 let steps_arg =
@@ -289,7 +289,11 @@ let build_cmd =
     Core.Platform.ensure_registered ();
     let m = or_die (read_model file) in
     let project = refined_project m steps in
-    let artifacts = or_die (Core.Pipeline.build project) in
+    let artifacts =
+      or_die
+        (Result.map_error Core.Pipeline.error_to_string
+           (Core.Pipeline.build project))
+    in
     Core.Artifacts.write_to_dir outdir artifacts;
     Xmi.Export.write_file
       (Filename.concat outdir "refined.xmi")
@@ -368,7 +372,11 @@ let run_cmd =
     Core.Platform.ensure_registered ();
     let m = or_die (read_model file) in
     let project = refined_project m steps in
-    let artifacts = or_die (Core.Pipeline.build project) in
+    let artifacts =
+      or_die
+        (Result.map_error Core.Pipeline.error_to_string
+           (Core.Pipeline.build project))
+    in
     let faults =
       List.map
         (fun spec ->

@@ -38,7 +38,7 @@ let refine project ~concern ~params =
   | Ok (project, report) ->
       Printf.printf "applied: %s\n" (Transform.Report.summary report);
       project
-  | Error e -> failwith e
+  | Error e -> failwith (Core.Pipeline.error_to_string e)
 
 let () =
   let open Transform.Params in
@@ -101,7 +101,7 @@ let () =
 
   (* build the undone project: logging aspect should be absent *)
   match Core.Pipeline.build project' with
-  | Error e -> failwith e
+  | Error e -> failwith (Core.Pipeline.error_to_string e)
   | Ok artifacts ->
       print_endline "\nartifacts after undo:";
       print_endline (Core.Artifacts.summary artifacts);

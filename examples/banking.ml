@@ -71,7 +71,7 @@ let refine project ~concern ~params =
   let project, report =
     match Core.Pipeline.refine project ~concern ~params with
     | Ok result -> result
-    | Error e -> failwith e
+    | Error e -> failwith (Core.Pipeline.error_to_string e)
   in
   Printf.printf "\napplied: %s\n" (Transform.Report.summary report);
   show_guidance project;
@@ -125,7 +125,7 @@ let () =
 
   print_endline "\n== build: functional code + A1, A2, A3 + weave ==";
   match Core.Pipeline.build project with
-  | Error e -> failwith e
+  | Error e -> failwith (Core.Pipeline.error_to_string e)
   | Ok artifacts ->
       print_endline (Core.Artifacts.summary artifacts);
       print_endline "\naspect precedence (= transformation order):";

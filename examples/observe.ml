@@ -16,7 +16,7 @@ let refine project concern params =
   | Ok (project, report) ->
       Printf.printf "applied: %s\n" (Transform.Report.summary report);
       project
-  | Error e -> failwith e
+  | Error e -> failwith (Core.Pipeline.error_to_string e)
 
 let banking_pim () =
   let m = Mof.Model.create ~name:"banking" in
@@ -76,7 +76,7 @@ let () =
            else m))
   in
   let generated =
-    match Core.Pipeline.aspects project with Ok g -> g | Error e -> failwith e
+    match Core.Pipeline.aspects project with Ok g -> g | Error e -> failwith (Core.Pipeline.error_to_string e)
   in
   let woven = (Weaver.Weave.weave generated functional).Weaver.Weave.program in
 

@@ -34,7 +34,7 @@ let () =
   let project, report =
     match Core.Pipeline.refine project ~concern:"transactions" ~params with
     | Ok result -> result
-    | Error e -> failwith e
+    | Error e -> failwith (Core.Pipeline.error_to_string e)
   in
   print_endline "== refinement report ==";
   print_endline (Transform.Report.summary report);
@@ -44,7 +44,7 @@ let () =
 
   print_endline "\n== generated artifacts ==";
   match Core.Pipeline.build project with
-  | Error e -> failwith e
+  | Error e -> failwith (Core.Pipeline.error_to_string e)
   | Ok artifacts ->
       print_endline (Core.Artifacts.summary artifacts);
       print_endline "\n== concrete aspect (same parameter set) ==";

@@ -37,7 +37,7 @@ let refine project ~concern ~params =
   | Ok (project, report) ->
       Printf.printf "applied: %s\n" (Transform.Report.summary report);
       project
-  | Error e -> failwith e
+  | Error e -> failwith (Core.Pipeline.error_to_string e)
 
 let level_string project =
   match Core.Level.of_model (Core.Project.model project) with
@@ -47,7 +47,7 @@ let level_string project =
 let build_exn project =
   match Core.Pipeline.build project with
   | Ok artifacts -> artifacts
-  | Error e -> failwith e
+  | Error e -> failwith (Core.Pipeline.error_to_string e)
 
 let () =
   let open Transform.Params in

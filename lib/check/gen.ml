@@ -1,0 +1,661 @@
+(* ---- string pools ------------------------------------------------------- *)
+
+(* Dotted, accented, CJK, emoji, XML-hostile: every pool entry is non-blank
+   and newline-free (names travel in XML attributes). *)
+let name_bases =
+  [
+    "alpha"; "Beta"; "gamma"; "Délta"; "épsilon"; "naïve"; "größe"; "émigré";
+    "店番"; "😀smile"; "dot.ted"; "a.b.c"; "am&persand"; "less<than";
+    "quo\"te"; "apos'trophe"; "two words"; "tab\tchar"; "über"; "Ωmega";
+  ]
+
+let stereotype_pool =
+  [ "remote"; "transactional"; "sécurisé"; "日志"; "a&b"; "dotted.stereo" ]
+
+let tag_keys = [ "doc"; "note"; "lévél"; "origin&x" ]
+
+let tag_values =
+  [
+    "plain"; "café 😀"; "line one\nline two"; "a < b & \"c\" 'd'";
+    "trailing space "; "…ellipsis…"; "&#fake;ref"; "]]>cdata-bait";
+  ]
+
+let constraint_bodies =
+  [
+    "inv: self.x < 1 & self.y > 0";
+    "inv: name <> 'été'";
+    "pre: 1 < 2 && \"quoted\"";
+    "post: café 😀 <&> done";
+    "inv: literal&#65;not-a-ref";
+  ]
+
+let initial_values = [ "0"; "<empty>"; "'é'"; "a&b"; "😀" ]
+
+let fresh_name rng counter =
+  let base = Prng.choose rng name_bases in
+  incr counter;
+  Printf.sprintf "%s_%d" base !counter
+
+(* ---- slot bookkeeping ---------------------------------------------------- *)
+
+type info =
+  | I_pkg
+  | I_cls of bool  (* abstract? *)
+  | I_ifc
+  | I_opn
+  | I_other
+
+type slot = { info : info; s_name : string; s_owner : int }
+
+(* Gen-time mirror of Edit.apply's slot table, assuming every creation
+   succeeds (true for constructive base scripts; harmless over-approximation
+   for edit scripts, whose dangling references are skipped at apply time). *)
+let scan root_name script =
+  let slots = ref [ { info = I_pkg; s_name = root_name; s_owner = -1 } ] in
+  let push s = slots := !slots @ [ s ] in
+  List.iter
+    (fun op ->
+      match (op : Edit.op) with
+      | Edit.Add_package { owner; name } ->
+          push { info = I_pkg; s_name = name; s_owner = owner }
+      | Edit.Add_class { owner; name; abstract } ->
+          push { info = I_cls abstract; s_name = name; s_owner = owner }
+      | Edit.Add_interface { owner; name } ->
+          push { info = I_ifc; s_name = name; s_owner = owner }
+      | Edit.Add_attribute { cls; name; _ } ->
+          push { info = I_other; s_name = name; s_owner = cls }
+      | Edit.Add_operation { owner; name; _ } ->
+          push { info = I_opn; s_name = name; s_owner = owner }
+      | Edit.Add_parameter { op; name; _ } ->
+          push { info = I_other; s_name = name; s_owner = op }
+      | Edit.Add_generalization { child; _ } ->
+          push { info = I_other; s_name = "gen"; s_owner = child }
+      | Edit.Add_association { owner; name; _ }
+      | Edit.Add_enumeration { owner; name; _ }
+      | Edit.Add_constraint { owner; name; _ } ->
+          push { info = I_other; s_name = name; s_owner = owner }
+      | Edit.Set_result _ | Edit.Add_realization _ | Edit.Add_stereotype _
+      | Edit.Remove_stereotype _ | Edit.Set_tag _ | Edit.Remove_tag _
+      | Edit.Rename _ | Edit.Delete _ ->
+          ())
+    script;
+  Array.of_list !slots
+
+let indices_of pred slots =
+  let acc = ref [] in
+  Array.iteri (fun i s -> if pred s then acc := i :: !acc) slots;
+  List.rev !acc
+
+(* ---- base scripts -------------------------------------------------------- *)
+
+let random_dt rng classifiers =
+  let scalar () =
+    Prng.choose rng
+      [ Edit.D_boolean; Edit.D_integer; Edit.D_real; Edit.D_string ]
+  in
+  match classifiers with
+  | [] -> scalar ()
+  | _ ->
+      if Prng.chance rng 1 3 then
+        let r = Edit.D_ref (Prng.choose rng classifiers) in
+        if Prng.chance rng 1 4 then Edit.D_collection r else r
+      else scalar ()
+
+let base_script rng =
+  let counter = ref 0 in
+  let size = Prng.range rng 4 22 in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  (* mutable mirrors of the slot table *)
+  let slots = ref [| { info = I_pkg; s_name = "fuzz"; s_owner = -1 } |] in
+  let push s = slots := Array.append !slots [| s |] in
+  let pkgs () = indices_of (fun s -> s.info = I_pkg) !slots in
+  let classes () =
+    indices_of (fun s -> match s.info with I_cls _ -> true | _ -> false) !slots
+  in
+  let abstract_classes () =
+    indices_of (fun s -> s.info = I_cls true) !slots
+  in
+  let ifaces () = indices_of (fun s -> s.info = I_ifc) !slots in
+  let opns () = indices_of (fun s -> s.info = I_opn) !slots in
+  let gen_pairs = ref [] in
+  for _ = 1 to size do
+    let roll = Prng.int rng 100 in
+    if roll < 14 then begin
+      let owner = Prng.choose rng (pkgs ()) in
+      let name = fresh_name rng counter in
+      emit (Edit.Add_package { owner; name });
+      push { info = I_pkg; s_name = name; s_owner = owner }
+    end
+    else if roll < 34 then begin
+      let owner = Prng.choose rng (pkgs ()) in
+      let name = fresh_name rng counter in
+      let abstract = Prng.chance rng 1 4 in
+      emit (Edit.Add_class { owner; name; abstract });
+      push { info = I_cls abstract; s_name = name; s_owner = owner }
+    end
+    else if roll < 41 then begin
+      let owner = Prng.choose rng (pkgs ()) in
+      let name = fresh_name rng counter in
+      emit (Edit.Add_interface { owner; name });
+      push { info = I_ifc; s_name = name; s_owner = owner }
+    end
+    else if roll < 55 then begin
+      match classes () with
+      | [] -> ()
+      | cs ->
+          let cls = Prng.choose rng cs in
+          let name = fresh_name rng counter in
+          let typ = random_dt rng (classes () @ ifaces ()) in
+          let static = Prng.chance rng 1 6 in
+          let initial =
+            if Prng.chance rng 1 4 then Some (Prng.choose rng initial_values)
+            else None
+          in
+          emit (Edit.Add_attribute { cls; name; typ; static; initial });
+          push { info = I_other; s_name = name; s_owner = cls }
+    end
+    else if roll < 67 then begin
+      match classes () @ ifaces () with
+      | [] -> ()
+      | owners ->
+          let owner = Prng.choose rng owners in
+          let name = fresh_name rng counter in
+          (* abstract operations only where a concrete class cannot end up
+             holding them, keeping the base well-formed *)
+          let may_abstract =
+            (!slots).(owner).info = I_ifc
+            || List.mem owner (abstract_classes ())
+          in
+          let abstract = may_abstract && Prng.chance rng 1 3 in
+          let query = Prng.chance rng 1 4 in
+          emit (Edit.Add_operation { owner; name; abstract; query });
+          push { info = I_opn; s_name = name; s_owner = owner }
+    end
+    else if roll < 74 then begin
+      match opns () with
+      | [] -> ()
+      | os ->
+          let op = Prng.choose rng os in
+          if Prng.bool rng then begin
+            let name = fresh_name rng counter in
+            let typ = random_dt rng (classes ()) in
+            emit (Edit.Add_parameter { op; name; typ });
+            push { info = I_other; s_name = name; s_owner = op }
+          end
+          else emit (Edit.Set_result { op; typ = random_dt rng (classes ()) })
+    end
+    else if roll < 80 then begin
+      (* generalization from a later to a strictly earlier class: acyclic by
+         construction, and each (child, parent) pair at most once so the
+         derived "C->P" element names stay unique among siblings *)
+      match classes () with
+      | [] | [ _ ] -> ()
+      | cs ->
+          let child = Prng.choose rng cs in
+          let earlier = List.filter (fun p -> p < child) cs in
+          (match earlier with
+          | [] -> ()
+          | _ ->
+              let parent = Prng.choose rng earlier in
+              if not (List.mem (child, parent) !gen_pairs) then begin
+                gen_pairs := (child, parent) :: !gen_pairs;
+                emit (Edit.Add_generalization { child; parent });
+                push { info = I_other; s_name = "gen"; s_owner = child }
+              end)
+    end
+    else if roll < 84 then begin
+      match (classes (), ifaces ()) with
+      | cls :: _, ifc :: _ ->
+          emit
+            (Edit.Add_realization
+               { cls = Prng.choose rng (cls :: classes ()); iface = ifc })
+      | _ -> ()
+    end
+    else if roll < 88 then begin
+      match classes () with
+      | [] -> ()
+      | cs ->
+          let owner = Prng.choose rng (pkgs ()) in
+          let name = fresh_name rng counter in
+          let from_ = Prng.choose rng cs and to_ = Prng.choose rng cs in
+          emit (Edit.Add_association { owner; name; from_; to_ });
+          push { info = I_other; s_name = name; s_owner = owner }
+    end
+    else if roll < 91 then begin
+      let owner = Prng.choose rng (pkgs ()) in
+      let name = fresh_name rng counter in
+      let literals =
+        List.init (Prng.range rng 1 4) (fun _ -> fresh_name rng counter)
+      in
+      emit (Edit.Add_enumeration { owner; name; literals });
+      push { info = I_other; s_name = name; s_owner = owner }
+    end
+    else if roll < 94 then begin
+      let owner = Prng.choose rng (pkgs ()) in
+      let name = fresh_name rng counter in
+      let body = Prng.choose rng constraint_bodies in
+      let all = Array.length !slots in
+      let constrained =
+        List.init (Prng.int rng 3) (fun _ -> Prng.int rng all)
+      in
+      emit (Edit.Add_constraint { owner; name; constrained; body });
+      push { info = I_other; s_name = name; s_owner = owner }
+    end
+    else if roll < 97 then
+      emit
+        (Edit.Add_stereotype
+           {
+             target = Prng.int rng (Array.length !slots);
+             stereotype = Prng.choose rng stereotype_pool;
+           })
+    else
+      emit
+        (Edit.Set_tag
+           {
+             target = Prng.int rng (Array.length !slots);
+             key = Prng.choose rng tag_keys;
+             value = Prng.choose rng tag_values;
+           })
+  done;
+  (* occasionally plant a qualified-name collision: a root-level class whose
+     dotted simple name spells the path of a nested element *)
+  (if Prng.chance rng 1 4 then
+     let nested =
+       indices_of
+         (fun s -> s.s_owner > 0 && (!slots).(s.s_owner).s_owner = 0)
+         !slots
+     in
+     match nested with
+     | [] -> ()
+     | _ ->
+         let j = Prng.choose rng nested in
+         let owner_name = (!slots).((!slots).(j).s_owner).s_name in
+         let name = owner_name ^ "." ^ (!slots).(j).s_name in
+         emit (Edit.Add_class { owner = 0; name; abstract = false }));
+  List.rev !ops
+
+(* ---- edit scripts -------------------------------------------------------- *)
+
+let edit_script rng ~base =
+  let counter = ref 10_000 in
+  let slots = ref (scan "fuzz" base) in
+  let push s = slots := Array.append !slots [| s |] in
+  let total () = Array.length !slots in
+  let any () = Prng.int rng (total ()) in
+  let existing_name () = (!slots).(any ()).s_name in
+  let size = Prng.range rng 1 12 in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  for _ = 1 to size do
+    let roll = Prng.int rng 100 in
+    if roll < 12 then emit (Edit.Delete { target = any () })
+    else if roll < 22 then begin
+      (* rename: fresh, colliding, dotted-colliding, or empty *)
+      let target = any () in
+      let name =
+        let r = Prng.int rng 10 in
+        if r < 4 then fresh_name rng counter
+        else if r < 7 then existing_name ()
+        else if r < 9 then
+          let j = any () in
+          let o = (!slots).(j).s_owner in
+          if o >= 0 then (!slots).(o).s_name ^ "." ^ (!slots).(j).s_name
+          else fresh_name rng counter
+        else ""
+      in
+      emit (Edit.Rename { target; name })
+    end
+    else if roll < 32 then begin
+      (* generalization in an arbitrary direction: cycles allowed *)
+      emit (Edit.Add_generalization { child = any (); parent = any () })
+    end
+    else if roll < 42 then begin
+      let owner = any () in
+      let name = fresh_name rng counter in
+      let abstract = Prng.chance rng 1 3 in
+      emit (Edit.Add_class { owner; name; abstract });
+      push { info = I_cls abstract; s_name = name; s_owner = owner }
+    end
+    else if roll < 50 then begin
+      let cls = any () in
+      let name =
+        if Prng.chance rng 1 4 then existing_name ()
+        else fresh_name rng counter
+      in
+      emit
+        (Edit.Add_attribute
+           {
+             cls;
+             name;
+             typ = random_dt rng [ any () ];
+             static = Prng.bool rng;
+             initial =
+               (if Prng.bool rng then Some (Prng.choose rng initial_values)
+                else None);
+           });
+      push { info = I_other; s_name = name; s_owner = cls }
+    end
+    else if roll < 58 then begin
+      let owner = any () in
+      let name =
+        if Prng.chance rng 1 4 then existing_name ()
+        else fresh_name rng counter
+      in
+      (* abstract operations may land on concrete classes here: the edited
+         model is allowed to be ill-formed *)
+      emit
+        (Edit.Add_operation
+           { owner; name; abstract = Prng.chance rng 1 3; query = Prng.bool rng });
+      push { info = I_opn; s_name = name; s_owner = owner }
+    end
+    else if roll < 64 then begin
+      let owner = any () in
+      let name = fresh_name rng counter in
+      let lit = fresh_name rng counter in
+      let literals =
+        if Prng.chance rng 1 3 then [ lit; lit ]  (* duplicate literal *)
+        else [ lit; fresh_name rng counter ]
+      in
+      emit (Edit.Add_enumeration { owner; name; literals });
+      push { info = I_other; s_name = name; s_owner = owner }
+    end
+    else if roll < 72 then
+      emit
+        (Edit.Add_stereotype
+           { target = any (); stereotype = Prng.choose rng stereotype_pool })
+    else if roll < 78 then
+      emit
+        (Edit.Remove_stereotype
+           { target = any (); stereotype = Prng.choose rng stereotype_pool })
+    else if roll < 86 then
+      emit
+        (Edit.Set_tag
+           {
+             target = any ();
+             key = Prng.choose rng tag_keys;
+             value = Prng.choose rng tag_values;
+           })
+    else if roll < 90 then
+      emit (Edit.Remove_tag { target = any (); key = Prng.choose rng tag_keys })
+    else if roll < 95 then begin
+      let owner = any () in
+      let name = fresh_name rng counter in
+      emit (Edit.Add_package { owner; name });
+      push { info = I_pkg; s_name = name; s_owner = owner }
+    end
+    else begin
+      let owner = any () in
+      let name = fresh_name rng counter in
+      emit
+        (Edit.Add_constraint
+           {
+             owner;
+             name;
+             constrained = [ any (); any () ];
+             body = Prng.choose rng constraint_bodies;
+           });
+      push { info = I_other; s_name = name; s_owner = owner }
+    end
+  done;
+  List.rev !ops
+
+(* ---- weaving cases ------------------------------------------------------- *)
+
+let method_names = [ "m0"; "m1"; "m2"; "deposit" ]
+let class_names = [ "C0"; "C1"; "C2"; "Account" ]
+
+let random_body rng cls =
+  let stmt i =
+    match Prng.int rng 5 with
+    | 0 ->
+        Code.Jstmt.S_local
+          (Code.Jtype.T_int, Printf.sprintf "v%d" i, Some (Code.Jexpr.E_int i))
+    | 1 ->
+        Code.Jstmt.S_expr
+          (Code.Jexpr.E_call (None, Prng.choose rng method_names, []))
+    | 2 ->
+        Code.Jstmt.S_expr
+          (Code.Jexpr.E_call
+             (Some Code.Jexpr.E_this, Prng.choose rng method_names, []))
+    | 3 ->
+        Code.Jstmt.S_expr
+          (Code.Jexpr.E_assign
+             (Code.Jexpr.E_field (Code.Jexpr.E_this, "f"), Code.Jexpr.E_int i))
+    | _ ->
+        Code.Jstmt.S_if
+          ( Code.Jexpr.E_binary
+              ("<", Code.Jexpr.E_name "f", Code.Jexpr.E_int 10),
+            [
+              Code.Jstmt.S_expr
+                (Code.Jexpr.E_call (None, Prng.choose rng method_names, []));
+            ],
+            [] )
+  in
+  let n = Prng.range rng 1 4 in
+  let body = List.init n stmt in
+  if Prng.bool rng then
+    body
+    @ [
+        Code.Jstmt.S_return
+          (Some (Code.Jexpr.E_field (Code.Jexpr.E_this, "f")));
+      ]
+  else body @ [ Code.Jstmt.S_comment ("end of " ^ cls) ]
+
+let random_class rng name =
+  let methods =
+    List.filter_map
+      (fun mname ->
+        if Prng.chance rng 2 3 then
+          Some
+            {
+              Code.Jdecl.method_name = mname;
+              method_mods = [ Code.Jdecl.M_public ];
+              return_type = Code.Jtype.T_int;
+              params = [];
+              throws = [];
+              body = Some (random_body rng name);
+            }
+        else None)
+      method_names
+  in
+  {
+    Code.Jdecl.class_name = name;
+    class_mods = [ Code.Jdecl.M_public ];
+    extends = None;
+    implements = [];
+    fields =
+      [
+        {
+          Code.Jdecl.field_name = "f";
+          field_type = Code.Jtype.T_int;
+          field_mods = [ Code.Jdecl.M_private ];
+          field_init = Some (Code.Jexpr.E_int 0);
+        };
+      ];
+    methods;
+  }
+
+let pattern_pool = [ "C0"; "C1"; "C*"; "Account"; "*"; "m0"; "m*"; "deposit" ]
+
+let random_pointcut rng =
+  let pat () = Prng.choose rng pattern_pool in
+  let leaf () =
+    match Prng.int rng 4 with
+    | 0 -> Aspects.Pointcut.execution (pat ()) (pat ())
+    | 1 -> Aspects.Pointcut.call (pat ()) (pat ())
+    | 2 -> Aspects.Pointcut.set_field (pat ()) "f"
+    | _ -> Aspects.Pointcut.execution (pat ()) "*"
+  in
+  if Prng.chance rng 1 4 then
+    Aspects.Pointcut.And (leaf (), Aspects.Pointcut.within (pat ()))
+  else leaf ()
+
+let log_call text =
+  Code.Jstmt.S_expr
+    (Code.Jexpr.E_call
+       ( None,
+         "log",
+         [ Code.Jexpr.E_name "thisJoinPoint"; Code.Jexpr.E_string text ] ))
+
+let random_advice rng i =
+  let time =
+    Prng.choose rng
+      Aspects.Advice.[ Before; After; After_returning; Around ]
+  in
+  let tag = Printf.sprintf "adv%d" i in
+  let body =
+    match time with
+    | Aspects.Advice.Around -> [ log_call tag; Aspects.Advice.proceed ]
+    | _ -> [ log_call tag ]
+  in
+  Aspects.Advice.make ~name:tag time (random_pointcut rng) body
+
+type weave_case = {
+  program : Code.Junit.program;
+  aspects : Aspects.Generator.generated list;
+}
+
+let weave_case rng =
+  let n_classes = Prng.range rng 1 3 in
+  let classes =
+    List.filteri (fun i _ -> i < n_classes) class_names
+    |> List.map (fun name -> Code.Jdecl.Class (random_class rng name))
+  in
+  let program = [ Code.Junit.unit_ ~package:"fuzz" classes ] in
+  let n_aspects = Prng.range rng 1 4 in
+  let seqs = Prng.shuffle rng (List.init n_aspects (fun i -> i)) in
+  let aspects =
+    List.mapi
+      (fun i seq ->
+        let name = Printf.sprintf "A%d" i in
+        let intertypes =
+          if Prng.chance rng 1 4 then
+            [
+              Aspects.Aspect.It_field
+                ( Prng.choose rng [ "C*"; "*" ],
+                  {
+                    Code.Jdecl.field_name = "it_" ^ name;
+                    field_type = Code.Jtype.T_int;
+                    field_mods = [ Code.Jdecl.M_private ];
+                    field_init = None;
+                  } );
+            ]
+          else []
+        in
+        let advices =
+          List.init (Prng.range rng 1 2) (fun j -> random_advice rng j)
+        in
+        {
+          Aspects.Generator.aspect =
+            Aspects.Aspect.make ~intertypes ~advices ~name ~concern:"fuzz" ();
+          from_transformation = Printf.sprintf "T%d" i;
+          seq;
+        })
+      seqs
+  in
+  { program; aspects }
+
+let pp_weave_case ppf { program; aspects } =
+  Format.fprintf ppf "aspects (name/seq):@.";
+  List.iter
+    (fun (g : Aspects.Generator.generated) ->
+      Format.fprintf ppf "  %s seq=%d advices=%d@."
+        g.Aspects.Generator.aspect.Aspects.Aspect.aspect_name
+        g.Aspects.Generator.seq
+        (List.length g.Aspects.Generator.aspect.Aspects.Aspect.advices))
+    aspects;
+  Format.fprintf ppf "program:@.%s@." (Code.Printer.program_to_string program)
+
+(* ---- character-reference armoring ---------------------------------------- *)
+
+(* Decode one UTF-8 scalar starting at [i]; [None] for malformed bytes. *)
+let utf8_decode s i =
+  let len = String.length s in
+  let byte k = Char.code s.[k] in
+  let cont k = k < len && byte k land 0xC0 = 0x80 in
+  let b0 = byte i in
+  if b0 < 0x80 then Some (b0, 1)
+  else if b0 land 0xE0 = 0xC0 && cont (i + 1) then
+    let cp = ((b0 land 0x1F) lsl 6) lor (byte (i + 1) land 0x3F) in
+    if cp >= 0x80 then Some (cp, 2) else None
+  else if b0 land 0xF0 = 0xE0 && cont (i + 1) && cont (i + 2) then
+    let cp =
+      ((b0 land 0x0F) lsl 12)
+      lor ((byte (i + 1) land 0x3F) lsl 6)
+      lor (byte (i + 2) land 0x3F)
+    in
+    if cp >= 0x800 && not (cp >= 0xD800 && cp <= 0xDFFF) then Some (cp, 3)
+    else None
+  else if
+    b0 land 0xF8 = 0xF0 && cont (i + 1) && cont (i + 2) && cont (i + 3)
+  then
+    let cp =
+      ((b0 land 0x07) lsl 18)
+      lor ((byte (i + 1) land 0x3F) lsl 12)
+      lor ((byte (i + 2) land 0x3F) lsl 6)
+      lor (byte (i + 3) land 0x3F)
+    in
+    if cp >= 0x10000 && cp <= 0x10FFFF then Some (cp, 4) else None
+  else None
+
+let armor_string rng buf ~in_attr s =
+  let len = String.length s in
+  let plain c =
+    match c with
+    | '&' -> Buffer.add_string buf "&amp;"
+    | '<' -> Buffer.add_string buf "&lt;"
+    | '>' -> Buffer.add_string buf "&gt;"
+    | '"' when in_attr -> Buffer.add_string buf "&quot;"
+    | '\'' when in_attr -> Buffer.add_string buf "&apos;"
+    | c -> Buffer.add_char buf c
+  in
+  let rec walk i =
+    if i < len then
+      match utf8_decode s i with
+      | Some (cp, width) ->
+          if Prng.chance rng 1 4 then begin
+            if Prng.bool rng then Buffer.add_string buf (Printf.sprintf "&#%d;" cp)
+            else Buffer.add_string buf (Printf.sprintf "&#x%X;" cp);
+            walk (i + width)
+          end
+          else begin
+            for k = i to i + width - 1 do
+              plain s.[k]
+            done;
+            walk (i + width)
+          end
+      | None ->
+          (* malformed byte: pass through untouched *)
+          Buffer.add_char buf s.[i];
+          walk (i + 1)
+  in
+  walk 0
+
+let armor rng tree =
+  let buf = Buffer.create 1024 in
+  let rec render node =
+    match (node : Xmi.Xml.t) with
+    | Xmi.Xml.Text s -> armor_string rng buf ~in_attr:false s
+    | Xmi.Xml.Elem { tag; attrs; children } ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf k;
+            Buffer.add_string buf "=\"";
+            armor_string rng buf ~in_attr:true v;
+            Buffer.add_char buf '"')
+          attrs;
+        if children = [] then Buffer.add_string buf "/>"
+        else begin
+          Buffer.add_char buf '>';
+          List.iter render children;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf tag;
+          Buffer.add_char buf '>'
+        end
+  in
+  render tree;
+  Buffer.contents buf

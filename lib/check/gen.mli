@@ -1,0 +1,41 @@
+(** Random case generators for the fuzz harness.
+
+    All generators draw exclusively from a {!Prng.t}, so a case is fully
+    determined by its seed. Strings come from pools that deliberately
+    include dotted names, non-ASCII UTF-8 (accents, CJK, an emoji),
+    XML-hostile characters ([&], [<], quotes) and embedded whitespace —
+    the inputs the XMI layer and the name indexes historically got wrong. *)
+
+val base_script : Prng.t -> Edit.script
+(** A constructive script that, applied to a fresh model, yields a
+    well-formed base: unique (suffix-numbered) names, generalizations only
+    from later to earlier classes, abstract operations only on interfaces
+    or abstract classes. Any sublist of a base script still yields a
+    well-formed model, which is what makes greedy script shrinking sound
+    for the oracles that require a clean base. *)
+
+val edit_script : Prng.t -> base:Edit.script -> Edit.script
+(** An arbitrary edit script over the slots of [base] (plus its own
+    creations): constructive ops mixed with deletions, renames to
+    colliding/empty/dotted names, cyclic generalizations, duplicate
+    enumeration literals — edits that may break well-formedness, which is
+    exactly what the scoped-WF and diff oracles must track faithfully. *)
+
+(** A weaving case: a small program plus concrete aspects with pairwise
+    distinct sequence numbers (the paper's transformation order). *)
+type weave_case = {
+  program : Code.Junit.program;
+  aspects : Aspects.Generator.generated list;
+}
+
+val weave_case : Prng.t -> weave_case
+
+val pp_weave_case : Format.formatter -> weave_case -> unit
+
+val armor : Prng.t -> Xmi.Xml.t -> string
+(** Renders an XML tree with a random subset of the characters in text and
+    attribute values written as numeric character references
+    ([&#233;]/[&#xE9;]), the rest escaped conventionally. Parsing the
+    armored rendering must yield the same tree as parsing the plain
+    rendering — the metamorphic relation that catches character-reference
+    decoding bugs. *)

@@ -1,0 +1,270 @@
+type check =
+  | Model_check of
+      (aux:int64 -> base:Edit.script -> edits:Edit.script -> (unit, string) result)
+  | Weave_check of (aux:int64 -> Gen.weave_case -> (unit, string) result)
+
+type t = { name : string; check : check }
+
+let tag_of msg =
+  if String.length msg > 0 && msg.[0] = '[' then
+    match String.index_opt msg ']' with
+    | Some i -> String.sub msg 0 (i + 1)
+    | None -> msg
+  else msg
+
+let build ~base ~edits =
+  let base_m, slots =
+    Edit.apply_with_slots (Mof.Model.create ~name:"fuzz") base
+  in
+  let m' = Edit.apply_from base_m ~slots edits in
+  (base_m, m')
+
+let pp_violations ppf vs =
+  List.iter (fun v -> Format.fprintf ppf "@.  %a" Mof.Wellformed.pp_violation v) vs
+
+(* ---- R1: journal diff vs full scan -------------------------------------- *)
+
+let check_diff ~aux:_ ~base ~edits =
+  let base_m, m' = build ~base ~edits in
+  let fast = Mof.Diff.compute ~old_model:base_m ~new_model:m' in
+  let scan = Mof.Diff.compute_scan ~old_model:base_m ~new_model:m' in
+  let eq = Mof.Id.Set.equal in
+  if
+    eq fast.Mof.Diff.added scan.Mof.Diff.added
+    && eq fast.Mof.Diff.removed scan.Mof.Diff.removed
+    && eq fast.Mof.Diff.modified scan.Mof.Diff.modified
+  then Ok ()
+  else
+    Error
+      (Format.asprintf "[diff] journal replay %a disagrees with scan %a"
+         Mof.Diff.pp fast Mof.Diff.pp scan)
+
+(* ---- R2: scoped well-formedness vs full check --------------------------- *)
+
+let check_wf ~aux:_ ~base ~edits =
+  let base_m, m' = build ~base ~edits in
+  match Mof.Wellformed.check base_m with
+  | _ :: _ as vs ->
+      (* the generator promises clean bases; a violation here is a
+         generator bug, not a checker bug *)
+      Error (Format.asprintf "[gen] base model not well-formed:%a" pp_violations vs)
+  | [] ->
+      let touched =
+        Mof.Diff.touched (Mof.Diff.compute_scan ~old_model:base_m ~new_model:m')
+      in
+      let scoped = Mof.Wellformed.check_touched m' ~touched in
+      let full = Mof.Wellformed.check m' in
+      if scoped = full then Ok ()
+      else
+        Error
+          (Format.asprintf
+             "[wf] scoped check disagrees with full check@.scoped:%a@.full:%a"
+             pp_violations scoped pp_violations full)
+
+(* ---- R3: XMI round trip and char-ref armoring ---------------------------- *)
+
+let check_xmi ~aux ~base ~edits =
+  let _, m' = build ~base ~edits in
+  let s1 = Xmi.Export.to_string m' in
+  match Xmi.Import.from_string s1 with
+  | exception Xmi.Xml_parser.Xml_error (msg, pos) ->
+      Error (Printf.sprintf "[xmi] reimport: parse error at %d: %s" pos msg)
+  | exception Xmi.Import.Import_error msg ->
+      Error (Printf.sprintf "[xmi] reimport failed: %s" msg)
+  | m2 -> (
+      let s2 = Xmi.Export.to_string m2 in
+      if not (String.equal s1 s2) then
+        Error "[xmi] second export is not byte-identical to the first"
+      else if not (Mof.Model.equal m' m2) then
+        Error "[xmi] reimported model differs structurally"
+      else
+        let tree = Xmi.Export.to_xml m' in
+        let armored = Gen.armor (Prng.make aux) tree in
+        match Xmi.Xml_parser.parse armored with
+        | exception Xmi.Xml_parser.Xml_error (msg, pos) ->
+            Error
+              (Printf.sprintf "[xmi] armored rendering: parse error at %d: %s"
+                 pos msg)
+        | t_armored ->
+            let t_plain = Xmi.Xml_parser.parse s1 in
+            if Xmi.Xml.equal t_armored t_plain then Ok ()
+            else
+              Error
+                "[xmi] parsing the char-ref-armored rendering differs from \
+                 parsing the plain one")
+
+(* ---- R4: indexes, extents, and qualified-name lookup vs fresh scans ------ *)
+
+module Sm = Map.Make (String)
+module Im = Mof.Id.Map
+
+let check_query ~aux:_ ~base ~edits =
+  let _, m' = build ~base ~edits in
+  let elems = Mof.Model.elements m' in
+  let bucket m key id =
+    Sm.update key
+      (fun s -> Some (Mof.Id.Set.add id (Option.value ~default:Mof.Id.Set.empty s)))
+      m
+  in
+  let ibucket m key id =
+    Im.update key
+      (fun s -> Some (Mof.Id.Set.add id (Option.value ~default:Mof.Id.Set.empty s)))
+      m
+  in
+  let by_kind, by_name, by_st, owned, refs =
+    List.fold_left
+      (fun (k, n, s, o, r) (e : Mof.Element.t) ->
+        let k = bucket k (Mof.Kind.name e.kind) e.id in
+        let n = bucket n e.name e.id in
+        let s =
+          List.fold_left (fun s st -> bucket s st e.id) s e.stereotypes
+        in
+        let o =
+          match e.owner with Some ow -> ibucket o ow e.id | None -> o
+        in
+        let r =
+          List.fold_left (fun r t -> ibucket r t e.id) r (Mof.Kind.refs e.kind)
+        in
+        (k, n, s, o, r))
+      (Sm.empty, Sm.empty, Sm.empty, Im.empty, Im.empty)
+      elems
+  in
+  let fail = ref None in
+  let record msg = if !fail = None then fail := Some msg in
+  let compare_sm label lookup expected =
+    Sm.iter
+      (fun key want ->
+        let got = lookup m' key in
+        if not (Mof.Id.Set.equal got want) then
+          record
+            (Printf.sprintf "[query] %s index disagrees with scan at key %S"
+               label key))
+      expected
+  in
+  let compare_im label lookup expected =
+    Im.iter
+      (fun key want ->
+        let got = lookup m' key in
+        if not (Mof.Id.Set.equal got want) then
+          record
+            (Printf.sprintf "[query] %s index disagrees with scan at id %s"
+               label (Mof.Id.to_string key)))
+      expected
+  in
+  compare_sm "by_kind" Mof.Model.by_kind by_kind;
+  compare_sm "by_name" Mof.Model.by_name by_name;
+  compare_sm "by_stereotype" Mof.Model.by_stereotype by_st;
+  compare_im "owned_by" Mof.Model.owned_by owned;
+  compare_im "referrers" Mof.Model.referrers refs;
+  (* classifier extents: Meta.all_instances vs the scan-built extent *)
+  Sm.iter
+    (fun kname want ->
+      match Ocl.Meta.all_instances m' kname with
+      | None -> record (Printf.sprintf "[query] no extent for metaclass %S" kname)
+      | Some v ->
+          let expect =
+            Ocl.Value.set
+              (List.map (fun id -> Ocl.Value.V_elem id) (Mof.Id.Set.elements want))
+          in
+          if not (Ocl.Value.equal v expect) then
+            record
+              (Printf.sprintf "[query] allInstances(%s) disagrees with scan"
+                 kname))
+    by_kind;
+  (match Ocl.Meta.all_instances m' "Element" with
+  | None -> record "[query] no extent for Element"
+  | Some v ->
+      let expect =
+        Ocl.Value.set
+          (List.map (fun (e : Mof.Element.t) -> Ocl.Value.V_elem e.id) elems)
+      in
+      if not (Ocl.Value.equal v expect) then
+        record "[query] allInstances(Element) disagrees with scan");
+  (* a from-scratch rebuild of the store must be indistinguishable *)
+  (match
+     Mof.Model.of_elements ~root:(Mof.Model.root m') ~next:(Mof.Model.next m')
+       elems
+   with
+  | exception Invalid_argument msg ->
+      record (Printf.sprintf "[query] of_elements rebuild rejected: %s" msg)
+  | rebuilt ->
+      if not (Mof.Model.equal m' rebuilt) then
+        record "[query] of_elements rebuild differs from original");
+  (* qualified-name lookup: indexed resolution vs the scan-based spec —
+     among all elements sharing the printed qualified name, the one with
+     the deepest owner chain wins, ties to the lowest id *)
+  let by_qname =
+    List.fold_left
+      (fun m (e : Mof.Element.t) ->
+        bucket m (Mof.Query.qualified_name m' e.id) e.id)
+      Sm.empty elems
+  in
+  Sm.iter
+    (fun qname ids ->
+      let depth id = List.length (Mof.Query.owner_chain m' id) in
+      let best =
+        List.fold_left
+          (fun acc id ->
+            match acc with
+            | None -> Some id
+            | Some b ->
+                let db = depth b and di = depth id in
+                if di > db then Some id
+                else if di = db && Mof.Id.compare id b < 0 then Some id
+                else acc)
+          None
+          (Mof.Id.Set.elements ids)
+      in
+      match (Mof.Query.find_by_qualified_name m' qname, best) with
+      | Some e, Some want when Mof.Id.equal e.Mof.Element.id want -> ()
+      | got, _ ->
+          record
+            (Printf.sprintf
+               "[query] find_by_qualified_name %S resolved to %s, scan spec \
+                says %s"
+               qname
+               (match got with
+               | Some e -> Mof.Id.to_string e.Mof.Element.id
+               | None -> "none")
+               (match best with
+               | Some id -> Mof.Id.to_string id
+               | None -> "none")))
+    by_qname;
+  match !fail with None -> Ok () | Some msg -> Error msg
+
+(* ---- R5: weaving order is precedence, not list order --------------------- *)
+
+let check_weave ~aux (wc : Gen.weave_case) =
+  let rng = Prng.make aux in
+  let r1 = Weaver.Weave.weave wc.aspects wc.program in
+  let shuffled = Prng.shuffle rng wc.aspects in
+  let r2 = Weaver.Weave.weave shuffled wc.program in
+  if not (Code.Junit.equal r1.Weaver.Weave.program r2.Weaver.Weave.program)
+  then Error "[weave] woven program changed under aspect-list shuffle"
+  else if r1.Weaver.Weave.applications <> r2.Weaver.Weave.applications then
+    Error "[weave] application report changed under aspect-list shuffle"
+  else
+    let ordered = Weaver.Precedence.order wc.aspects in
+    let manual =
+      List.fold_left
+        (fun prog (g : Aspects.Generator.generated) ->
+          (Weaver.Weave.weave_one g.Aspects.Generator.aspect prog)
+            .Weaver.Weave.program)
+        wc.program (List.rev ordered)
+    in
+    if Code.Junit.equal r1.Weaver.Weave.program manual then Ok ()
+    else
+      Error
+        "[weave] weave differs from the weave_one fold over reverse \
+         precedence order"
+
+let all =
+  [
+    { name = "diff"; check = Model_check check_diff };
+    { name = "wf"; check = Model_check check_wf };
+    { name = "xmi"; check = Model_check check_xmi };
+    { name = "query"; check = Model_check check_query };
+    { name = "weave"; check = Weave_check check_weave };
+  ]
+
+let find name = List.find_opt (fun o -> o.name = name) all

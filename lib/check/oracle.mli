@@ -1,0 +1,40 @@
+(** The metamorphic/differential oracle suite.
+
+    Each oracle states a relation between two computations of the same fact
+    — an incremental path against its full-scan baseline, or a pipeline
+    against its algebraic decomposition — so no oracle needs to know the
+    "right answer", only that the two paths must agree:
+
+    - [diff]: journal-replay {!Mof.Diff.compute} ≡ {!Mof.Diff.compute_scan};
+    - [wf]: scoped {!Mof.Wellformed.check_touched} ≡ full check on models
+      edited from a clean base;
+    - [xmi]: export → import → export is a fixpoint (byte-identical second
+      export), reimport is {!Mof.Model.equal}, and parsing a
+      character-reference-armored rendering equals parsing the plain one;
+    - [query]: every secondary index, {!Ocl.Meta.all_instances} extent, and
+      {!Mof.Query.find_by_qualified_name} lookup ≡ a fresh full scan;
+    - [weave]: {!Weaver.Weave.weave} is invariant under aspect-list
+      shuffling and equals the fold of {!Weaver.Weave.weave_one} over the
+      reverse precedence order.
+
+    Failure messages begin with a bracketed tag ([[diff]], [[wf]], [[xmi]],
+    [[query]], [[weave]], [[gen]]); the shrinker only accepts candidates
+    failing with the original tag. *)
+
+type check =
+  | Model_check of
+      (aux:int64 -> base:Edit.script -> edits:Edit.script -> (unit, string) result)
+      (** [aux] seeds any auxiliary randomness the relation needs (e.g.
+          armoring choices), so replays during shrinking are deterministic. *)
+  | Weave_check of (aux:int64 -> Gen.weave_case -> (unit, string) result)
+
+type t = { name : string; check : check }
+
+val all : t list
+(** The five oracles, in documentation order. *)
+
+val find : string -> t option
+
+val tag_of : string -> string
+(** The leading [[tag]] of a failure message (the whole message when it has
+    none). *)

@@ -1,0 +1,30 @@
+let drop_range xs lo len =
+  List.filteri (fun i _ -> i < lo || i >= lo + len) xs
+
+(* One pass: try removing chunks of [size] at each offset, left to right.
+   Returns the first smaller failing candidate, if any. *)
+let try_chunks ~still_fails xs size =
+  let n = List.length xs in
+  let rec at lo =
+    if lo >= n then None
+    else
+      let candidate = drop_range xs lo (min size (n - lo)) in
+      if still_fails candidate then Some candidate else at (lo + size)
+  in
+  at 0
+
+let list ~still_fails xs =
+  if not (still_fails xs) then xs
+  else
+    let rec loop xs size =
+      if size < 1 then xs
+      else
+        match try_chunks ~still_fails xs size with
+        | Some smaller ->
+            (* progress: restart chunk search at a size fitted to the
+               shorter list *)
+            let size' = min size (max 1 (List.length smaller / 2)) in
+            loop smaller size'
+        | None -> loop xs (size / 2)
+    in
+    loop xs (max 1 (List.length xs / 2))

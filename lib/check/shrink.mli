@@ -1,0 +1,12 @@
+(** Greedy list shrinking for failing edit scripts.
+
+    Delta-debugging style: first try dropping exponentially shrinking
+    chunks, then single elements, restarting whenever a candidate still
+    fails. [still_fails] decides acceptance — callers make it require the
+    same failure tag as the original, so shrinking cannot drift onto an
+    unrelated bug. *)
+
+val list : still_fails:('a list -> bool) -> 'a list -> 'a list
+(** Smallest sublist found (order preserved). The result still satisfies
+    [still_fails] unless the input itself did not, in which case the input
+    is returned unchanged. *)

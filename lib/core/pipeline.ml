@@ -1,15 +1,43 @@
+type error =
+  | Unknown_concern of string
+  | Invalid_params of {
+      transformation : string;
+      problems : Transform.Params.problem list;
+    }
+  | Workflow_violation of { concern : string; reason : string }
+  | Engine_failure of {
+      transformation : string;
+      failure : Transform.Engine.failure;
+    }
+  | Aspect_generation of string
+
+exception Pipeline_error of error
+
+let pp_error ppf = function
+  | Unknown_concern c -> Format.fprintf ppf "unknown concern %s" c
+  | Invalid_params { transformation; problems } ->
+      Format.fprintf ppf "%s: %a" transformation
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           Transform.Params.pp_problem)
+        problems
+  | Workflow_violation { concern = _; reason } ->
+      Format.pp_print_string ppf reason
+  | Engine_failure { transformation; failure } ->
+      Format.fprintf ppf "%s: %a" transformation Transform.Engine.pp_failure
+        failure
+  | Aspect_generation msg -> Format.pp_print_string ppf msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
 let refine project ~concern ~params =
   match Concerns.Registry.find_gmt concern with
-  | None -> Error (Printf.sprintf "unknown concern %s" concern)
+  | None -> Error (Unknown_concern concern)
   | Some gmt -> (
       match Transform.Cmt.specialize gmt params with
       | Error problems ->
           Error
-            (Format.asprintf "%s: %a" gmt.Transform.Gmt.name
-               (Format.pp_print_list
-                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
-                  Transform.Params.pp_problem)
-               problems)
+            (Invalid_params { transformation = gmt.Transform.Gmt.name; problems })
       | Ok cmt -> (
           let progress_result =
             match project.Project.progress with
@@ -17,7 +45,7 @@ let refine project ~concern ~params =
             | Some p -> (
                 match Workflow.State.advance p ~concern with
                 | Ok p -> Ok (Some p)
-                | Error e -> Error e)
+                | Error reason -> Error (Workflow_violation { concern; reason }))
           in
           match progress_result with
           | Error e -> Error e
@@ -25,8 +53,8 @@ let refine project ~concern ~params =
               match Transform.Engine.step project.Project.session cmt with
               | Error failure ->
                   Error
-                    (Format.asprintf "%s: %a" (Transform.Cmt.name cmt)
-                       Transform.Engine.pp_failure failure)
+                    (Engine_failure
+                       { transformation = Transform.Cmt.name cmt; failure })
               | Ok session ->
                   let report =
                     match List.rev session.Transform.Engine.reports with
@@ -45,7 +73,7 @@ let refine project ~concern ~params =
 let refine_exn project ~concern ~params =
   match refine project ~concern ~params with
   | Ok (project, _) -> project
-  | Error e -> failwith e
+  | Error e -> raise (Pipeline_error e)
 
 let undo project =
   match List.rev project.Project.session.Transform.Engine.applied with
@@ -106,8 +134,12 @@ let monolithic_code project =
     (Project.model project)
 
 let aspects project =
-  Aspects.Generator.from_trace ~lookup:Concerns.Registry.find_gac
-    (Project.applied project)
+  match
+    Aspects.Generator.from_trace ~lookup:Concerns.Registry.find_gac
+      (Project.applied project)
+  with
+  | Ok generated -> Ok generated
+  | Error msg -> Error (Aspect_generation msg)
 
 let build project =
   match aspects project with

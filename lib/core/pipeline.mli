@@ -10,11 +10,36 @@
     one concrete aspect A_i⟨S_i⟩ per applied transformation from the same
     parameter sets, order them by transformation order, and weave. *)
 
+(** Why a pipeline step was refused. The model is untouched in every case,
+    so callers can report the error and keep the project. *)
+type error =
+  | Unknown_concern of string
+  | Invalid_params of {
+      transformation : string;
+      problems : Transform.Params.problem list;
+    }  (** parameter validation refused the specialization *)
+  | Workflow_violation of { concern : string; reason : string }
+      (** the concern is not admissible at the current workflow step *)
+  | Engine_failure of {
+      transformation : string;
+      failure : Transform.Engine.failure;
+    }  (** failed pre/postconditions, broken well-formedness, or rewrite *)
+  | Aspect_generation of string
+      (** no generic aspect registered for an applied transformation *)
+
+exception Pipeline_error of error
+
+val pp_error : Format.formatter -> error -> unit
+(** Human-readable rendering; mentions the offending parameter, workflow
+    step, or condition by name. *)
+
+val error_to_string : error -> string
+
 val refine :
   Project.t ->
   concern:string ->
   params:(string * Transform.Params.value) list ->
-  (Project.t * Transform.Report.t, string) result
+  (Project.t * Transform.Report.t, error) result
 (** One refinement step. Fails (model untouched) on: unknown concern,
     parameter validation problems, workflow violations, failed
     pre/postconditions, broken well-formedness. *)
@@ -24,7 +49,7 @@ val refine_exn :
   concern:string ->
   params:(string * Transform.Params.value) list ->
   Project.t
-(** @raise Failure with the error message. *)
+(** @raise Pipeline_error with the typed error. *)
 
 val undo : Project.t -> Project.t option
 (** Reverts the last refinement: repository head moves back, the trace
@@ -51,9 +76,9 @@ val monolithic_code : Project.t -> Code.Junit.program
     (used by the ablation experiment). *)
 
 val aspects :
-  Project.t -> (Aspects.Generator.generated list, string) result
+  Project.t -> (Aspects.Generator.generated list, error) result
 (** One concrete aspect per applied transformation, specialized by the
     transformation's own parameter set, in application order. *)
 
-val build : Project.t -> (Artifacts.t, string) result
+val build : Project.t -> (Artifacts.t, error) result
 (** Functional code + aspect generation + weaving. *)

@@ -139,7 +139,7 @@ let replay ~dir =
       in
       match Pipeline.refine project ~concern ~params with
       | Ok (project, _) -> Ok project
-      | Error e -> Error e)
+      | Error e -> Error (Pipeline.error_to_string e))
     (Ok (Project.create initial))
     steps
 

@@ -64,12 +64,20 @@ let supers_transitive m id =
   (* not seeded with [id]: when an inheritance cycle passes through [id],
      the class appears in its own closure, which is what {!Wellformed}
      detects *)
+  let supers c =
+    (* total: a dangling super (deleted class still referenced) is kept in
+       the closure but not expanded — it is Wellformed's Dangling_reference
+       rule that reports it, so the traversal must survive it *)
+    match Model.find m c with
+    | Some { Element.kind = Kind.Class cl; _ } -> cl.Kind.supers
+    | Some _ | None -> []
+  in
   let rec walk seen queue =
     match queue with
     | [] -> []
     | c :: rest ->
         if Id.Set.mem c seen then walk seen rest
-        else c :: walk (Id.Set.add c seen) (rest @ supers_of m c)
+        else c :: walk (Id.Set.add c seen) (rest @ supers c)
   in
   walk Id.Set.empty (supers_of m id)
 
@@ -118,9 +126,21 @@ let find_by_qualified_name m qname =
       Id.Set.empty
       (suffixes (String.split_on_char '.' qname))
   in
-  (* first match in id order, as the scan returned *)
+  (* Several elements can print the same qualified name when a simple name
+     embeds a dot (a root-level class "bank.Account" vs a class "Account"
+     in package "bank"). Prefer the structural reading — the deepest owner
+     chain — so the package-join interpretation always beats a dotted
+     simple name; ties (true duplicates) go to the lowest id. The old
+     first-in-id-order rule made the winner depend on creation order. *)
+  let depth id = List.length (owner_chain m id) in
   Id.Set.elements candidates
-  |> List.find_opt (fun id -> String.equal (qualified_name m id) qname)
+  |> List.filter (fun id -> String.equal (qualified_name m id) qname)
+  |> List.fold_left
+       (fun best id ->
+         match best with
+         | Some b when depth b >= depth id -> best
+         | _ -> Some id)
+       None
   |> Option.map (Model.find_exn m)
 
 let find_named m name = resolve_set m (Model.by_name m name)

@@ -46,7 +46,10 @@ val supers_of : Model.t -> Id.t -> Id.t list
 val supers_transitive : Model.t -> Id.t -> Id.t list
 (** Transitive superclass closure of a class, nearest first, without
     duplicates. Cycles terminate; a class on an inheritance cycle through
-    itself appears in its own closure (how {!Wellformed} detects cycles). *)
+    itself appears in its own closure (how {!Wellformed} detects cycles).
+    Dangling super ids (a referenced class that was deleted) stay in the
+    closure but are not expanded, so the traversal is total on ill-formed
+    models. *)
 
 val realizations_of : Model.t -> Id.t -> Id.t list
 (** Interfaces realized by a class. *)
@@ -60,10 +63,14 @@ val qualified_name : Model.t -> Id.t -> string
     own name. O(depth). *)
 
 val find_by_qualified_name : Model.t -> string -> Element.t option
-(** Inverse of {!qualified_name} (first match in id order). Resolved through
-    the name index: candidates are the elements whose simple name is a
-    dot-suffix of the path, each verified against its actual qualified name
-    — O(d·(log n + c·d)) for depth d and c candidates, not a model scan. *)
+(** Inverse of {!qualified_name}. Resolved through the name index:
+    candidates are the elements whose simple name is a dot-suffix of the
+    path, each verified against its actual qualified name — O(d·(log n +
+    c·d)) for depth d and c candidates, not a model scan. When several
+    elements print the same qualified name (a simple name embedding [.] can
+    collide with a package join), the structurally deepest one wins — the
+    package-path reading beats the dotted-simple-name reading — with ties
+    broken by lowest id. *)
 
 val find_named : Model.t -> string -> Element.t list
 (** All elements with the given simple name. Served by {!Model.by_name}. *)

@@ -32,18 +32,12 @@ let unescape s =
                 else int_of_string_opt (String.sub entity 1 (String.length entity - 1))
               in
               match code with
-              | Some c when c >= 0 && c < 256 -> Buffer.add_char buf (Char.chr c)
-              | Some c ->
-                  (* encode as UTF-8 *)
-                  if c < 0x800 then begin
-                    Buffer.add_char buf (Char.chr (0xC0 lor (c lsr 6)));
-                    Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
-                  end
-                  else begin
-                    Buffer.add_char buf (Char.chr (0xE0 lor (c lsr 12)));
-                    Buffer.add_char buf (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
-                    Buffer.add_char buf (Char.chr (0x80 lor (c land 0x3F)))
-                  end
+              | Some c when c >= 0xD800 && c <= 0xDFFF ->
+                  error i "character reference &%s; is a surrogate" entity
+              | Some c when c >= 0 && c <= 0x10FFFF ->
+                  Buffer.add_utf_8_uchar buf (Uchar.of_int c)
+              | Some _ ->
+                  error i "character reference &%s; is beyond U+10FFFF" entity
               | None -> error i "malformed character reference &%s;" entity)
           | _ -> error i "unknown entity &%s;" entity);
           walk (j + 1))

@@ -440,7 +440,7 @@ let parser_tests =
                 ]
           with
           | Ok (p, _) -> p
-          | Error e -> Alcotest.fail e
+          | Error e -> Alcotest.fail (Core.Pipeline.error_to_string e)
         in
         let woven =
           (Result.get_ok (Core.Pipeline.build project)).Core.Artifacts.woven

@@ -17,7 +17,7 @@ let v_names names =
 let refine_exn project ~concern ~params =
   match Core.Pipeline.refine project ~concern ~params with
   | Ok (project, report) -> (project, report)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Core.Pipeline.error_to_string e)
 
 (* the Fig. 2 project: banking + distribution + transactions + security *)
 let fig2_project () =
@@ -123,7 +123,9 @@ let pipeline_tests =
     Alcotest.test_case "parameter problems refused" `Quick (fun () ->
         let project = Core.Project.create (Fixtures.banking ()) in
         match Core.Pipeline.refine project ~concern:"distribution" ~params:[] with
-        | Error msg -> check cb "mentions the parameter" true (contains msg "remote")
+        | Error e ->
+            let msg = Core.Pipeline.error_to_string e in
+            check cb "mentions the parameter" true (contains msg "remote")
         | Ok _ -> Alcotest.fail "should fail");
     Alcotest.test_case "workflow violations refused" `Quick (fun () ->
         let project =
@@ -134,7 +136,9 @@ let pipeline_tests =
           Core.Pipeline.refine project ~concern:"security"
             ~params:[ ("secured", v_names [ "Teller" ]) ]
         with
-        | Error msg -> check cb "mentions the step" true (contains msg "distribute")
+        | Error e ->
+            let msg = Core.Pipeline.error_to_string e in
+            check cb "mentions the step" true (contains msg "distribute")
         | Ok _ -> Alcotest.fail "should fail");
     Alcotest.test_case "refinement updates model, trace, and repository" `Quick
       (fun () ->
@@ -225,7 +229,7 @@ let artifact_tests =
                  generated);
             check (Alcotest.list ci) "seqs" [ 1; 2; 3 ]
               (List.map (fun g -> g.Aspects.Generator.seq) generated)
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Core.Pipeline.error_to_string e));
     Alcotest.test_case "build weaves with transformation-order precedence"
       `Quick (fun () ->
         let project = fig2_project () in
@@ -248,7 +252,7 @@ let artifact_tests =
               (contains
                  (Core.Artifacts.precedence_listing artifacts)
                  "1. DistributionAspect")
-        | Error e -> Alcotest.fail e);
+        | Error e -> Alcotest.fail (Core.Pipeline.error_to_string e));
     Alcotest.test_case "functional code is invariant under reconfiguration"
       `Quick (fun () ->
         (* change the security parameters: functional code must not change *)
@@ -401,7 +405,7 @@ let shipping_tests =
                   ]
             with
             | Ok _ -> ()
-            | Error e -> Alcotest.fail e));
+            | Error e -> Alcotest.fail (Core.Pipeline.error_to_string e)));
     Alcotest.test_case "manifest parsing rejects malformed lines" `Quick
       (fun () ->
         check cb "bad keyword" true

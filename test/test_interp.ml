@@ -15,7 +15,7 @@ let v_names names =
 let refine_exn project ~concern ~params =
   match Core.Pipeline.refine project ~concern ~params with
   | Ok (project, _) -> project
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Core.Pipeline.error_to_string e)
 
 let fig2_project () =
   let project = Core.Project.create (Fixtures.banking ()) in
@@ -33,7 +33,7 @@ let fig2_project () =
 let fig2_woven () =
   match Core.Pipeline.build (fig2_project ()) with
   | Ok artifacts -> artifacts.Core.Artifacts.woven
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Core.Pipeline.error_to_string e)
 
 let event_sigs events =
   List.map (fun (e : Interp.Event.t) -> e.Interp.Event.source ^ "." ^ e.Interp.Event.action) events

@@ -52,6 +52,29 @@ let parser_tests =
     Alcotest.test_case "character references" `Quick (fun () ->
         let tree = parse "<a>&#65;&#x42;</a>" in
         check cs "AB" "AB" (Xmi.Xml.text_content tree));
+    Alcotest.test_case "character references decode to UTF-8" `Quick (fun () ->
+        (* &#233; = é (2 bytes), &#x1F600; = 😀 (4 bytes): references above
+           U+007F must produce UTF-8, not raw Latin-1 bytes *)
+        let tree = parse "<a>&#233; &#x433; &#x20AC; &#x1F600;</a>" in
+        check cs "utf8" "\xC3\xA9 \xD0\xB3 \xE2\x82\xAC \xF0\x9F\x98\x80"
+          (Xmi.Xml.text_content tree);
+        let tree = parse "<a x=\"caf&#xE9;\"/>" in
+        check cb "attr" true (Xmi.Xml.attr "x" tree = Some "caf\xC3\xA9"));
+    Alcotest.test_case "surrogate and out-of-range references rejected" `Quick
+      (fun () ->
+        List.iter
+          (fun src ->
+            check cb src true
+              (try
+                 ignore (parse src);
+                 false
+               with Xmi.Xml_parser.Xml_error _ -> true))
+          [
+            "<a>&#xD800;</a>";
+            "<a>&#xDFFF;</a>";
+            "<a>&#x110000;</a>";
+            "<a>&#5000000;</a>";
+          ]);
     Alcotest.test_case "CDATA preserved verbatim" `Quick (fun () ->
         let tree = parse "<a><![CDATA[1 < 2 && 3 > 2]]></a>" in
         check cs "cdata" "1 < 2 && 3 > 2" (Xmi.Xml.text_content tree));
@@ -248,6 +271,33 @@ let xmi_tests =
         check cb "preserved" true
           (Mof.Element.tag "doc" (Mof.Model.find_exn m2 acct)
           = Some "line one\nline two"));
+    Alcotest.test_case "entity-heavy and non-ASCII content round trips" `Quick
+      (fun () ->
+        (* ampersands, angle brackets, both quote kinds, accents, CJK, and
+           an emoji across names, stereotypes, tags, and constraint bodies;
+           asserts the import∘export fixpoint, not just model equality *)
+        let m = Mof.Model.create ~name:"inter&national" in
+        let root = Mof.Model.root m in
+        let m, cls = Mof.Builder.add_class m ~owner:root ~name:"Caf\xC3\xA9" in
+        let m = Mof.Builder.add_stereotype m cls "s\xC3\xA9curis\xC3\xA9" in
+        let m = Mof.Builder.set_tag m cls "note" "a < b & \"c\" 'd'" in
+        let m = Mof.Builder.set_tag m cls "emoji" "\xF0\x9F\x98\x80 ok" in
+        let m, _ =
+          Mof.Builder.add_attribute m ~cls ~name:"gr\xC3\xB6\xC3\x9Fe"
+            ~typ:Mof.Kind.Dt_real ~initial:"'\xC3\xA9'"
+        in
+        let m, _ =
+          Mof.Builder.add_class m ~owner:root ~name:"\xE5\xBA\x97\xE7\x95\xAA"
+        in
+        let m, _ =
+          Mof.Builder.add_constraint m ~owner:root ~name:"body&refs"
+            ~constrained:[ cls ] ~body:"name <> '\xC3\xA9t\xC3\xA9' & 1 < 2"
+        in
+        let s1 = Xmi.Export.to_string m in
+        let m2 = Xmi.Import.from_string s1 in
+        let s2 = Xmi.Export.to_string m2 in
+        check cs "export fixpoint" s1 s2;
+        check cb "model equal" true (Mof.Model.equal m m2));
     Alcotest.test_case "file round trip" `Quick (fun () ->
         let path = Filename.temp_file "mdweave" ".xmi" in
         Fun.protect
