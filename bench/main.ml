@@ -417,8 +417,39 @@ let e11_tests =
 let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
 
-let run_group title tests =
+(* ---- machine-readable snapshot (BENCH_pr3.json) -------------------------- *)
+
+(* One `{experiment, metric, value, unit}` row per measurement, accumulated
+   alongside the human-readable table; see EXPERIMENTS.md for the schema. *)
+let snapshot : (string * Obs.Metric.row) list ref = ref []
+
+let add_row ~experiment ~metric ~value ~unit_ =
+  snapshot := (experiment, { Obs.Metric.metric; value; unit_ }) :: !snapshot
+
+let write_snapshot path =
+  let entries = List.rev !snapshot in
+  let json =
+    "[\n"
+    ^ String.concat ",\n"
+        (List.map
+           (fun (e, r) -> Obs.Metric.row_to_json ~experiment:e r)
+           entries)
+    ^ "\n]\n"
+  in
+  Obs.Sink.write_file path json;
+  Printf.printf "bench snapshot: %s (%d rows)\n%!" path (List.length entries)
+
+(* BENCH_ONLY=E7 (comma-separable) reruns selected experiments in isolation —
+   used to bound run-to-run variance when comparing snapshots. *)
+let selected_experiments =
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | None | Some "" -> None
+  | Some s -> Some (String.split_on_char ',' s)
+
+let run_group_timed ~experiment title tests =
   Printf.printf "== %s ==\n%!" title;
+  let t0 = Obs.Clock.now_ns () in
+  let a0 = Gc.allocated_bytes () in
   let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -432,22 +463,65 @@ let run_group title tests =
         | Some _ | None -> Float.nan
       in
       let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      add_row ~experiment ~metric:name ~value:estimate ~unit_:"ns/run";
       Printf.printf "  %-55s %12.1f ns/run   (r2=%.4f)\n%!" name estimate r2)
     rows;
+  add_row ~experiment ~metric:"group.wall"
+    ~value:(Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9)
+    ~unit_:"s";
+  add_row ~experiment ~metric:"group.alloc"
+    ~value:(Gc.allocated_bytes () -. a0)
+    ~unit_:"bytes";
   print_newline ()
+
+let run_group ~experiment title tests =
+  match selected_experiments with
+  | Some only when not (List.mem experiment only) -> ()
+  | _ -> run_group_timed ~experiment title tests
+
+(* Counter totals from one representative instrumented run (the Fig. 2
+   pipeline end to end plus an XMI round trip). Collected *after* the timed
+   groups, so metric recording never perturbs the measurements above. *)
+let collect_counters () =
+  Obs.Metric.enable ();
+  let project = fig2_project () in
+  (match Core.Pipeline.build project with
+  | Ok _ -> ()
+  | Error e -> failwith (Core.Pipeline.error_to_string e));
+  let text = Xmi.Export.to_string (Core.Project.model project) in
+  ignore (Xmi.Import.from_string text);
+  List.iter
+    (fun (r : Obs.Metric.row) ->
+      add_row ~experiment:"counters" ~metric:r.Obs.Metric.metric
+        ~value:r.Obs.Metric.value ~unit_:r.Obs.Metric.unit_)
+    (Obs.Metric.rows ());
+  Obs.Metric.disable ();
+  Obs.Metric.reset ()
 
 let () =
   print_endline
     "mdweave benchmark harness — experiments E1..E11 (see EXPERIMENTS.md)";
   print_newline ();
-  run_group "E1  Fig.1: one refinement step (specialize+check+apply+CAC)" e1_tests;
-  run_group "E2  Fig.2: three-concern pipeline on the banking PIM" e2_tests;
-  run_group "E3  OCL evaluation cost (Section 2 pre/postconditions)" e3_tests;
-  run_group "E4  XMI round-trip (Section 3 interchange)" e4_tests;
-  run_group "E5  weaving cost vs number of aspects" e5_tests;
-  run_group "E6  repository commit/undo/redo/diff (Section 3)" e6_tests;
-  run_group "E7  ablation: pre/postcondition checking cost" e7_tests;
-  run_group "E8  ablation: aspect route vs monolithic generation" e8_tests;
-  run_group "E9  runtime overhead of woven concerns (interpreted)" e9_tests;
-  run_group "E10 ablation: composed vs sequential transformations" e10_tests;
-  run_group "E11 indexed store: lookup, diff and scoped WF scaling" e11_tests
+  run_group ~experiment:"E1"
+    "E1  Fig.1: one refinement step (specialize+check+apply+CAC)" e1_tests;
+  run_group ~experiment:"E2"
+    "E2  Fig.2: three-concern pipeline on the banking PIM" e2_tests;
+  run_group ~experiment:"E3"
+    "E3  OCL evaluation cost (Section 2 pre/postconditions)" e3_tests;
+  run_group ~experiment:"E4" "E4  XMI round-trip (Section 3 interchange)"
+    e4_tests;
+  run_group ~experiment:"E5" "E5  weaving cost vs number of aspects" e5_tests;
+  run_group ~experiment:"E6"
+    "E6  repository commit/undo/redo/diff (Section 3)" e6_tests;
+  run_group ~experiment:"E7" "E7  ablation: pre/postcondition checking cost"
+    e7_tests;
+  run_group ~experiment:"E8"
+    "E8  ablation: aspect route vs monolithic generation" e8_tests;
+  run_group ~experiment:"E9"
+    "E9  runtime overhead of woven concerns (interpreted)" e9_tests;
+  run_group ~experiment:"E10"
+    "E10 ablation: composed vs sequential transformations" e10_tests;
+  run_group ~experiment:"E11"
+    "E11 indexed store: lookup, diff and scoped WF scaling" e11_tests;
+  collect_counters ();
+  write_snapshot "BENCH_pr3.json"

@@ -5,12 +5,25 @@
    Every case is replayable from (oracle, seed, case index); see
    lib/check/harness.mli. *)
 
+(* A hidden always-failing oracle: `--oracle selftest-fail` exercises the
+   failure path end to end (shrinking, reproducer printing, exit code 1)
+   without needing a real bug — the cram suite locks the exit code with it. *)
+let selftest_fail : Check.Oracle.t =
+  {
+    Check.Oracle.name = "selftest-fail";
+    check =
+      Check.Oracle.Model_check
+        (fun ~aux:_ ~base:_ ~edits:_ ->
+          Error "[selftest] forced failure (exit-code self-test)");
+  }
+
 let () =
   let seed = ref 42 in
   let count = ref 10_000 in
   let oracles = ref [] in
   let list_only = ref false in
   let quiet = ref false in
+  let trace = ref "" in
   let spec =
     [
       ("--seed", Arg.Set_int seed, "N  run seed (default 42)");
@@ -20,11 +33,14 @@ let () =
         "NAME  run only this oracle (repeatable); default: all" );
       ("--list", Arg.Set list_only, "  list oracle names and exit");
       ("--quiet", Arg.Set quiet, "  suppress per-oracle progress");
+      ( "--trace",
+        Arg.Set_string trace,
+        "FILE  write a Chrome trace-event file of the run" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "check [--seed N] [--count N] [--oracle NAME]...";
+    "check [--seed N] [--count N] [--oracle NAME]... [--trace FILE]";
   if !list_only then begin
     List.iter (fun (o : Check.Oracle.t) -> print_endline o.name) Check.Oracle.all;
     exit 0
@@ -37,10 +53,19 @@ let () =
           (fun n ->
             match Check.Oracle.find n with
             | Some o -> o
+            | None when n = selftest_fail.Check.Oracle.name -> selftest_fail
             | None ->
                 Printf.eprintf "check: unknown oracle %S (try --list)\n" n;
                 exit 2)
           names
+  in
+  let chrome =
+    if !trace = "" then None
+    else begin
+      let sink, render = Obs.Sink.chrome () in
+      Obs.set_sink sink;
+      Some (!trace, render)
+    end
   in
   let seed64 = Int64.of_int !seed in
   let failed = ref false in
@@ -66,4 +91,10 @@ let () =
           failed := true;
           Format.printf "%a@." Check.Harness.pp_failure f)
     selected;
+  (match chrome with
+  | Some (path, render) ->
+      Obs.set_sink Obs.Sink.Null;
+      Obs.Sink.write_file path (render ());
+      Printf.printf "trace written to %s\n" path
+  | None -> ());
   if !failed then exit 1

@@ -25,6 +25,54 @@ let or_die = function
       prerr_endline ("mdweave: " ^ msg);
       exit 1
 
+(* ---- observability plumbing ------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run as a Chrome trace-event file (open in \
+           chrome://tracing or https://ui.perfetto.dev)")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record run counters and histograms as JSON rows \
+           ({metric, value, unit})")
+
+(* Install the requested sinks around [f]; artifacts are written on normal
+   completion (a run that dies via [or_die] leaves none behind). *)
+let with_obs ~trace ~metrics f =
+  let chrome =
+    Option.map
+      (fun path ->
+        let sink, render = Obs.Sink.chrome () in
+        Obs.set_sink sink;
+        (path, render))
+      trace
+  in
+  if Option.is_some metrics then Obs.Metric.enable ();
+  let v = f () in
+  (match chrome with
+  | Some (path, render) ->
+      Obs.set_sink Obs.Sink.Null;
+      Obs.Sink.write_file path (render ());
+      Printf.printf "trace written to %s\n" path
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      Obs.Metric.disable ();
+      Obs.Sink.write_file path (Obs.Metric.rows_to_json (Obs.Metric.rows ()));
+      Obs.Metric.reset ();
+      Printf.printf "metrics written to %s\n" path
+  | None -> ());
+  v
+
 (* ---- sample ---------------------------------------------------------- *)
 
 let sample_pim () =
@@ -153,8 +201,9 @@ let resolve_cmt concern params =
 
 let apply_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run file concern params out =
+  let run file concern params out trace metrics =
     Core.Platform.ensure_registered ();
+    with_obs ~trace ~metrics @@ fun () ->
     let m = or_die (read_model file) in
     let cmt, _ = or_die (resolve_cmt concern params) in
     match Transform.Engine.apply cmt m with
@@ -168,7 +217,9 @@ let apply_cmd =
   in
   Cmd.v
     (Cmd.info "apply" ~doc:"Apply one concern transformation to an XMI model")
-    Term.(const run $ file $ concern_arg $ param_args $ out_arg)
+    Term.(
+      const run $ file $ concern_arg $ param_args $ out_arg $ trace_arg
+      $ metrics_arg)
 
 (* ---- check ----------------------------------------------------------- *)
 
@@ -285,8 +336,9 @@ let build_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Artifact output directory")
   in
-  let run file steps outdir =
+  let run file steps outdir trace metrics =
     Core.Platform.ensure_registered ();
+    with_obs ~trace ~metrics @@ fun () ->
     let m = or_die (read_model file) in
     let project = refined_project m steps in
     let artifacts =
@@ -305,7 +357,7 @@ let build_cmd =
     (Cmd.info "build"
        ~doc:"Apply a transformation sequence and emit code, aspects, woven \
              output")
-    Term.(const run $ file $ steps $ outdir)
+    Term.(const run $ file $ steps $ outdir $ trace_arg $ metrics_arg)
 
 (* ---- joinpoints -------------------------------------------------------- *)
 
@@ -368,8 +420,9 @@ let run_cmd =
       & info [ "fault" ] ~docv:"CLASS.METHOD"
           ~doc:"Inject a RuntimeException on entering this method (repeatable)")
   in
-  let run file steps class_name method_name fault_specs =
+  let run file steps class_name method_name fault_specs trace metrics =
     Core.Platform.ensure_registered ();
+    with_obs ~trace ~metrics @@ fun () ->
     let m = or_die (read_model file) in
     let project = refined_project m steps in
     let artifacts =
@@ -424,7 +477,9 @@ let run_cmd =
        ~doc:
          "Interpret a method of the woven program against the recording \
           middleware runtime")
-    Term.(const run $ file $ steps_arg $ class_name $ method_name $ faults)
+    Term.(
+      const run $ file $ steps_arg $ class_name $ method_name $ faults
+      $ trace_arg $ metrics_arg)
 
 (* ---- color ----------------------------------------------------------------- *)
 

@@ -35,9 +35,25 @@ let guard name f =
                (Printexc.to_string exn))
 
 let run ?(progress = fun _ -> ()) (oracle : Oracle.t) ~seed ~count =
+  Obs.span ~cat:"check" "check.oracle"
+    ~args:[ ("oracle", Obs.Event.V_string oracle.Oracle.name) ]
+  @@ fun () ->
+  let labels = [ ("oracle", oracle.Oracle.name) ] in
   let t0 = Sys.time () in
-  let stats i = { cases = i; elapsed = Sys.time () -. t0 } in
+  let stats i =
+    Obs.incr "check.cases" labels ~by:(float_of_int i);
+    { cases = i; elapsed = Sys.time () -. t0 }
+  in
   let fail ~case ~message ~repro ~shrunk_ops =
+    Obs.incr "check.failures" labels;
+    if Obs.enabled () then
+      Obs.event ~cat:"check" "check.failure"
+        ~args:
+          [
+            ("oracle", Obs.Event.V_string oracle.Oracle.name);
+            ("case", Obs.Event.V_int case);
+            ("shrunk_ops", Obs.Event.V_int shrunk_ops);
+          ];
     { oracle = oracle.Oracle.name; seed; case; message; repro; shrunk_ops }
   in
   match oracle.Oracle.check with
@@ -56,6 +72,7 @@ let run ?(progress = fun _ -> ()) (oracle : Oracle.t) ~seed ~count =
           | Error message ->
               let tag = Oracle.tag_of message in
               let fails_like ~base ~edits =
+                Obs.incr "check.shrink.attempts" labels;
                 match
                   guard oracle.Oracle.name (fun () -> check ~aux ~base ~edits)
                 with
@@ -104,6 +121,7 @@ let run ?(progress = fun _ -> ()) (oracle : Oracle.t) ~seed ~count =
               let aspects =
                 Shrink.list
                   ~still_fails:(fun aspects ->
+                    Obs.incr "check.shrink.attempts" labels;
                     match
                       guard oracle.Oracle.name (fun () ->
                           check ~aux { wc with Gen.aspects })

@@ -31,6 +31,9 @@ let pp_error ppf = function
 let error_to_string e = Format.asprintf "%a" pp_error e
 
 let refine project ~concern ~params =
+  Obs.span ~cat:"pipeline" "pipeline.refine"
+    ~args:[ ("concern", Obs.Event.V_string concern) ]
+  @@ fun () ->
   match Concerns.Registry.find_gmt concern with
   | None -> Error (Unknown_concern concern)
   | Some gmt -> (
@@ -124,24 +127,35 @@ let redo_info project =
 let exclude_stereotypes = [ "infrastructure"; "proxy"; "remote-interface" ]
 
 let functional_code project =
+  Obs.span ~cat:"pipeline" "pipeline.codegen"
+    ~args:[ ("mode", Obs.Event.V_string "functional") ]
+  @@ fun () ->
   Code.Generator.generate
     ~options:{ Code.Generator.accessors = true; exclude_stereotypes }
     (Project.model project)
 
 let monolithic_code project =
+  Obs.span ~cat:"pipeline" "pipeline.codegen"
+    ~args:[ ("mode", Obs.Event.V_string "monolithic") ]
+  @@ fun () ->
   Code.Generator.generate
     ~options:{ Code.Generator.accessors = true; exclude_stereotypes = [] }
     (Project.model project)
 
 let aspects project =
+  Obs.span ~cat:"pipeline" "pipeline.aspects" @@ fun () ->
   match
     Aspects.Generator.from_trace ~lookup:Concerns.Registry.find_gac
       (Project.applied project)
   with
-  | Ok generated -> Ok generated
+  | Ok generated ->
+      Obs.incr "pipeline.aspects.generated" []
+        ~by:(float_of_int (List.length generated));
+      Ok generated
   | Error msg -> Error (Aspect_generation msg)
 
 let build project =
+  Obs.span ~cat:"pipeline" "pipeline.build" @@ fun () ->
   match aspects project with
   | Error e -> Error e
   | Ok generated ->

@@ -1,0 +1,97 @@
+(* The one structured telemetry record every sink consumes.
+
+   Events carry a deterministic sequence number and nesting depth next to
+   the (nondeterministic) timestamp, so two identical runs produce
+   identical event lists after [normalize]. *)
+
+type value =
+  | V_string of string
+  | V_int of int
+  | V_float of float
+  | V_bool of bool
+
+type kind =
+  | Span_begin
+  | Span_end of { wall_ns : int64; alloc_bytes : float }
+  | Instant
+
+type t = {
+  seq : int;
+  ts_ns : int64;
+  depth : int;
+  cat : string;
+  name : string;
+  kind : kind;
+  args : (string * value) list;
+}
+
+let phase = function Span_begin -> "B" | Span_end _ -> "E" | Instant -> "i"
+
+(* Strip the fields that vary between identical runs (timestamps, measured
+   durations, allocation counts); everything left must replay exactly. *)
+let normalize e =
+  {
+    e with
+    ts_ns = 0L;
+    kind =
+      (match e.kind with
+      | Span_end _ -> Span_end { wall_ns = 0L; alloc_bytes = 0. }
+      | k -> k);
+  }
+
+(* ---- minimal JSON rendering (no dependency) --------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_float f =
+  if not (Float.is_finite f) then "0"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let value_to_json = function
+  | V_string s -> json_string s
+  | V_int i -> string_of_int i
+  | V_float f -> json_float f
+  | V_bool b -> if b then "true" else "false"
+
+let args_to_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ value_to_json v) args)
+  ^ "}"
+
+(* One flat JSONL object per event (the line-oriented sink format). *)
+let to_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"seq\":%d,\"ts_ns\":%Ld,\"depth\":%d,\"ph\":%s,\"cat\":%s,\"name\":%s"
+       e.seq e.ts_ns e.depth
+       (json_string (phase e.kind))
+       (json_string e.cat) (json_string e.name));
+  (match e.kind with
+  | Span_end { wall_ns; alloc_bytes } ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"wall_ns\":%Ld,\"alloc_bytes\":%s" wall_ns
+           (json_float alloc_bytes))
+  | Span_begin | Instant -> ());
+  if e.args <> [] then (
+    Buffer.add_string buf ",\"args\":";
+    Buffer.add_string buf (args_to_json e.args));
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,127 @@
+(* Counters, gauges and histograms keyed by (name, labels).
+
+   Recording is off by default: every entry point checks one ref before
+   touching the registry, so uninstrumented runs pay a memory read per
+   call site. Histograms keep count/sum/min/max — enough for the bench
+   snapshot rows — rather than full bucket vectors. *)
+
+type labels = (string * string) list
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type cell =
+  | Counter of { mutable total : float; c_unit : string }
+  | Gauge of { mutable value : float; g_unit : string }
+  | Histogram of { hist : hist; o_unit : string }
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let registry : (string * labels, cell) Hashtbl.t = Hashtbl.create 64
+let reset () = Hashtbl.reset registry
+
+let find_or_add key make =
+  match Hashtbl.find_opt registry key with
+  | Some c -> c
+  | None ->
+      let c = make () in
+      Hashtbl.add registry key c;
+      c
+
+(* A kind clash (same key used as counter and histogram) drops the sample:
+   telemetry must never raise out of an instrumented hot path. *)
+
+let incr ?(by = 1.) ?(unit_ = "count") name labels =
+  if !on then
+    match
+      find_or_add (name, labels) (fun () -> Counter { total = 0.; c_unit = unit_ })
+    with
+    | Counter c -> c.total <- c.total +. by
+    | Gauge _ | Histogram _ -> ()
+
+let set ?(unit_ = "value") name labels v =
+  if !on then
+    match
+      find_or_add (name, labels) (fun () -> Gauge { value = v; g_unit = unit_ })
+    with
+    | Gauge g -> g.value <- v
+    | Counter _ | Histogram _ -> ()
+
+let observe ?(unit_ = "ns") name labels v =
+  if !on then
+    match
+      find_or_add (name, labels) (fun () ->
+          Histogram
+            {
+              hist =
+                { h_count = 0; h_sum = 0.; h_min = infinity; h_max = neg_infinity };
+              o_unit = unit_;
+            })
+    with
+    | Histogram { hist; _ } ->
+        hist.h_count <- hist.h_count + 1;
+        hist.h_sum <- hist.h_sum +. v;
+        if v < hist.h_min then hist.h_min <- v;
+        if v > hist.h_max then hist.h_max <- v
+    | Counter _ | Gauge _ -> ()
+
+(* ---- snapshots --------------------------------------------------------- *)
+
+type row = { metric : string; value : float; unit_ : string }
+
+let qualified name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+      ^ "}"
+
+let rows () =
+  let all =
+    Hashtbl.fold
+      (fun (name, labels) cell acc ->
+        let q = qualified name labels in
+        match cell with
+        | Counter { total; c_unit } -> { metric = q; value = total; unit_ = c_unit } :: acc
+        | Gauge { value; g_unit } -> { metric = q; value; unit_ = g_unit } :: acc
+        | Histogram { hist; o_unit } ->
+            let r suffix value unit_ =
+              { metric = q ^ "." ^ suffix; value; unit_ }
+            in
+            let mean =
+              if hist.h_count = 0 then 0.
+              else hist.h_sum /. float_of_int hist.h_count
+            in
+            r "count" (float_of_int hist.h_count) "count"
+            :: r "sum" hist.h_sum o_unit
+            :: r "min" hist.h_min o_unit
+            :: r "max" hist.h_max o_unit
+            :: r "mean" mean o_unit
+            :: acc)
+      registry []
+  in
+  List.sort (fun a b -> String.compare a.metric b.metric) all
+
+(* One row per line, `{experiment, metric, value, unit}` — the BENCH_*.json
+   snapshot schema (experiment omitted when not supplied). *)
+let row_to_json ?experiment r =
+  let exp =
+    match experiment with
+    | Some e -> Printf.sprintf "\"experiment\":%s," (Event.json_string e)
+    | None -> ""
+  in
+  Printf.sprintf "{%s\"metric\":%s,\"value\":%s,\"unit\":%s}" exp
+    (Event.json_string r.metric)
+    (Event.json_float r.value)
+    (Event.json_string r.unit_)
+
+let rows_to_json ?experiment rows =
+  "[\n" ^ String.concat ",\n" (List.map (row_to_json ?experiment) rows) ^ "\n]\n"

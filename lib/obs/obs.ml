@@ -1,0 +1,67 @@
+(* Obs — the pipeline-wide observability façade.
+
+   One global sink receives spans and structured events; one global metric
+   registry receives counters/gauges/histograms. Both are off by default
+   (null sink, metrics disabled), and every entry point short-circuits on
+   that default before doing any work, so instrumented hot paths stay
+   within the < 3% overhead budget (DESIGN.md §7).
+
+   Call-site discipline: span/event *arguments* are evaluated by the
+   caller, so anything more expensive than a field read must be guarded
+   with [enabled ()] (for the sink) or [Metric.enabled ()] (for the
+   registry) at the call site. *)
+
+module Clock = Clock
+module Event = Event
+module Metric = Metric
+module Span = Span
+module Sink = Sink
+
+let current : Sink.t ref = ref Sink.Null
+let enabled_flag = ref false
+
+let set_sink s =
+  current := s;
+  enabled_flag := not (Sink.is_null s)
+
+let sink () = !current
+let enabled () = !enabled_flag
+
+(* Back to the quiescent default: null sink, fresh span numbering, metrics
+   disabled and emptied. Tests use this between cases. *)
+let reset () =
+  set_sink Sink.Null;
+  Span.reset ();
+  Metric.disable ();
+  Metric.reset ()
+
+(* Run [f] with [s] installed, restoring the previous sink after — the
+   scoped form used by tests and the CLI front-ends. *)
+let with_sink s f =
+  let prev = !current in
+  set_sink s;
+  Fun.protect ~finally:(fun () -> set_sink prev) f
+
+let event ?(cat = "app") ?(args = []) name =
+  match !current with
+  | Sink.Null -> ()
+  | s -> Sink.emit s (Span.instant ~cat ~name ~args)
+
+let span ?(cat = "app") ?(args = []) name f =
+  match !current with
+  | Sink.Null -> f ()
+  | s -> (
+      let emit = Sink.emit s in
+      let sp = Span.enter ~cat ~name ~args emit in
+      match f () with
+      | v ->
+          Span.leave sp emit;
+          v
+      | exception exn ->
+          Span.leave sp emit;
+          raise exn)
+
+(* Metric shorthands (each checks the metrics switch internally). *)
+let incr ?by ?unit_ name labels = Metric.incr ?by ?unit_ name labels
+let gauge ?unit_ name labels v = Metric.set ?unit_ name labels v
+let observe ?unit_ name labels v = Metric.observe ?unit_ name labels v

@@ -1,0 +1,60 @@
+(* Hierarchical span bookkeeping: one global sequence counter and nesting
+   depth, shared with instant events so the full event stream has a total,
+   deterministic order. Timing (wall ns) and allocation deltas are captured
+   between [enter] and [leave]. *)
+
+type open_span = { name : string; cat : string; t0 : int64; a0 : float }
+
+let seq = ref 0
+let depth = ref 0
+
+let reset () =
+  seq := 0;
+  depth := 0
+
+let next_seq () =
+  incr seq;
+  !seq
+
+let instant ~cat ~name ~args =
+  {
+    Event.seq = next_seq ();
+    ts_ns = Clock.now_ns ();
+    depth = !depth;
+    cat;
+    name;
+    kind = Event.Instant;
+    args;
+  }
+
+let enter ~cat ~name ~args emit =
+  let e =
+    {
+      Event.seq = next_seq ();
+      ts_ns = Clock.now_ns ();
+      depth = !depth;
+      cat;
+      name;
+      kind = Event.Span_begin;
+      args;
+    }
+  in
+  depth := !depth + 1;
+  emit e;
+  { name; cat; t0 = e.Event.ts_ns; a0 = Clock.allocated_bytes () }
+
+let leave sp emit =
+  let now = Clock.now_ns () in
+  let wall_ns = Int64.sub now sp.t0 in
+  let alloc_bytes = Clock.allocated_bytes () -. sp.a0 in
+  depth := (if !depth > 0 then !depth - 1 else 0);
+  emit
+    {
+      Event.seq = next_seq ();
+      ts_ns = now;
+      depth = !depth;
+      cat = sp.cat;
+      name = sp.name;
+      kind = Event.Span_end { wall_ns; alloc_bytes };
+      args = [];
+    }

@@ -99,8 +99,18 @@ let check m c =
               Ill_formed (Printf.sprintf "%s: %s" c.name msg)))
 
 let check m c =
-  try check m c with Eval.Eval_error msg ->
-    Ill_formed (Printf.sprintf "%s: %s" c.name msg)
+  Obs.span ~cat:"ocl" "ocl.check"
+    ~args:[ ("constraint", Obs.Event.V_string c.name) ]
+  @@ fun () ->
+  let outcome =
+    try check m c with Eval.Eval_error msg ->
+      Ill_formed (Printf.sprintf "%s: %s" c.name msg)
+  in
+  (match outcome with
+  | Holds -> Obs.incr "ocl.check.holds" []
+  | Fails _ -> Obs.incr "ocl.check.fails" []
+  | Ill_formed _ -> Obs.incr "ocl.check.ill_formed" []);
+  outcome
 
 let holds m c = check m c = Holds
 

@@ -515,6 +515,13 @@ and eval_iter m env recv name vars body =
           Value.set (grow xs xs)
       | _ -> error "unknown iterator %s" name)
 
+(* Count top-level evaluations (one per constraint body / context instance),
+   not recursive descents — the recursion above still calls the inner
+   [eval] directly. *)
+let eval m env e =
+  Obs.incr "ocl.eval" [];
+  eval m env e
+
 let eval_string m env src = eval m env (Parser.parse src)
 
 let holds m env src =

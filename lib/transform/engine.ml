@@ -54,37 +54,72 @@ let failed_conditions model conditions =
     conditions
 
 let apply ?(checks = all_checks) cmt model =
-  let pre_failures =
-    if checks.check_pre then failed_conditions model (Cmt.preconditions cmt)
-    else []
-  in
-  if pre_failures <> [] then Error (Precondition_failed pre_failures)
-  else
-    match Cmt.rewrite cmt model with
-    | exception Gmt.Rewrite_error msg -> Error (Rewrite_failed msg)
-    | new_model -> (
-        let post_failures =
-          if checks.check_post then
-            failed_conditions new_model (Cmt.postconditions cmt)
-          else []
-        in
-        if post_failures <> [] then Error (Postcondition_failed post_failures)
-        else
-          (* journal-based: O(changes) when the rewrite derived [new_model]
-             from [model] (always the case for Builder-written rewrites) *)
-          let diff = Mof.Diff.compute ~old_model:model ~new_model in
-          let violations =
-            if not checks.check_wf then []
-            else if checks.full_wf then Mof.Wellformed.check new_model
-            else
-              Mof.Wellformed.check_touched new_model
-                ~touched:(Mof.Diff.touched diff)
+  Obs.span ~cat:"transform" "engine.apply"
+    ~args:[ ("transformation", Obs.Event.V_string (Cmt.name cmt)) ]
+  @@ fun () ->
+  let outcome =
+    let pre_failures =
+      if checks.check_pre then
+        Obs.span ~cat:"transform" "engine.pre" @@ fun () ->
+        failed_conditions model (Cmt.preconditions cmt)
+      else []
+    in
+    if pre_failures <> [] then Error (Precondition_failed pre_failures)
+    else
+      match
+        Obs.span ~cat:"transform" "engine.rewrite" @@ fun () ->
+        Cmt.rewrite cmt model
+      with
+      | exception Gmt.Rewrite_error msg -> Error (Rewrite_failed msg)
+      | new_model -> (
+          let post_failures =
+            if checks.check_post then
+              Obs.span ~cat:"transform" "engine.post" @@ fun () ->
+              failed_conditions new_model (Cmt.postconditions cmt)
+            else []
           in
-          match violations with
-          | _ :: _ -> Error (Not_wellformed violations)
-          | [] ->
-              let report = Report.make cmt diff in
-              Ok { model = new_model; diff; report })
+          if post_failures <> [] then Error (Postcondition_failed post_failures)
+          else
+            (* journal-based: O(changes) when the rewrite derived [new_model]
+               from [model] (always the case for Builder-written rewrites) *)
+            let diff =
+              Obs.span ~cat:"transform" "engine.diff" @@ fun () ->
+              if Obs.Metric.enabled () then
+                (match
+                   Mof.Model.touched_since new_model (Mof.Model.watermark model)
+                 with
+                | Some _ -> Obs.incr "engine.diff.journal" []
+                | None -> Obs.incr "engine.diff.scan" []);
+              Mof.Diff.compute ~old_model:model ~new_model
+            in
+            let violations =
+              if not checks.check_wf then []
+              else
+                Obs.span ~cat:"transform" "engine.wf" @@ fun () ->
+                if checks.full_wf then begin
+                  Obs.incr "engine.wf.full" [];
+                  Mof.Wellformed.check new_model
+                end
+                else begin
+                  let touched = Mof.Diff.touched diff in
+                  if Obs.Metric.enabled () then begin
+                    Obs.incr "engine.wf.scoped" [];
+                    Obs.observe ~unit_:"elements" "engine.wf.scoped.touched" []
+                      (float_of_int (Mof.Id.Set.cardinal touched))
+                  end;
+                  Mof.Wellformed.check_touched new_model ~touched
+                end
+            in
+            match violations with
+            | _ :: _ -> Error (Not_wellformed violations)
+            | [] ->
+                let report = Report.make cmt diff in
+                Ok { model = new_model; diff; report })
+  in
+  (match outcome with
+  | Ok _ -> Obs.incr "engine.apply.ok" []
+  | Error _ -> Obs.incr "engine.apply.failed" []);
+  outcome
 
 type session = {
   initial : Mof.Model.t;

@@ -1,13 +1,27 @@
+(* A per-application report. The diff is kept structurally and rendered on
+   demand through [Mof.Diff.pp] — no pre-formatted strings are accumulated;
+   the machine-readable form of the same data is the obs event emitted by
+   [make]. *)
+
 type t = {
   transformation : string;
   concern : string;
   parameters : (string * string) list;
-  added : int;
-  removed : int;
-  modified : int;
+  diff : Mof.Diff.t;
 }
 
+(* Count accessors kept for API stability with the old record fields. *)
+let added t = Mof.Id.Set.cardinal t.diff.Mof.Diff.added
+let removed t = Mof.Id.Set.cardinal t.diff.Mof.Diff.removed
+let modified t = Mof.Id.Set.cardinal t.diff.Mof.Diff.modified
+
 let make cmt (diff : Mof.Diff.t) =
+  if Obs.enabled () then
+    Obs.event ~cat:"transform" "report.make"
+      ~args:
+        (("transformation", Obs.Event.V_string (Cmt.name cmt))
+        :: ("concern", Obs.Event.V_string (Cmt.concern cmt))
+        :: Trace.diff_args diff);
   {
     transformation = Cmt.name cmt;
     concern = Cmt.concern cmt;
@@ -15,14 +29,11 @@ let make cmt (diff : Mof.Diff.t) =
       List.map
         (fun (name, v) -> (name, Params.value_to_string v))
         (Params.bindings cmt.Cmt.params);
-    added = Mof.Id.Set.cardinal diff.Mof.Diff.added;
-    removed = Mof.Id.Set.cardinal diff.Mof.Diff.removed;
-    modified = Mof.Id.Set.cardinal diff.Mof.Diff.modified;
+    diff;
   }
 
 let summary t =
-  Printf.sprintf "%s [%s] +%d -%d ~%d" t.transformation t.concern t.added
-    t.removed t.modified
+  Format.asprintf "%s [%s] %a" t.transformation t.concern Mof.Diff.pp t.diff
 
 let pp ppf t =
   Format.fprintf ppf "%s@." (summary t);

@@ -5,12 +5,16 @@ type t = {
   transformation : string;  (** concrete name, T_i⟨…⟩ *)
   concern : string;
   parameters : (string * string) list;  (** name, rendered value *)
-  added : int;
-  removed : int;
-  modified : int;
+  diff : Mof.Diff.t;  (** what the application did, kept structurally *)
 }
 
+val added : t -> int
+val removed : t -> int
+val modified : t -> int
+
 val make : Cmt.t -> Mof.Diff.t -> t
+(** Builds the report and, when a telemetry sink is installed, emits a
+    structured [report.make] event with the same counts. *)
 
 val summary : t -> string
 (** One line: ["T.distribution<...> [distribution] +12 -0 ~3"]. *)

@@ -11,7 +11,23 @@ let empty = []
 let entries t = List.rev t
 let length = List.length
 
+(* Shared telemetry rendering of a diff — the one place its counts become
+   event arguments (Report reuses it, so Trace/Report/obs stay one path). *)
+let diff_args (diff : Mof.Diff.t) =
+  [
+    ("added", Obs.Event.V_int (Mof.Id.Set.cardinal diff.Mof.Diff.added));
+    ("removed", Obs.Event.V_int (Mof.Id.Set.cardinal diff.Mof.Diff.removed));
+    ("modified", Obs.Event.V_int (Mof.Id.Set.cardinal diff.Mof.Diff.modified));
+  ]
+
 let record ~transformation ~concern diff t =
+  if Obs.enabled () then
+    Obs.event ~cat:"transform" "trace.record"
+      ~args:
+        (("transformation", Obs.Event.V_string transformation)
+        :: ("concern", Obs.Event.V_string concern)
+        :: ("seq", Obs.Event.V_int (length t + 1))
+        :: diff_args diff);
   { seq = length t + 1; transformation; concern; diff } :: t
 
 let drop_last = function [] -> [] | _ :: rest -> rest

@@ -24,7 +24,14 @@ val entries : t -> entry list
 val length : t -> int
 
 val record : transformation:string -> concern:string -> Mof.Diff.t -> t -> t
-(** Appends an entry with the next sequence number. *)
+(** Appends an entry with the next sequence number. When a telemetry sink
+    is installed, also emits a structured [trace.record] event carrying the
+    same data — the trace and the event stream are one path. *)
+
+val diff_args : Mof.Diff.t -> (string * Obs.Event.value) list
+(** The shared event-argument rendering of a diff (added/removed/modified
+    counts), reused by {!Report} so every telemetry consumer sees the same
+    shape. *)
 
 val drop_last : t -> t
 (** Removes the most recent entry (identity on the empty trace) — the trace

@@ -307,6 +307,7 @@ let apply_intertypes (aspect : Aspects.Aspect.t) program =
 let weave_one (aspect : Aspects.Aspect.t) program =
   let applications = ref [] in
   let record advice_name shadow =
+    Obs.incr "weave.joinpoint.match" [];
     applications :=
       {
         aspect_name = aspect.Aspects.Aspect.aspect_name;
@@ -359,12 +360,37 @@ let weave_one (aspect : Aspects.Aspect.t) program =
   { program; applications = List.rev !applications }
 
 let weave generated program =
+  Obs.span ~cat:"weaver" "weave"
+    ~args:[ ("aspects", Obs.Event.V_int (List.length generated)) ]
+  @@ fun () ->
   (* reverse precedence order: the last-woven (highest-precedence) aspect
      ends up outermost at shared join points *)
   let ordered = List.rev (Precedence.order generated) in
+  if Obs.enabled () then
+    (* the precedence decision, as one structured event: position in the
+       model-level transformation order -> aspect woven at that rank *)
+    Obs.event ~cat:"weaver" "weave.precedence"
+      ~args:
+        (List.mapi
+           (fun i (g : Aspects.Generator.generated) ->
+             ( string_of_int (i + 1),
+               Obs.Event.V_string
+                 g.Aspects.Generator.aspect.Aspects.Aspect.aspect_name ))
+           (Precedence.order generated));
   List.fold_left
     (fun acc (g : Aspects.Generator.generated) ->
-      let r = weave_one g.Aspects.Generator.aspect acc.program in
+      let r =
+        Obs.span ~cat:"weaver" "weave.aspect"
+          ~args:
+            [
+              ( "aspect",
+                Obs.Event.V_string
+                  g.Aspects.Generator.aspect.Aspects.Aspect.aspect_name );
+            ]
+        @@ fun () -> weave_one g.Aspects.Generator.aspect acc.program
+      in
+      Obs.incr "weave.applications" []
+        ~by:(float_of_int (List.length r.applications));
       { program = r.program; applications = acc.applications @ r.applications })
     { program; applications = [] }
     ordered

@@ -120,6 +120,13 @@ let rec element_to_xml m (e : Mof.Element.t) =
             literals)
 
 let to_xml m =
+  Obs.span ~cat:"xmi" "xmi.export"
+    ~args:[ ("model", Obs.Event.V_string (Mof.Model.name m)) ]
+  @@ fun () ->
+  if Obs.enabled () then
+    Obs.event ~cat:"xmi" "xmi.export.model"
+      ~args:[ ("elements", Obs.Event.V_int (Mof.Model.size m)) ];
+  Obs.incr "xmi.exports" [];
   let root = Mof.Model.root m in
   (* the model's own counter already exceeds every bound id *)
   let next = Mof.Model.next m in

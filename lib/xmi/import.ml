@@ -212,7 +212,12 @@ let of_xml doc =
   | m -> m
   | exception Invalid_argument msg -> error "%s" msg
 
-let from_string s = of_xml (Xml_parser.parse s)
+let from_string s =
+  Obs.span ~cat:"xmi" "xmi.import"
+    ~args:[ ("bytes", Obs.Event.V_int (String.length s)) ]
+  @@ fun () ->
+  Obs.incr "xmi.imports" [];
+  of_xml (Xml_parser.parse s)
 
 let read_file path =
   let ic = open_in path in

@@ -83,6 +83,43 @@ interpreted execution of the woven program.
   interference analysis:
   5 advised join point(s), 4 shared across concerns
 
+Observability: --trace writes a Chrome trace-event file, --metrics a JSON
+snapshot of the run's counters. Both must be produced and non-empty, and the
+trace must contain the pipeline's nested spans.
+
+  $ mdweave build bank.xmi -s "distribution: remote=Account|Teller" -s "transactions: transactional=Account" -o out2 --trace run.trace.json --metrics run.metrics.json
+  T.distribution<[Account, Teller], "rmi", "localhost:1099"> [distribution] +37 -0 ~3
+  T.transactions<[Account], "serializable", "required"> [transactions] +8 -0 ~2
+  1 unit(s), 2 class(es), 5 method(s); 2 aspect(s), 9 advice application(s)
+  artifacts written to out2
+  trace written to run.trace.json
+  metrics written to run.metrics.json
+
+  $ test -s run.trace.json && test -s run.metrics.json && echo non-empty
+  non-empty
+
+  $ for span in pipeline.build pipeline.refine engine.apply weave xmi.export; do grep -c "\"name\":\"$span\"" run.trace.json >/dev/null && echo "$span: present"; done
+  pipeline.build: present
+  pipeline.refine: present
+  engine.apply: present
+  weave: present
+  xmi.export: present
+
+  $ grep -o '"metric":"engine.apply.ok","value":[0-9.]*' run.metrics.json
+  "metric":"engine.apply.ok","value":2
+
+The check driver exits 0 on a clean run and 1 when an oracle fails; the
+hidden selftest-fail oracle forces the failure path deterministically.
+
+  $ check --oracle weave --count 5 --quiet >/dev/null; echo "exit: $?"
+  exit: 0
+
+  $ check --oracle selftest-fail --count 5 --quiet >/dev/null; echo "exit: $?"
+  exit: 1
+
+  $ check --oracle weave --count 5 --quiet --trace check.trace.json >/dev/null && test -s check.trace.json && echo trace ok
+  trace ok
+
   $ mdweave stats bank.xmi -s "distribution: remote=Account" -s "transactions: transactional=Account" | tail -7
   model: banking (PIM)
   elements: 44 total

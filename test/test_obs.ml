@@ -1,0 +1,397 @@
+(* lib/obs — spans, metrics, sinks, trace export.
+
+   Covers: span nesting/ordering through the memory sink, exception
+   safety, counter/gauge/histogram arithmetic, null-sink no-op behaviour,
+   JSONL and Chrome trace well-formedness (validated with the minimal JSON
+   parser below), and determinism of the event stream modulo timestamps. *)
+
+(* ---- a minimal JSON syntax checker ------------------------------------ *)
+
+(* Accepts exactly the JSON grammar (RFC 8259) we emit; returns an error
+   message on the first syntax violation. No AST — validation only. *)
+module Json_check = struct
+  exception Bad of string
+
+  let check (s : string) : (unit, string) result =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some x when x = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word =
+      String.iter (fun c -> expect c) word
+    in
+    let hex_digit () =
+      match peek () with
+      | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+      | _ -> fail "bad \\u escape"
+    in
+    let string_ () =
+      expect '"';
+      let rec chars () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+                advance ();
+                chars ()
+            | Some 'u' ->
+                advance ();
+                hex_digit ();
+                hex_digit ();
+                hex_digit ();
+                hex_digit ();
+                chars ()
+            | _ -> fail "bad escape")
+        | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+        | Some _ ->
+            advance ();
+            chars ()
+      in
+      chars ()
+    in
+    let digits () =
+      let saw = ref false in
+      let rec loop () =
+        match peek () with
+        | Some '0' .. '9' ->
+            saw := true;
+            advance ();
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      if not !saw then fail "expected digit"
+    in
+    let number () =
+      (match peek () with Some '-' -> advance () | _ -> ());
+      digits ();
+      (match peek () with
+      | Some '.' ->
+          advance ();
+          digits ()
+      | _ -> ());
+      match peek () with
+      | Some ('e' | 'E') ->
+          advance ();
+          (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+          digits ()
+      | _ -> ()
+    in
+    let rec value () =
+      skip_ws ();
+      (match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> array_ ()
+      | Some '"' -> string_ ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> fail "expected value");
+      skip_ws ()
+    and obj () =
+      expect '{';
+      skip_ws ();
+      (match peek () with
+      | Some '}' -> advance ()
+      | _ ->
+          let rec members () =
+            skip_ws ();
+            string_ ();
+            skip_ws ();
+            expect ':';
+            value ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | _ -> expect '}'
+          in
+          members ())
+    and array_ () =
+      expect '[';
+      skip_ws ();
+      match peek () with
+      | Some ']' -> advance ()
+      | _ ->
+          let rec elements () =
+            value ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | _ -> expect ']'
+          in
+          elements ()
+    in
+    match
+      value ();
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage"
+    with
+    | () -> Ok ()
+    | exception Bad msg -> Error msg
+end
+
+let check_json what s =
+  match Json_check.check s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: invalid JSON: %s\n%s" what msg s
+
+(* ---- helpers ----------------------------------------------------------- *)
+
+(* Run [f] against a fresh memory sink from a clean obs state; returns the
+   recorded events, with the global state reset afterwards. *)
+let with_memory f =
+  Obs.reset ();
+  let sink, events = Obs.Sink.memory () in
+  Obs.set_sink sink;
+  Fun.protect ~finally:Obs.reset (fun () ->
+      f ();
+      events ())
+
+let names events = List.map (fun (e : Obs.Event.t) -> e.Obs.Event.name) events
+let phases events =
+  List.map (fun (e : Obs.Event.t) -> Obs.Event.phase e.Obs.Event.kind) events
+let depths events = List.map (fun (e : Obs.Event.t) -> e.Obs.Event.depth) events
+
+let sl = Alcotest.(list string)
+let il = Alcotest.(list int)
+
+(* A nest of spans, events and metrics used by several cases. *)
+let workload () =
+  Obs.span ~cat:"t" "outer" (fun () ->
+      Obs.span ~cat:"t" "inner"
+        ~args:[ ("k", Obs.Event.V_string "v\"quote\u{00e9}") ]
+        (fun () -> Obs.event ~cat:"t" "tick" ~args:[ ("n", Obs.Event.V_int 3) ]);
+      Obs.span ~cat:"t" "inner2" (fun () -> ()))
+
+(* ---- spans -------------------------------------------------------------- *)
+
+let span_tests =
+  [
+    Alcotest.test_case "nesting and ordering through the memory sink" `Quick
+      (fun () ->
+        let events = with_memory workload in
+        Alcotest.(check sl)
+          "names"
+          [ "outer"; "inner"; "tick"; "inner"; "inner2"; "inner2"; "outer" ]
+          (names events);
+        Alcotest.(check sl)
+          "phases"
+          [ "B"; "B"; "i"; "E"; "B"; "E"; "E" ]
+          (phases events);
+        Alcotest.(check il) "depths" [ 0; 1; 2; 1; 1; 1; 0 ] (depths events);
+        Alcotest.(check il) "seq is 1..n"
+          (List.init (List.length events) (fun i -> i + 1))
+          (List.map (fun (e : Obs.Event.t) -> e.Obs.Event.seq) events));
+    Alcotest.test_case "span end carries wall time and allocations" `Quick
+      (fun () ->
+        let events =
+          with_memory (fun () ->
+              Obs.span "work" (fun () -> ignore (List.init 1000 Fun.id)))
+        in
+        match List.rev events with
+        | { Obs.Event.kind = Obs.Event.Span_end { wall_ns; alloc_bytes }; _ }
+          :: _ ->
+            Alcotest.(check bool) "wall >= 0" true (Int64.compare wall_ns 0L >= 0);
+            Alcotest.(check bool) "allocated something" true (alloc_bytes > 0.)
+        | _ -> Alcotest.fail "last event is not a span end");
+    Alcotest.test_case "exception still closes the span" `Quick (fun () ->
+        let events =
+          with_memory (fun () ->
+              try
+                Obs.span "outer" (fun () ->
+                    Obs.span "boom" (fun () -> failwith "no"))
+              with Failure _ -> ())
+        in
+        Alcotest.(check sl)
+          "phases" [ "B"; "B"; "E"; "E" ] (phases events);
+        Alcotest.(check il) "depth restored" [ 0; 1; 1; 0 ] (depths events));
+    Alcotest.test_case "return value passes through" `Quick (fun () ->
+        let v = with_memory (fun () -> ignore (Obs.span "s" (fun () -> 41 + 1))) in
+        ignore v;
+        Obs.reset ();
+        Alcotest.(check int) "disabled too" 42 (Obs.span "s" (fun () -> 42)));
+  ]
+
+(* ---- null sink ---------------------------------------------------------- *)
+
+let null_tests =
+  [
+    Alcotest.test_case "null sink is a no-op" `Quick (fun () ->
+        Obs.reset ();
+        Alcotest.(check bool) "disabled" false (Obs.enabled ());
+        workload ();
+        Alcotest.(check int) "no sequence numbers consumed" 0 !Obs.Span.seq;
+        Alcotest.(check int) "depth untouched" 0 !Obs.Span.depth);
+    Alcotest.test_case "metrics disabled by default" `Quick (fun () ->
+        Obs.reset ();
+        Obs.incr "c" [];
+        Obs.observe "h" [] 1.0;
+        Obs.gauge "g" [] 2.0;
+        Alcotest.(check int) "registry empty" 0
+          (List.length (Obs.Metric.rows ())));
+  ]
+
+(* ---- metrics ------------------------------------------------------------ *)
+
+let find_row metric rows =
+  match
+    List.find_opt (fun (r : Obs.Metric.row) -> r.Obs.Metric.metric = metric) rows
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "missing metric row %s" metric
+
+let metric_tests =
+  [
+    Alcotest.test_case "counter arithmetic and labels" `Quick (fun () ->
+        Obs.reset ();
+        Obs.Metric.enable ();
+        Fun.protect ~finally:Obs.reset (fun () ->
+            Obs.incr "hits" [];
+            Obs.incr "hits" [] ~by:2.5;
+            Obs.incr "hits" [ ("who", "a") ];
+            let rows = Obs.Metric.rows () in
+            Alcotest.(check (float 1e-9))
+              "plain" 3.5
+              (find_row "hits" rows).Obs.Metric.value;
+            Alcotest.(check (float 1e-9))
+              "labelled" 1.0
+              (find_row "hits{who=a}" rows).Obs.Metric.value));
+    Alcotest.test_case "gauge keeps the last value" `Quick (fun () ->
+        Obs.reset ();
+        Obs.Metric.enable ();
+        Fun.protect ~finally:Obs.reset (fun () ->
+            Obs.gauge "depth" [] 4.0;
+            Obs.gauge "depth" [] 7.0;
+            Alcotest.(check (float 1e-9))
+              "last write wins" 7.0
+              (find_row "depth" (Obs.Metric.rows ())).Obs.Metric.value));
+    Alcotest.test_case "histogram count/sum/min/max/mean" `Quick (fun () ->
+        Obs.reset ();
+        Obs.Metric.enable ();
+        Fun.protect ~finally:Obs.reset (fun () ->
+            List.iter (Obs.observe "lat" [] ~unit_:"ms") [ 1.0; 2.0; 3.0 ];
+            let rows = Obs.Metric.rows () in
+            let v m = (find_row m rows).Obs.Metric.value in
+            Alcotest.(check (float 1e-9)) "count" 3.0 (v "lat.count");
+            Alcotest.(check (float 1e-9)) "sum" 6.0 (v "lat.sum");
+            Alcotest.(check (float 1e-9)) "min" 1.0 (v "lat.min");
+            Alcotest.(check (float 1e-9)) "max" 3.0 (v "lat.max");
+            Alcotest.(check (float 1e-9)) "mean" 2.0 (v "lat.mean");
+            Alcotest.(check string)
+              "unit" "ms" (find_row "lat.sum" rows).Obs.Metric.unit_));
+    Alcotest.test_case "snapshot rows render as valid JSON" `Quick (fun () ->
+        Obs.reset ();
+        Obs.Metric.enable ();
+        Fun.protect ~finally:Obs.reset (fun () ->
+            Obs.incr "c\"tricky\nname" [ ("k", "v") ];
+            Obs.observe "h" [] 0.5;
+            check_json "metrics snapshot"
+              (Obs.Metric.rows_to_json ~experiment:"E0" (Obs.Metric.rows ()))));
+  ]
+
+(* ---- trace formats ------------------------------------------------------ *)
+
+let format_tests =
+  [
+    Alcotest.test_case "chrome trace is valid JSON with balanced B/E" `Quick
+      (fun () ->
+        let events = with_memory workload in
+        let trace = Obs.Sink.chrome_of_events events in
+        check_json "chrome trace" trace;
+        let count ph =
+          List.length
+            (List.filter (fun (e : Obs.Event.t) ->
+                 Obs.Event.phase e.Obs.Event.kind = ph)
+               events)
+        in
+        Alcotest.(check int) "every B has an E" (count "B") (count "E"));
+    Alcotest.test_case "empty trace still renders" `Quick (fun () ->
+        check_json "empty chrome trace" (Obs.Sink.chrome_of_events []));
+    Alcotest.test_case "jsonl: one valid JSON object per line" `Quick (fun () ->
+        Obs.reset ();
+        let buf = Buffer.create 256 in
+        Obs.set_sink (Obs.Sink.jsonl buf);
+        Fun.protect ~finally:Obs.reset workload;
+        let lines =
+          List.filter
+            (fun l -> String.trim l <> "")
+            (String.split_on_char '\n' (Buffer.contents buf))
+        in
+        Alcotest.(check int) "7 events" 7 (List.length lines);
+        List.iter (check_json "jsonl line") lines);
+    Alcotest.test_case "chrome sink buffers and renders the same stream" `Quick
+      (fun () ->
+        Obs.reset ();
+        let sink, render = Obs.Sink.chrome () in
+        Obs.set_sink sink;
+        Fun.protect ~finally:Obs.reset workload;
+        check_json "chrome()" (render ()));
+  ]
+
+(* ---- determinism -------------------------------------------------------- *)
+
+let determinism_tests =
+  [
+    Alcotest.test_case "two identical runs agree modulo timestamps" `Quick
+      (fun () ->
+        let run () = List.map Obs.Event.normalize (with_memory workload) in
+        let a = run () and b = run () in
+        Alcotest.(check bool) "equal after normalize" true (a = b));
+    Alcotest.test_case "an instrumented engine apply is deterministic" `Quick
+      (fun () ->
+        let m = Fixtures.banking () in
+        let cmt =
+          Transform.Cmt.specialize_exn Concerns.Transactions.transformation
+            [
+              ( "transactional",
+                Transform.Params.V_list [ Transform.Params.V_ident "Account" ]
+              );
+            ]
+        in
+        let run () =
+          List.map Obs.Event.normalize
+            (with_memory (fun () ->
+                 match Transform.Engine.apply cmt m with
+                 | Ok _ -> ()
+                 | Error f ->
+                     Alcotest.failf "%s"
+                       (Format.asprintf "%a" Transform.Engine.pp_failure f)))
+        in
+        let a = run () and b = run () in
+        Alcotest.(check bool) "equal after normalize" true (a = b);
+        Alcotest.(check bool)
+          "engine spans present" true
+          (List.mem "engine.apply" (names a)
+          && List.mem "engine.diff" (names a)
+          && List.mem "engine.wf" (names a)
+          && List.mem "report.make" (names a)));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("span", span_tests);
+      ("null", null_tests);
+      ("metric", metric_tests);
+      ("format", format_tests);
+      ("determinism", determinism_tests);
+    ]
