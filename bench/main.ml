@@ -412,12 +412,85 @@ let e11_tests =
       ])
     [ 8; 77; 769 ]
 
+(* ---- E13: ablation — OCL compile/extent caches and the query planner -------- *)
+
+(* Each layer of the PR-4 OCL stack, isolated: the planner (index probes vs
+   naive extent folds), the extent cache (warm vs forced-cold), and the
+   compile cache (parse-once vs re-lex). `cold` rows go through
+   [check_naive], which re-parses and recomputes extents every call — the
+   pre-PR-4 shape. Engine-level rows show the same ablations through
+   [Transform.Engine.apply], matching E7's workload. *)
+let e13_tests =
+  let probe =
+    Ocl.Constraint_.make ~name:"probe"
+      "Class.allInstances()->exists(c | c.name = 'C0')"
+  in
+  let walk =
+    Ocl.Constraint_.make ~name:"walk"
+      "Set{'C0', 'C1'}->forAll(n | Class.allInstances()->exists(c | c.name = n))"
+  in
+  let parse_body =
+    "Class.allInstances()->forAll(c | c.attributes->forAll(a | a.lower >= 0))"
+  in
+  let apply ?checks cmt m =
+    match
+      match checks with
+      | None -> Transform.Engine.apply cmt m
+      | Some checks -> Transform.Engine.apply ~checks cmt m
+    with
+    | Ok _ -> ()
+    | Error f -> failwith (Format.asprintf "%a" Transform.Engine.pp_failure f)
+  in
+  List.concat_map
+    (fun n ->
+      let m = synthetic n in
+      let cmt = tx_cmt_for "C0" in
+      [
+        Test.make
+          ~name:(Printf.sprintf "ocl/probe:planned+cached:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Ocl.Constraint_.check m probe)));
+        Test.make ~name:(Printf.sprintf "ocl/probe:no-planner:%d-classes" n)
+          (Staged.stage (fun () ->
+               Ocl.Eval.with_no_planner (fun () ->
+                   ignore (Ocl.Constraint_.check m probe))));
+        Test.make ~name:(Printf.sprintf "ocl/probe:cold:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Ocl.Constraint_.check_naive m probe)));
+        Test.make ~name:(Printf.sprintf "ocl/walk:planned+cached:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Ocl.Constraint_.check m walk)));
+        Test.make ~name:(Printf.sprintf "ocl/walk:cold:%d-classes" n)
+          (Staged.stage (fun () -> ignore (Ocl.Constraint_.check_naive m walk)));
+        Test.make
+          ~name:(Printf.sprintf "ablation/ocl:engine-no-planner:%d-classes" n)
+          (Staged.stage (fun () ->
+               apply ~checks:Transform.Engine.no_planner_checks cmt m));
+        Test.make
+          ~name:(Printf.sprintf "ablation/ocl:engine-cold-cache:%d-classes" n)
+          (Staged.stage (fun () ->
+               Ocl.Meta.with_extent_cache false (fun () ->
+                   Ocl.Compile.with_cache false (fun () -> apply cmt m))));
+      ])
+    [ 10; 50; 100 ]
+  @ [
+      Test.make ~name:"ocl/parse:cached"
+        (Staged.stage (fun () -> ignore (Ocl.Compile.compile_exn parse_body)));
+      Test.make ~name:"ocl/parse:uncached"
+        (Staged.stage (fun () -> ignore (Ocl.Parser.parse parse_body)));
+      (let m = synthetic 100 in
+       Test.make ~name:"ocl/extent:cached:100-classes"
+         (Staged.stage (fun () -> ignore (Ocl.Meta.all_instances m "Class"))));
+      (let m = synthetic 100 in
+       Test.make ~name:"ocl/extent:cold:100-classes"
+         (Staged.stage (fun () ->
+              Ocl.Meta.with_extent_cache false (fun () ->
+                  ignore (Ocl.Meta.all_instances m "Class")))));
+    ]
+
 (* ---- harness ------------------------------------------------------------- *)
 
 let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
 
-(* ---- machine-readable snapshot (BENCH_pr3.json) -------------------------- *)
+(* ---- machine-readable snapshot (BENCH_pr4.json) -------------------------- *)
 
 (* One `{experiment, metric, value, unit}` row per measurement, accumulated
    alongside the human-readable table; see EXPERIMENTS.md for the schema. *)
@@ -439,12 +512,20 @@ let write_snapshot path =
   Obs.Sink.write_file path json;
   Printf.printf "bench snapshot: %s (%d rows)\n%!" path (List.length entries)
 
-(* BENCH_ONLY=E7 (comma-separable) reruns selected experiments in isolation —
-   used to bound run-to-run variance when comparing snapshots. *)
+(* BENCH_ONLY=E7,E13 (comma-separated, whitespace-tolerant) reruns selected
+   experiments in isolation — used to bound run-to-run variance when
+   comparing snapshots. *)
 let selected_experiments =
   match Sys.getenv_opt "BENCH_ONLY" with
   | None | Some "" -> None
-  | Some s -> Some (String.split_on_char ',' s)
+  | Some s -> (
+      match
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun e -> e <> "")
+      with
+      | [] -> None
+      | only -> Some only)
 
 let run_group_timed ~experiment title tests =
   Printf.printf "== %s ==\n%!" title;
@@ -500,7 +581,8 @@ let collect_counters () =
 
 let () =
   print_endline
-    "mdweave benchmark harness — experiments E1..E11 (see EXPERIMENTS.md)";
+    "mdweave benchmark harness — experiments E1..E13 (see EXPERIMENTS.md; \
+     E12 is the fuzz harness, driven by bin/check_cli)";
   print_newline ();
   run_group ~experiment:"E1"
     "E1  Fig.1: one refinement step (specialize+check+apply+CAC)" e1_tests;
@@ -523,5 +605,7 @@ let () =
     "E10 ablation: composed vs sequential transformations" e10_tests;
   run_group ~experiment:"E11"
     "E11 indexed store: lookup, diff and scoped WF scaling" e11_tests;
+  run_group ~experiment:"E13"
+    "E13 ablation: OCL compile/extent caches and query planner" e13_tests;
   collect_counters ();
-  write_snapshot "BENCH_pr3.json"
+  write_snapshot "BENCH_pr4.json"

@@ -69,28 +69,44 @@ let () =
   in
   let seed64 = Int64.of_int !seed in
   let failed = ref false in
-  List.iter
-    (fun (o : Check.Oracle.t) ->
-      let progress i =
-        if not !quiet then begin
-          Printf.printf "\r%-6s %d/%d" o.name i !count;
-          flush stdout
-        end
-      in
-      let finish (s : Check.Harness.stats) =
-        let rate =
-          if s.elapsed > 0. then float_of_int s.cases /. s.elapsed else 0.
+  let finish (o : Check.Oracle.t) (s : Check.Harness.stats) =
+    let rate =
+      if s.elapsed > 0. then float_of_int s.cases /. s.elapsed else 0.
+    in
+    Printf.printf "\r%-6s %d cases in %.2fs (%.0f cases/s)\n" o.name s.cases
+      s.elapsed rate
+  in
+  let report (o : Check.Oracle.t) = function
+    | Ok stats -> finish o stats
+    | Error ((f : Check.Harness.failure), stats) ->
+        finish o stats;
+        failed := true;
+        Format.printf "%a@." Check.Harness.pp_failure f
+  in
+  (* One domain per requested oracle. Sequential fallback when there is
+     nothing to parallelize or when tracing: the Obs sink is a process
+     global, and trace events interleaved from several domains would race
+     it. Per-oracle progress is only printed sequentially for the same
+     reason; the joined summary lines are identical either way. *)
+  if List.length selected < 2 || chrome <> None then
+    List.iter
+      (fun (o : Check.Oracle.t) ->
+        let progress i =
+          if not !quiet then begin
+            Printf.printf "\r%-6s %d/%d" o.name i !count;
+            flush stdout
+          end
         in
-        Printf.printf "\r%-6s %d cases in %.2fs (%.0f cases/s)\n" o.name
-          s.cases s.elapsed rate
-      in
-      match Check.Harness.run ~progress o ~seed:seed64 ~count:!count with
-      | Ok stats -> finish stats
-      | Error (f, stats) ->
-          finish stats;
-          failed := true;
-          Format.printf "%a@." Check.Harness.pp_failure f)
-    selected;
+        report o (Check.Harness.run ~progress o ~seed:seed64 ~count:!count))
+      selected
+  else
+    List.map
+      (fun (o : Check.Oracle.t) ->
+        ( o,
+          Domain.spawn (fun () ->
+              Check.Harness.run o ~seed:seed64 ~count:!count) ))
+      selected
+    |> List.iter (fun (o, d) -> report o (Domain.join d));
   (match chrome with
   | Some (path, render) ->
       Obs.set_sink Obs.Sink.Null;

@@ -659,3 +659,114 @@ let armor rng tree =
   in
   render tree;
   Buffer.contents buf
+
+(* ---- OCL constraint generation for the differential oracle ---------------- *)
+
+(* Names mentioned anywhere in the scripts: the interesting probe targets
+   are names that exist in the base, names the edits introduce or rename
+   to, and names that exist nowhere — the pools below mix all three. *)
+let script_names script =
+  List.filter_map
+    (fun (op : Edit.op) ->
+      match op with
+      | Edit.Add_package { name; _ }
+      | Edit.Add_class { name; _ }
+      | Edit.Add_interface { name; _ }
+      | Edit.Add_attribute { name; _ }
+      | Edit.Add_operation { name; _ }
+      | Edit.Add_parameter { name; _ }
+      | Edit.Add_association { name; _ }
+      | Edit.Add_enumeration { name; _ }
+      | Edit.Add_constraint { name; _ }
+      | Edit.Rename { name; _ } -> Some name
+      | _ -> None)
+    script
+
+let ocl_metaclasses =
+  [ "Class"; "Interface"; "Attribute"; "Operation"; "Package"; "Enumeration";
+    "Constraint"; "Element" ]
+
+(* Bodies stress every path the compile/plan/extent layer takes: the three
+   planner shapes (both equality orientations, probe inside an outer
+   iterator, rhs depending on an outer binding or on [self], guarded
+   forAll with a literal guard), shapes the planner must refuse (iterator
+   variable on both sides, shadowed classifier, a guard mentioning the
+   iterator), plain extent walks, and ill-formed bodies — whose parse
+   and evaluation errors must also agree between the cached and naive
+   paths. Generated names include the XML-hostile pool entries (quotes,
+   '&', spaces), so some bodies are deliberately unparseable. *)
+let ocl_constraint rng ~names i =
+  let name () = Prng.choose rng names in
+  let mc () = Prng.choose rng ocl_metaclasses in
+  let lit () = Printf.sprintf "'%s'" (name ()) in
+  let cname = Printf.sprintf "c%d" i in
+  let template = Prng.int rng 15 in
+  let body, context =
+    match template with
+    | 0 ->
+        (Printf.sprintf "%s.allInstances()->exists(x | x.name = %s)" (mc ())
+           (lit ()), None)
+    | 1 ->
+        (Printf.sprintf "%s.allInstances()->exists(x | %s = x.name)" (mc ())
+           (lit ()), None)
+    | 2 ->
+        (Printf.sprintf "%s.allInstances()->select(x | x.name = %s)->size() >= %d"
+           (mc ()) (lit ()) (Prng.int rng 3), None)
+    | 3 ->
+        (Printf.sprintf "Sequence{%s, %s}->forAll(n | %s.allInstances()->exists(x | x.name = n))"
+           (lit ()) (lit ()) (mc ()), None)
+    | 4 ->
+        (Printf.sprintf "%s.allInstances()->forAll(x | x.name.size() >= 0)"
+           (mc ()), None)
+    | 5 ->
+        (* shadowed classifier: the probe must fall back to the fold, which
+           errors identically on both paths *)
+        let k = mc () in
+        (Printf.sprintf "let %s = Sequence{%s} in %s.allInstances()->exists(x | x.name = %s)"
+           k (lit ()) k (lit ()), None)
+    | 6 ->
+        (* iterator variable on both sides: not planable *)
+        (Printf.sprintf "%s.allInstances()->select(x | x.name = x.name)->size() = %s.allInstances()->size()"
+           (mc ()) (mc ()), None)
+    | 7 ->
+        (* unbound rhs: errors on a non-empty extent, false on an empty one *)
+        (Printf.sprintf "%s.allInstances()->exists(x | x.name = missing%d)"
+           (mc ()) (Prng.int rng 3), None)
+    | 8 ->
+        (Printf.sprintf "Class.allInstances()->exists(c | c.name = self.name)",
+         Some (mc ()))
+    | 9 ->
+        (Printf.sprintf "self.name = %s implies self.name.size() >= 0" (lit ()),
+         Some "Class")
+    | 10 ->
+        (Printf.sprintf "Element.allInstances()->select(x | x.name = %s)->notEmpty()"
+           (lit ()), None)
+    | 11 ->
+        (* the guarded-forAll planner shape, literal guard *)
+        (Printf.sprintf
+           "%s.allInstances()->forAll(x | Set{%s, %s}->includes(x.name) implies x.name.size() >= 0)"
+           (mc ()) (lit ()) (lit ()), None)
+    | 12 ->
+        (* guarded forAll with a consequent that errors on matched
+           elements: the probe must raise exactly what the fold raises *)
+        (Printf.sprintf
+           "%s.allInstances()->forAll(x | Sequence{%s}->includes(x.name) implies x.nope)"
+           (mc ()) (lit ()), None)
+    | 13 ->
+        (* guard mentions the iterator variable: not planable *)
+        (Printf.sprintf
+           "%s.allInstances()->forAll(x | Set{x.name, %s}->includes(x.name) implies x.name.size() >= 0)"
+           (mc ()) (lit ()), None)
+    | _ ->
+        (Printf.sprintf "%s.allInstances()->exists(x | x.name = %s.concat('%d'))"
+           (mc ()) (lit ()) (Prng.int rng 2), None)
+  in
+  Ocl.Constraint_.make ?context ~name:cname body
+
+let ocl_constraints rng ~base ~edits =
+  let names =
+    match script_names base @ script_names edits with
+    | [] -> [ "orphan" ]
+    | ns -> "NoSuchName" :: ns
+  in
+  List.init (Prng.range rng 4 8) (ocl_constraint rng ~names)

@@ -39,3 +39,12 @@ val armor : Prng.t -> Xmi.Xml.t -> string
     armored rendering must yield the same tree as parsing the plain
     rendering — the metamorphic relation that catches character-reference
     decoding bugs. *)
+
+val ocl_constraints :
+  Prng.t -> base:Edit.script -> edits:Edit.script -> Ocl.Constraint_.t list
+(** Random OCL constraints for the [ocl] differential oracle: planner
+    shapes (both equality orientations, probes under outer iterators and
+    contexts), shapes the planner must refuse (shadowed classifiers,
+    iterator-dependent right-hand sides), plain extent walks, and
+    ill-formed bodies. Probe targets are drawn from the names the scripts
+    mention plus a never-existing one. *)

@@ -18,7 +18,7 @@ type failure = {
 
 type stats = {
   cases : int;  (** cases executed (including the failing one, if any) *)
-  elapsed : float;  (** seconds of CPU time *)
+  elapsed : float;  (** seconds of wall-clock time *)
 }
 
 val run :

@@ -232,7 +232,46 @@ let check_query ~aux:_ ~base ~edits =
     by_qname;
   match !fail with None -> Ok () | Some msg -> Error msg
 
-(* ---- R5: weaving order is precedence, not list order --------------------- *)
+(* ---- R5: cached/planned OCL evaluation vs cold naive evaluation ---------- *)
+
+(* Troya-style metamorphic guard on the OCL execution cache: for random
+   models and random constraints, [Constraint_.check] (memoized parse,
+   planner probes, watermark-validated extents) must agree exactly with
+   [Constraint_.check_naive] (fresh parse, raw AST, recomputed extents).
+   The base model is checked first and the edited model second, so the
+   extent cache is warm with base-model state when the edited model
+   arrives — precisely the handoff a broken invalidation gets wrong. *)
+
+let check_ocl ~aux ~base ~edits =
+  let base_m, m' = build ~base ~edits in
+  let rng = Prng.make aux in
+  let constraints = Gen.ocl_constraints rng ~base ~edits in
+  let pp_outcome = Ocl.Constraint_.pp_outcome in
+  let compare_on which m (c : Ocl.Constraint_.t) =
+    let cached = Ocl.Constraint_.check m c in
+    let naive = Ocl.Constraint_.check_naive m c in
+    if cached = naive then None
+    else
+      Some
+        (Format.asprintf
+           "[ocl] cached/planned check disagrees with naive eval on the %s \
+            model@.constraint %s: %s@.  cached: %a@.  naive:  %a"
+           which c.Ocl.Constraint_.name c.Ocl.Constraint_.body pp_outcome
+           cached pp_outcome naive)
+  in
+  let rec first_mismatch = function
+    | [] -> Ok ()
+    | c :: rest -> (
+        match compare_on "base" base_m c with
+        | Some msg -> Error msg
+        | None -> (
+            match compare_on "edited" m' c with
+            | Some msg -> Error msg
+            | None -> first_mismatch rest))
+  in
+  first_mismatch constraints
+
+(* ---- R6: weaving order is precedence, not list order --------------------- *)
 
 let check_weave ~aux (wc : Gen.weave_case) =
   let rng = Prng.make aux in
@@ -264,6 +303,7 @@ let all =
     { name = "wf"; check = Model_check check_wf };
     { name = "xmi"; check = Model_check check_xmi };
     { name = "query"; check = Model_check check_query };
+    { name = "ocl"; check = Model_check check_ocl };
     { name = "weave"; check = Weave_check check_weave };
   ]
 

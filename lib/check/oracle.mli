@@ -13,13 +13,18 @@
       character-reference-armored rendering equals parsing the plain one;
     - [query]: every secondary index, {!Ocl.Meta.all_instances} extent, and
       {!Mof.Query.find_by_qualified_name} lookup ≡ a fresh full scan;
+    - [ocl]: {!Ocl.Constraint_.check} — memoized parse, planner probes,
+      watermark-validated extent cache — ≡ {!Ocl.Constraint_.check_naive}
+      (fresh parse, raw AST, recomputed extents) on random constraints
+      over the base and the edited model, checked in that order so stale
+      cache state would be caught;
     - [weave]: {!Weaver.Weave.weave} is invariant under aspect-list
       shuffling and equals the fold of {!Weaver.Weave.weave_one} over the
       reverse precedence order.
 
     Failure messages begin with a bracketed tag ([[diff]], [[wf]], [[xmi]],
-    [[query]], [[weave]], [[gen]]); the shrinker only accepts candidates
-    failing with the original tag. *)
+    [[query]], [[ocl]], [[weave]], [[gen]]); the shrinker only accepts
+    candidates failing with the original tag. *)
 
 type check =
   | Model_check of
@@ -31,7 +36,7 @@ type check =
 type t = { name : string; check : check }
 
 val all : t list
-(** The five oracles, in documentation order. *)
+(** The six oracles, in documentation order. *)
 
 val find : string -> t option
 

@@ -227,6 +227,14 @@ let referrers m id = set_of (Id.Map.find_opt id m.idx.ix_referrers)
 
 let watermark m = { w_origin = m.origin; w_rev = m.rev; w_tail = m.journal }
 
+(* Physical identity of the journal head is the strongest population
+   witness the store offers: every mutation goes through [touch], which
+   prepends a fresh cell, so two models sharing [origin] and the very same
+   journal list hold the same element population. [fresh_id] bumps only
+   [next], hence the extra check — two such models have equal stores all
+   the same, which is what extent caching needs. *)
+let same_state m w = w.w_origin == m.origin && w.w_tail == m.journal
+
 let touched_since m w =
   if not (w.w_origin == m.origin) then None
   else

@@ -134,6 +134,14 @@ type watermark
 val watermark : t -> watermark
 (** The current journal position. *)
 
+val same_state : t -> watermark -> bool
+(** [same_state m w] is [true] exactly when [m]'s element population is the
+    one the watermark was taken over: same lineage and not a single
+    mutation in between (physical identity of the journal position, so the
+    test is O(1) and conservative — unrelated or divergent models always
+    compare [false]). This is the invalidation test for caches keyed by a
+    model's contents, e.g. classifier extents. *)
+
 val touched_since : t -> watermark -> Id.Set.t option
 (** [touched_since m w] is [Some ids] — every id touched by a mutation
     applied after [w] was taken — when [m] was derived from the watermarked

@@ -52,7 +52,25 @@ let check_references m e =
              e.Element.name (Id.to_string id)))
     (Kind.refs e.Element.kind)
 
-let check_owner m e =
+(* Membership in an owner's containment lists (the payload view — distinct
+   from the [owned_by] index, which is the owner-field view the rule is
+   checking against). Memoized per check run: a scoped or full check visits
+   every child of an owner, and scanning the owner's lists once per child
+   is quadratic in its fan-out. *)
+let listed_memo () =
+  let tbl = Hashtbl.create 16 in
+  fun (owner_elt : Element.t) child ->
+    let set =
+      match Hashtbl.find_opt tbl owner_elt.Element.id with
+      | Some s -> s
+      | None ->
+          let s = Id.Set.of_list (containment_children owner_elt) in
+          Hashtbl.add tbl owner_elt.Element.id s;
+          s
+    in
+    Id.Set.mem child set
+
+let check_owner ~listed m e =
   match e.Element.owner with
   | None ->
       if Id.equal e.Element.id (Model.root m) then []
@@ -70,10 +88,7 @@ let check_owner m e =
               e.Element.name (Id.to_string owner);
           ]
       | Some owner_elt ->
-          let listed =
-            List.exists (Id.equal e.Element.id) (containment_children owner_elt)
-          in
-          if listed then []
+          if listed owner_elt e.Element.id then []
           else
             [
               violation e.Element.id Owner_mismatch
@@ -83,20 +98,45 @@ let check_owner m e =
 
 let check_duplicates m e =
   let children = containment_children e in
-  let seen = Hashtbl.create 8 in
+  (* a linear scan over the already-seen keys for ordinary fan-outs: most
+     elements own a handful of children, and a per-call hash table (array
+     allocation plus generic hashing of string pairs) costs more than the
+     handful of string comparisons; wide owners (packages) keep the table *)
+  let dup =
+    if List.compare_length_with children 16 <= 0 then begin
+      let seen = ref [] in
+      fun mc nm ->
+        if
+          List.exists
+            (fun (m0, n0) -> String.equal m0 mc && String.equal n0 nm)
+            !seen
+        then true
+        else begin
+          seen := (mc, nm) :: !seen;
+          false
+        end
+    end
+    else begin
+      let seen = Hashtbl.create 16 in
+      fun mc nm ->
+        let key = (mc, nm) in
+        if Hashtbl.mem seen key then true
+        else begin
+          Hashtbl.add seen key ();
+          false
+        end
+    end
+  in
   List.filter_map
     (fun cid ->
       match Model.find m cid with
       | None -> None
       | Some c ->
-          let key = (Element.metaclass c, c.Element.name) in
-          if Hashtbl.mem seen key then
+          if dup (Element.metaclass c) c.Element.name then
             Some
               (violation cid Duplicate_name "duplicate %s %s in %s"
                  (Element.metaclass c) c.Element.name e.Element.name)
-          else (
-            Hashtbl.add seen key ();
-            None))
+          else None)
     children
 
 let check_inheritance m e =
@@ -177,10 +217,10 @@ let check_name e =
     [ violation e.Element.id Empty_name "%s has an empty name" (Element.metaclass e) ]
   else []
 
-let check_element m e =
+let check_element ~listed m e =
   check_name e
   @ check_references m e
-  @ check_owner m e
+  @ check_owner ~listed m e
   @ check_duplicates m e
   @ check_inheritance m e
   @ check_multiplicity e
@@ -188,7 +228,9 @@ let check_element m e =
   @ check_abstract m e
   @ check_literals e
 
-let check m = Model.fold (fun e acc -> acc @ check_element m e) m []
+let check m =
+  let listed = listed_memo () in
+  Model.fold (fun e acc -> acc @ check_element ~listed m e) m []
 
 let is_wellformed m = check m = []
 
@@ -214,34 +256,54 @@ let subclasses_closure m seeds =
   in
   walk seeds (Id.Set.elements seeds)
 
-(* The ids whose rule verdicts can depend on a touched id:
-   - the touched elements themselves (every local rule);
-   - their referrers, one hop (Dangling_reference after a removal or
+(* The ids whose rule verdicts can depend on a touched id, split by how
+   much re-checking each needs:
+
+   - full re-check: the touched elements themselves (every local rule);
+     their referrers, one hop (Dangling_reference after a removal or
      re-addition; Duplicate_name and Abstract_leaf, which an owner checks by
      reading its children's payloads — the owner references its children);
-   - the elements whose [owner] field designates a touched id
-     (Owner_mismatch is checked on the child but decided by the owner's
-     containment lists);
-   - transitive subclasses of touched ids (Inheritance_cycle).
+     and transitive subclasses of touched ids (Inheritance_cycle);
+
+   - owner check only: the elements whose [owner] field designates a
+     touched id. An untouched child's payload-local rules cannot flip, and
+     every cross-element rule except Owner_mismatch reaches the child
+     through refs — covered by the referrer hop above. Only the owner's
+     containment lists, which Owner_mismatch reads, may have changed under
+     it, so re-running the other eight rules on every child of a touched
+     owner (all classes of a package that gained one constraint, say) is
+     pure waste.
+
    This over-approximates — re-checking an unaffected element is merely
    redundant work — but never under-approximates: every rule reads only the
    element itself, its reference targets, its owner's payload, or its
    superclass closure, and each of those dependencies is covered above. *)
 let scope_of m touched =
-  let direct =
+  let full =
     Id.Set.fold
-      (fun id acc ->
-        Id.Set.union (Model.referrers m id) (Id.Set.union (Model.owned_by m id) acc))
+      (fun id acc -> Id.Set.union (Model.referrers m id) acc)
       touched touched
   in
-  Id.Set.filter (Model.mem m) (Id.Set.union direct (subclasses_closure m touched))
+  let full = Id.Set.union full (subclasses_closure m touched) in
+  let owner_only =
+    Id.Set.fold
+      (fun id acc -> Id.Set.union (Model.owned_by m id) acc)
+      touched Id.Set.empty
+  in
+  (Id.Set.filter (Model.mem m) (Id.Set.union full owner_only), full)
 
 let check_touched m ~touched =
   (* Id.Set.fold visits ids in ascending order, so the violations of scoped
-     elements appear in exactly the order the full [check] lists them. *)
+     elements appear in exactly the order the full [check] lists them —
+     Owner_mismatch is emitted while checking the child on both paths. *)
+  let scope, full = scope_of m touched in
+  let listed = listed_memo () in
   Id.Set.fold
-    (fun id acc -> acc @ check_element m (Model.find_exn m id))
-    (scope_of m touched) []
+    (fun id acc ->
+      let e = Model.find_exn m id in
+      if Id.Set.mem id full then acc @ check_element ~listed m e
+      else acc @ check_owner ~listed m e)
+    scope []
 
 let pp_violation ppf v =
   Format.fprintf ppf "[%s] %s: %s" (rule_name v.rule) (Id.to_string v.subject)

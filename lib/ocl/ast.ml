@@ -62,6 +62,9 @@ type t =
   | E_coll_op of t * string * t list
   | E_iter of t * string * string list * t
   | E_iterate of t * string * string * t * t
+  | E_probe_exists_name of string * t * t
+  | E_probe_select_name of string * t * t
+  | E_probe_forall_guard of string * string list * string * t * t
 
 let iterator_names =
   [
@@ -110,6 +113,12 @@ let rec pp ppf e =
   | E_iterate (e, v, acc, init, body) ->
       Format.fprintf ppf "%a->iterate(%s; %s = %a | %a)" pp e v acc pp init pp
         body
+  | E_probe_exists_name (_, _, orig)
+  | E_probe_select_name (_, _, orig)
+  | E_probe_forall_guard (_, _, _, _, orig) ->
+      (* planner nodes render as the surface syntax they were derived
+         from, so reproducers and error messages never leak plan IR *)
+      pp ppf orig
 
 let to_string e = Format.asprintf "%a" pp e
 
@@ -129,3 +138,7 @@ let rec fold_vars f e acc =
       fold_vars f body (List.fold_left (fun acc v -> f v acc) (fold_vars f e' acc) vars)
   | E_iterate (e', v, acc_var, init, body) ->
       fold_vars f body (f acc_var (f v (fold_vars f init (fold_vars f e' acc))))
+  | E_probe_exists_name (_, _, orig)
+  | E_probe_select_name (_, _, orig)
+  | E_probe_forall_guard (_, _, _, _, orig) ->
+      fold_vars f orig acc

@@ -52,6 +52,22 @@ type t =
       (** [e->name(v1, v2 | body)] — iterator such as forAll/select/… *)
   | E_iterate of t * string * string * t * t
       (** [e->iterate(v; acc = init | body)] *)
+  | E_probe_exists_name of string * t * t
+      (** Planner IR, never produced by the parser:
+          [K.allInstances()->exists(x | x.name = rhs)] rewritten to a
+          name-index probe. Fields: classifier, [rhs], original
+          expression (evaluated as fallback, printed, folded over). *)
+  | E_probe_select_name of string * t * t
+      (** Planner IR for [K.allInstances()->select(x | x.name = rhs)]. *)
+  | E_probe_forall_guard of string * string list * string * t * t
+      (** Planner IR for
+          [K.allInstances()->forAll(x | LIT->includes(x.name) implies body)]
+          where [LIT] is a literal collection of string constants: only
+          elements whose name occurs in [LIT] can have a non-vacuous body
+          (implies short-circuits on a false antecedent), so the walk
+          narrows to name-index probes of the literal names. Fields:
+          classifier, literal names, iterator variable, consequent body,
+          original expression. *)
 
 val iterator_names : string list
 (** Names recognised as iterator operations. *)

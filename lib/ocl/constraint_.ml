@@ -55,11 +55,12 @@ type outcome =
   | Fails of string list
   | Ill_formed of string
 
-let check m c =
-  match Parser.parse_opt c.body with
-  | Error msg -> Ill_formed (Printf.sprintf "%s: %s" c.name msg)
-  | Ok expr -> (
-      match c.context with
+(* Outcome of evaluating an already-compiled body; shared by the cached
+   path ([check], planned AST, warm extents) and the naive baseline
+   ([check_naive], raw AST, cold extents) so the two can only differ
+   through the caches and planner under test. *)
+let outcome_of m c expr =
+  match c.context with
       | None -> (
           match Eval.eval m Env.empty expr with
           | Value.V_bool true -> Holds
@@ -96,7 +97,23 @@ let check m c =
               | [] -> Holds
               | _ -> Fails violating)
           | exception Eval.Eval_error msg ->
-              Ill_formed (Printf.sprintf "%s: %s" c.name msg)))
+              Ill_formed (Printf.sprintf "%s: %s" c.name msg))
+
+(* The production path: memoized parse + planner rewrite, extents served
+   from the watermark-validated cache. *)
+let check m c =
+  match Compile.compile c.body with
+  | Error msg -> Ill_formed (Printf.sprintf "%s: %s" c.name msg)
+  | Ok compiled -> outcome_of m c compiled.Compile.planned
+
+(* The baseline the [ocl] differential oracle compares against: a fresh
+   parse (no memo table), the raw unplanned AST, and extents recomputed
+   from the model on every use. Everything the tentpole added is off. *)
+let check_naive m c =
+  Meta.with_extent_cache false @@ fun () ->
+  match Parser.parse_opt c.body with
+  | Error msg -> Ill_formed (Printf.sprintf "%s: %s" c.name msg)
+  | Ok expr -> outcome_of m c expr
 
 let check m c =
   Obs.span ~cat:"ocl" "ocl.check"

@@ -44,6 +44,32 @@ let numeric2 what a b ~int ~real =
       error "%s expects numeric operands, found %s and %s" what
         (Value.type_name a) (Value.type_name b)
 
+(* Ablation switch for the query planner (domain-local): when set, probe
+   nodes evaluate their embedded original expression, reproducing the
+   pre-planner extent folds exactly — the OCL analogue of
+   [Engine.full_checks]. *)
+let no_planner_key = Domain.DLS.new_key (fun () -> ref false)
+let no_planner () = !(Domain.DLS.get no_planner_key)
+let set_no_planner b = Domain.DLS.get no_planner_key := b
+
+let with_no_planner f =
+  let flag = Domain.DLS.get no_planner_key in
+  let prev = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := prev) f
+
+(* Matching ids for a name probe: the name index, restricted to the
+   classifier's kind index. Both are the same indexes the extent fold
+   would have consulted element by element. *)
+let probe_ids m classifier s =
+  let named = Mof.Model.by_name m s in
+  if String.equal classifier "Element" then named
+  else Mof.Id.Set.inter named (Mof.Model.by_kind m classifier)
+
+let probe_extent_is_empty m classifier =
+  if String.equal classifier "Element" then Mof.Model.size m = 0
+  else Mof.Id.Set.is_empty (Mof.Model.by_kind m classifier)
+
 let value_conforms_to v ~exact name =
   match v with
   | Value.V_elem _ -> false (* handled by the caller with metaclass data *)
@@ -95,6 +121,61 @@ let rec eval m env e =
   | Ast.E_call (recv, name, args) -> eval_call m env recv name args
   | Ast.E_coll_op (recv, name, args) -> eval_coll_op m env recv name args
   | Ast.E_iter (recv, name, vars, body) -> eval_iter m env recv name vars body
+  | Ast.E_probe_exists_name (classifier, rhs, orig) ->
+      (* equivalence guards: the planner proved the shape at compile time,
+         but only the evaluation environment knows whether the classifier
+         name is shadowed; and an empty extent must yield without touching
+         [rhs], exactly as the fold would (it never evaluates the body) *)
+      if no_planner () || Env.lookup classifier env <> None then eval m env orig
+      else if probe_extent_is_empty m classifier then Value.V_bool false
+      else begin
+        Obs.incr "ocl.plan.index_probe" [];
+        match eval m env rhs with
+        | Value.V_string s ->
+            Value.V_bool (not (Mof.Id.Set.is_empty (probe_ids m classifier s)))
+        | _ ->
+            (* [x.name] is always a String; equality with any other value
+               is uniformly false over the whole extent *)
+            Value.V_bool false
+      end
+  | Ast.E_probe_select_name (classifier, rhs, orig) ->
+      if no_planner () || Env.lookup classifier env <> None then eval m env orig
+      else if probe_extent_is_empty m classifier then Value.set []
+      else begin
+        Obs.incr "ocl.plan.index_probe" [];
+        match eval m env rhs with
+        | Value.V_string s ->
+            Value.set
+              (List.map
+                 (fun id -> Value.V_elem id)
+                 (Mof.Id.Set.elements (probe_ids m classifier s)))
+        | _ -> Value.set []
+      end
+  | Ast.E_probe_forall_guard (classifier, names, var, body, orig) ->
+      if no_planner () || Env.lookup classifier env <> None then eval m env orig
+      else begin
+        Obs.incr "ocl.plan.index_probe" [];
+        (* Only elements whose name occurs in the literal guard can have a
+           non-vacuous consequent (the fold's [implies] short-circuits on a
+           false antecedent); every other element contributes [Some true].
+           Probing each name keeps ascending-id order, the order the fold
+           walks the extent in, so the first error raised is the same. *)
+        let ids =
+          List.fold_left
+            (fun acc s -> Mof.Id.Set.union acc (probe_ids m classifier s))
+            Mof.Id.Set.empty names
+        in
+        let results =
+          List.map
+            (fun id ->
+              as_bool3 "implies"
+                (eval m (Env.bind var (Value.V_elem id) env) body))
+            (Mof.Id.Set.elements ids)
+        in
+        if List.exists (fun r -> r = Some false) results then Value.V_bool false
+        else if List.exists (fun r -> r = None) results then Value.V_undefined
+        else Value.V_bool true
+      end
   | Ast.E_iterate (recv, v, acc, init, body) ->
       let items = as_items "iterate" (eval m env recv) in
       let init_value = eval m env init in
@@ -522,7 +603,12 @@ let eval m env e =
   Obs.incr "ocl.eval" [];
   eval m env e
 
-let eval_string m env src = eval m env (Parser.parse src)
+let eval_parsed m env (c : Compile.t) = eval m env c.Compile.planned
+
+(* Through the compile cache: repeated sources hit the memoized (parsed,
+   planned) handle instead of re-lexing; parse failures re-raise the exact
+   exception an uncached [Parser.parse] would have. *)
+let eval_string m env src = eval_parsed m env (Compile.compile_exn src)
 
 let holds m env src =
   match eval_string m env src with Value.V_bool true -> true | _ -> false

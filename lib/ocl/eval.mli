@@ -20,8 +20,23 @@ val eval : Mof.Model.t -> Env.t -> Ast.t -> Value.t
 (** [eval m env e] evaluates [e] against model [m].
     @raise Eval_error as described above. *)
 
+val eval_parsed : Mof.Model.t -> Env.t -> Compile.t -> Value.t
+(** Evaluate a compiled handle (its planned AST); what every caller with a
+    reusable constraint should hold instead of a source string. *)
+
 val eval_string : Mof.Model.t -> Env.t -> string -> Value.t
-(** Parse then evaluate. @raise Parser.Parse_error / {!Eval_error}. *)
+(** Compile (memoized — no re-lexing of repeated sources) then evaluate.
+    @raise Parser.Parse_error / {!Eval_error}. *)
+
+val no_planner : unit -> bool
+(** Whether the planner ablation is active on this domain. *)
+
+val set_no_planner : bool -> unit
+
+val with_no_planner : (unit -> 'a) -> 'a
+(** Runs [f] with planner probes disabled (probe nodes evaluate their
+    embedded original extent folds) — the ablation switch mirroring
+    [Engine.full_checks]; domain-local. *)
 
 val holds : Mof.Model.t -> Env.t -> string -> bool
 (** [holds m env src] parses and evaluates [src] and is [true] exactly when

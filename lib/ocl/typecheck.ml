@@ -155,6 +155,12 @@ let rec infer_expr st (env : tenv) self_ty (e : Ast.t) : ty =
       in
       let tinit = infer_expr st env self_ty init in
       infer_expr st ((v, elem) :: (acc, tinit) :: env) self_ty body
+  | Ast.E_probe_exists_name (_, _, orig)
+  | Ast.E_probe_select_name (_, _, orig)
+  | Ast.E_probe_forall_guard (_, _, _, _, orig) ->
+      (* planner IR is typed as the surface expression it replaced; the
+         checker normally sees only raw parser output anyway *)
+      infer_expr st env self_ty orig
 
 and infer_binop st env self_ty e op a b =
   let ta = infer_expr st env self_ty a in
@@ -425,9 +431,11 @@ let infer ?self_type e =
   (t, List.rev st.diags)
 
 let check_source ?self_type src =
-  match Parser.parse_opt src with
+  (* the memoized compile handle; typechecking reads the raw AST, so a
+     body that is later evaluated re-uses the same cache entry *)
+  match Compile.compile src with
   | Error msg -> Error msg
-  | Ok e -> Ok (infer ?self_type e)
+  | Ok c -> Ok (infer ?self_type c.Compile.ast)
 
 let well_typed ?self_type src =
   match check_source ?self_type src with

@@ -39,14 +39,22 @@ type checks = {
           guaranteed for every model it produced. The flag exists for the
           ablation experiments and for callers feeding in models of unknown
           provenance. *)
+  no_planner : bool;
+      (** evaluate pre/postconditions with the OCL query planner disabled
+          ({!Ocl.Eval.with_no_planner}): extent folds instead of name-index
+          probes. Mirrors [full_wf] — an ablation switch quantifying what
+          the planner buys, never a correctness knob. *)
 }
 
 val all_checks : checks
-(** Everything on, scoped well-formedness (the default). *)
+(** Everything on, scoped well-formedness, planner on (the default). *)
 
 val full_checks : checks
 (** Everything on, whole-model well-formedness (the pre-indexing
     behaviour). *)
+
+val no_planner_checks : checks
+(** {!all_checks} with the OCL query planner ablated. *)
 
 val no_checks : checks
 

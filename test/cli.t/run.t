@@ -108,10 +108,29 @@ trace must contain the pipeline's nested spans.
   $ grep -o '"metric":"engine.apply.ok","value":[0-9.]*' run.metrics.json
   "metric":"engine.apply.ok","value":2
 
+The OCL layer caches classifier extents keyed by the model's journal
+watermark. Messaging's two preconditions both walk Operation.allInstances()
+on the same pre-state, so a metered apply must record at least one cache
+hit alongside the planner's index probes.
+
+  $ mdweave apply bank.xmi -c messaging -p async=Account.deposit -o bank3.xmi --metrics ocl.metrics.json
+  T.messaging<[Account.deposit], "default-queue"> [messaging] +8 -0 ~2
+  -> bank3.xmi
+  metrics written to ocl.metrics.json
+
+  $ grep -o '"metric":"ocl.extent.hit","value":[0-9.]*' ocl.metrics.json
+  "metric":"ocl.extent.hit","value":1
+
+  $ grep -o '"metric":"ocl.plan.index_probe","value":[0-9.]*' ocl.metrics.json
+  "metric":"ocl.plan.index_probe","value":1
+
 The check driver exits 0 on a clean run and 1 when an oracle fails; the
 hidden selftest-fail oracle forces the failure path deterministically.
 
   $ check --oracle weave --count 5 --quiet >/dev/null; echo "exit: $?"
+  exit: 0
+
+  $ check --oracle ocl --count 5 --quiet >/dev/null; echo "exit: $?"
   exit: 0
 
   $ check --oracle selftest-fail --count 5 --quiet >/dev/null; echo "exit: $?"

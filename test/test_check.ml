@@ -103,9 +103,9 @@ let oracle_tests =
         check Alcotest.string "tagged" "[xmi]"
           (Check.Oracle.tag_of "[xmi] something broke");
         check Alcotest.string "untagged" "plain" (Check.Oracle.tag_of "plain"));
-    Alcotest.test_case "all five oracles are registered" `Quick (fun () ->
+    Alcotest.test_case "all six oracles are registered" `Quick (fun () ->
         check (Alcotest.list Alcotest.string) "names"
-          [ "diff"; "wf"; "xmi"; "query"; "weave" ]
+          [ "diff"; "wf"; "xmi"; "query"; "ocl"; "weave" ]
           (List.map (fun (o : Check.Oracle.t) -> o.name) Check.Oracle.all));
     Alcotest.test_case "armored rendering parses back to the plain tree" `Quick
       (fun () ->
@@ -119,6 +119,39 @@ let oracle_tests =
           check cb "same tree" true
             (Xmi.Xml.equal (Xmi.Xml_parser.parse armored) plain)
         done);
+  ]
+
+(* ---- detection demo: a deliberately broken cache must be caught ----------- *)
+
+(* [debug_serve_stale] makes the extent cache serve its most recent slot
+   without the watermark check — the exact bug the (model journal watermark,
+   classifier) key exists to prevent. The ocl oracle compares cached against
+   naive evaluation, so a short run must flag the divergence. *)
+let stale_cache_tests =
+  [
+    Alcotest.test_case "a stale extent cache is caught by the ocl oracle"
+      `Quick (fun () ->
+        let oracle =
+          match Check.Oracle.find "ocl" with
+          | Some o -> o
+          | None -> Alcotest.fail "ocl oracle not registered"
+        in
+        Ocl.Meta.debug_serve_stale true;
+        Fun.protect
+          ~finally:(fun () -> Ocl.Meta.debug_serve_stale false)
+          (fun () ->
+            match Check.Harness.run oracle ~seed:smoke_seed ~count:200 with
+            | Ok _ -> Alcotest.fail "stale extents went undetected"
+            | Error (f, _) ->
+                (* a stale extent surfaces either as cached/naive
+                   disagreement ([ocl]) or as an exception the naive path
+                   cannot raise — the served set holds element ids that no
+                   longer exist in the model ([ocl-crash]) *)
+                let tag = Check.Oracle.tag_of f.Check.Harness.message in
+                check cb
+                  (Printf.sprintf "tagged as an ocl finding (got %s)" tag)
+                  true
+                  (List.mem tag [ "[ocl]"; "[ocl-crash]" ])));
   ]
 
 (* ---- the smoke battery ---------------------------------------------------- *)
@@ -143,5 +176,6 @@ let () =
       ("shrink", shrink_tests);
       ("edit", edit_tests);
       ("oracle", oracle_tests);
+      ("stale-cache", stale_cache_tests);
       ("smoke", smoke_tests);
     ]

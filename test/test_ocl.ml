@@ -746,6 +746,243 @@ let property_tests =
           Ocl.Value.equal (eval src) (eval src));
     ]
 
+(* ---- query planner ------------------------------------------------------ *)
+
+let plan_count src =
+  match Ocl.Parser.parse_opt src with
+  | Ok ast -> snd (Ocl.Plan.optimize_count ast)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let ab_model () =
+  let m = Mof.Model.create ~name:"planned" in
+  let root = Mof.Model.root m in
+  let m, _ = Mof.Builder.add_class m ~owner:root ~name:"A" in
+  let m, _ = Mof.Builder.add_class m ~owner:root ~name:"B" in
+  let m, _ = Mof.Builder.add_interface m ~owner:root ~name:"A" in
+  m
+
+(* The planner is only allowed to change how an answer is computed, never
+   the answer (nor the raised error): every body is checked through the
+   planned+cached path and the naive re-parse-and-fold path and the
+   outcomes must be structurally identical. *)
+let agree_with_naive m body =
+  let c = Ocl.Constraint_.make ~name:"t" body in
+  check cb body true
+    (Ocl.Constraint_.check m c = Ocl.Constraint_.check_naive m c)
+
+let planner_tests =
+  [
+    Alcotest.test_case "optimize_count finds the planned shapes" `Quick
+      (fun () ->
+        check ci "exists" 1
+          (plan_count "Class.allInstances()->exists(x | x.name = 'A')");
+        check ci "flipped" 1
+          (plan_count "Class.allInstances()->exists(x | 'A' = x.name)");
+        check ci "select" 1
+          (plan_count
+             "Class.allInstances()->select(x | x.name = 'A')->size() >= 1");
+        check ci "guarded forAll" 1
+          (plan_count
+             "Class.allInstances()->forAll(x | Set{'A', 'B'}->includes(x.name) \
+              implies x.name.size() >= 0)");
+        check ci "probe under an outer iterator" 1
+          (plan_count
+             "Sequence{'A', 'B'}->forAll(n | \
+              Class.allInstances()->exists(c | c.name = n))"));
+    Alcotest.test_case "optimize_count refuses the unplannable shapes" `Quick
+      (fun () ->
+        check ci "iterator on both sides" 0
+          (plan_count "Class.allInstances()->exists(x | x.name = x.name)");
+        check ci "unknown classifier" 0
+          (plan_count "Widget.allInstances()->exists(x | x.name = 'A')");
+        check ci "guard mentions the iterator" 0
+          (plan_count
+             "Class.allInstances()->forAll(x | \
+              Set{x.name, 'A'}->includes(x.name) implies x.name = 'A')");
+        check ci "non-string guard literal" 0
+          (plan_count
+             "Class.allInstances()->forAll(x | Set{1, 2}->includes(x.name) \
+              implies x.name = 'A')");
+        check ci "forAll without a guard" 0
+          (plan_count "Class.allInstances()->forAll(x | x.name.size() >= 0)"));
+    Alcotest.test_case "planning is idempotent" `Quick (fun () ->
+        match
+          Ocl.Parser.parse_opt
+            "Class.allInstances()->exists(x | x.name = 'A')"
+        with
+        | Error e -> Alcotest.failf "parse failed: %s" e
+        | Ok ast ->
+            let planned = Ocl.Plan.optimize ast in
+            let replanned, n = Ocl.Plan.optimize_count planned in
+            check ci "no further rewrites" 0 n;
+            check cb "unchanged" true (replanned = planned));
+    Alcotest.test_case "plan IR renders as the surface syntax" `Quick
+      (fun () ->
+        List.iter
+          (fun src ->
+            match Ocl.Parser.parse_opt src with
+            | Error e -> Alcotest.failf "parse failed: %s" e
+            | Ok ast ->
+                check cs src (Ocl.Ast.to_string ast)
+                  (Ocl.Ast.to_string (Ocl.Plan.optimize ast)))
+          [
+            "Class.allInstances()->exists(x | x.name = 'A')";
+            "Class.allInstances()->select(x | x.name = 'A')->size() >= 1";
+            "Class.allInstances()->forAll(x | Set{'A'}->includes(x.name) \
+             implies x.name = 'A')";
+          ]);
+    Alcotest.test_case "probes agree with the naive fold" `Quick (fun () ->
+        let m = ab_model () in
+        List.iter (agree_with_naive m)
+          [
+            "Class.allInstances()->exists(x | x.name = 'A')";
+            "Class.allInstances()->exists(x | 'B' = x.name)";
+            "Class.allInstances()->exists(x | x.name = 'Nope')";
+            (* the Interface named 'A' must not leak into the Class probe *)
+            "Class.allInstances()->select(x | x.name = 'A')->size() = 1";
+            "Interface.allInstances()->select(x | x.name = 'A')->size() = 1";
+            "Element.allInstances()->select(x | x.name = 'A')->size() = 2";
+            "Class.allInstances()->forAll(x | Set{'A'}->includes(x.name) \
+             implies x.name = 'A')";
+            "Class.allInstances()->forAll(x | Set{'A', 'B'}->includes(x.name) \
+             implies x.name.size() = 1)";
+            "Class.allInstances()->forAll(x | Set{'Nope'}->includes(x.name) \
+             implies x.name = 'never evaluated')";
+          ]);
+    Alcotest.test_case "probe fallbacks match the fold exactly" `Quick
+      (fun () ->
+        let m = ab_model () in
+        List.iter (agree_with_naive m)
+          [
+            (* shadowed classifier: fall back to the fold, same error *)
+            "let Class = Sequence{'A'} in \
+             Class.allInstances()->exists(x | x.name = 'A')";
+            (* non-string rhs: uniformly false, not an error *)
+            "Class.allInstances()->exists(x | x.name = 3)";
+            (* erroring rhs on a non-empty extent: same Ill_formed message *)
+            "Class.allInstances()->exists(x | x.name = nope)";
+            (* erroring rhs on an empty extent: the fold never evaluates the
+               body, so neither may the probe *)
+            "Enumeration.allInstances()->exists(x | x.name = nope)";
+            (* erroring consequent behind a matching guard *)
+            "Class.allInstances()->forAll(x | Set{'A'}->includes(x.name) \
+             implies x.nope)";
+          ]);
+    Alcotest.test_case "no_planner forces the fold at evaluation time" `Quick
+      (fun () ->
+        let m = ab_model () in
+        let c =
+          Ocl.Constraint_.make ~name:"t"
+            "Class.allInstances()->exists(x | x.name = 'A')"
+        in
+        let planned = Ocl.Constraint_.check m c in
+        let forced =
+          Ocl.Eval.with_no_planner (fun () -> Ocl.Constraint_.check m c)
+        in
+        check cb "same outcome" true (planned = forced);
+        check cb "flag is scoped" false (Ocl.Eval.no_planner ()));
+  ]
+
+(* ---- compile + extent caches -------------------------------------------- *)
+
+let cache_tests =
+  [
+    Alcotest.test_case "extent cache tracks repository history moves" `Quick
+      (fun () ->
+        let m0 = Fixtures.synthetic 3 in
+        let m1 =
+          fst (Mof.Builder.add_class m0 ~owner:(Mof.Model.root m0) ~name:"Xtra")
+        in
+        let agree label m =
+          let cached = Ocl.Meta.all_instances m "Class" in
+          let cold =
+            Ocl.Meta.with_extent_cache false (fun () ->
+                Ocl.Meta.all_instances m "Class")
+          in
+          check cb label true (cached = cold);
+          cached
+        in
+        (* the two states must actually differ, or the test proves nothing *)
+        check cb "states differ" false (agree "m0" m0 = agree "m1" m1);
+        let repo = Repository.Repo.init m0 in
+        let repo = Repository.Repo.commit ~concern:"t" ~message:"x" m1 repo in
+        let repo = Repository.Repo.tag "v1" repo in
+        ignore (agree "head" (Repository.Repo.head_model repo));
+        (match Repository.Repo.undo repo with
+        | None -> Alcotest.fail "undo failed"
+        | Some r0 -> (
+            ignore (agree "after undo" (Repository.Repo.head_model r0));
+            match Repository.Repo.redo r0 with
+            | None -> Alcotest.fail "redo failed"
+            | Some r1 ->
+                ignore (agree "after redo" (Repository.Repo.head_model r1))));
+        match Repository.Repo.checkout "v1" repo with
+        | None -> Alcotest.fail "checkout failed"
+        | Some r -> ignore (agree "after checkout" (Repository.Repo.head_model r)));
+    Alcotest.test_case "two models share one compiled constraint" `Quick
+      (fun () ->
+        (* a body string no other test compiles, so the first check is the
+           one and only parse *)
+        let body =
+          "Class.allInstances()->exists(x | x.name = 'xyzzy-cache-probe')"
+        in
+        let c = Ocl.Constraint_.make ~name:"shared" body in
+        let m1 = Fixtures.synthetic 2 and m2 = Fixtures.synthetic 4 in
+        Obs.Metric.reset ();
+        Obs.Metric.enable ();
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Metric.disable ();
+            Obs.Metric.reset ())
+          (fun () ->
+            ignore (Ocl.Constraint_.check m1 c);
+            ignore (Ocl.Constraint_.check m2 c);
+            let total name =
+              List.fold_left
+                (fun acc (r : Obs.Metric.row) ->
+                  if String.equal r.Obs.Metric.metric name then
+                    acc +. r.Obs.Metric.value
+                  else acc)
+                0. (Obs.Metric.rows ())
+            in
+            check cb "exactly one parse" true (total "ocl.parse.miss" = 1.);
+            check cb "second check hits" true (total "ocl.parse.hit" >= 1.)));
+  ]
+
+let watermark_property_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make
+        ~name:"cached extents equal fresh extents after hostile edit scripts"
+        ~count:30
+        QCheck2.Gen.(int_range 0 100_000)
+        (fun seed ->
+          let rng = Check.Prng.make (Int64.of_int seed) in
+          let base = Check.Gen.base_script rng in
+          let edits = Check.Gen.edit_script rng ~base in
+          let m0, slots =
+            Check.Edit.apply_with_slots (Mof.Model.create ~name:"fuzz") base
+          in
+          let agree m =
+            List.for_all
+              (fun k ->
+                Ocl.Meta.all_instances m k
+                = Ocl.Meta.with_extent_cache false (fun () ->
+                      Ocl.Meta.all_instances m k))
+              [ "Class"; "Attribute"; "Constraint"; "Element" ]
+          in
+          (* warm the cache on the base state, then replay the edits one op
+             at a time: after every intermediate model the cache must never
+             serve a pre-edit extent *)
+          agree m0
+          && fst
+               (List.fold_left
+                  (fun (ok, m) op ->
+                    let m' = Check.Edit.apply_from m ~slots [ op ] in
+                    (ok && agree m', m'))
+                  (true, m0) edits));
+    ]
+
 let () =
   Alcotest.run "ocl"
     [
@@ -760,5 +997,8 @@ let () =
       ("model-navigation", model_tests);
       ("constraints", constraint_tests);
       ("typecheck", typecheck_tests);
+      ("planner", planner_tests);
+      ("caches", cache_tests);
+      ("cache-properties", watermark_property_tests);
       ("properties", property_tests);
     ]
