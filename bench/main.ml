@@ -490,7 +490,7 @@ let e13_tests =
 let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
 
-(* ---- machine-readable snapshot (BENCH_pr4.json) -------------------------- *)
+(* ---- machine-readable snapshot (BENCH_pr5.json) -------------------------- *)
 
 (* One `{experiment, metric, value, unit}` row per measurement, accumulated
    alongside the human-readable table; see EXPERIMENTS.md for the schema. *)
@@ -560,6 +560,89 @@ let run_group ~experiment title tests =
   | Some only when not (List.mem experiment only) -> ()
   | _ -> run_group_timed ~experiment title tests
 
+(* ---- E14: parallel batch refinement — domain-pool throughput scaling ----- *)
+
+(* Bechamel's per-run OLS is the wrong shape for whole-batch wall time, so
+   E14 times [Par.Batch.apply_all] directly: one warmup run then three
+   timed runs per (arm, jobs) cell, keeping the fastest. jobs=1 is the
+   in-process sequential path (no pool, no domains); wider cells reuse one
+   pool per width so pool construction stays out of the measurement. The
+   speedup rows are relative to the same arm's jobs-1 cell, and
+   host.domains records how many cores the host actually offers — the
+   scaling ceiling is min(jobs, cores), so on a single-core host every
+   speedup row sits near 1.0 by physics, not by bug. *)
+let run_e14 () =
+  let experiment = "E14" in
+  match selected_experiments with
+  | Some only when not (List.mem experiment only) -> ()
+  | _ ->
+      Printf.printf
+        "== E14 parallel batch: domain-pool throughput scaling ==\n%!";
+      let t0 = Obs.Clock.now_ns () in
+      let a0 = Gc.allocated_bytes () in
+      let models = Par.Workload.models ~classes:50 16 in
+      let nmodels = float_of_int (List.length models) in
+      let cmts = [ tx_cmt_for "C0" ] in
+      let arms =
+        [ ("checked", None); ("unchecked", Some Transform.Engine.no_checks) ]
+      in
+      List.iter
+        (fun (arm, checks) ->
+          let time_batch ?pool () =
+            let run () =
+              List.iter
+                (function
+                  | Ok _ -> ()
+                  | Error (_, f) ->
+                      failwith
+                        (Format.asprintf "%a" Transform.Engine.pp_failure f))
+                (Par.Batch.apply_all ?pool ?checks ~cmts models)
+            in
+            run ();
+            (* warmup: fill the parse/extent caches of every domain *)
+            let best = ref Int64.max_int in
+            for _ = 1 to 3 do
+              let t = Obs.Clock.now_ns () in
+              run ();
+              let d = Int64.sub (Obs.Clock.now_ns ()) t in
+              if d < !best then best := d
+            done;
+            Int64.to_float !best
+          in
+          let base = ref Float.nan in
+          List.iter
+            (fun jobs ->
+              let ns =
+                if jobs = 1 then time_batch ()
+                else
+                  Par.Pool.with_pool ~jobs (fun p -> time_batch ~pool:p ())
+              in
+              if jobs = 1 then base := ns;
+              let throughput = nmodels /. (ns /. 1e9) in
+              let speedup = !base /. ns in
+              let name = Printf.sprintf "batch/apply:%s:jobs-%d" arm jobs in
+              add_row ~experiment ~metric:name ~value:ns ~unit_:"ns/run";
+              add_row ~experiment
+                ~metric:(Printf.sprintf "batch/throughput:%s:jobs-%d" arm jobs)
+                ~value:throughput ~unit_:"models/s";
+              add_row ~experiment
+                ~metric:(Printf.sprintf "batch/speedup:%s:jobs-%d" arm jobs)
+                ~value:speedup ~unit_:"x";
+              Printf.printf "  %-55s %12.1f ns/run   (%.1f models/s, %.2fx)\n%!"
+                name ns throughput speedup)
+            [ 1; 2; 4; 8 ])
+        arms;
+      add_row ~experiment ~metric:"host.domains"
+        ~value:(float_of_int (Domain.recommended_domain_count ()))
+        ~unit_:"domains";
+      add_row ~experiment ~metric:"group.wall"
+        ~value:(Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9)
+        ~unit_:"s";
+      add_row ~experiment ~metric:"group.alloc"
+        ~value:(Gc.allocated_bytes () -. a0)
+        ~unit_:"bytes";
+      print_newline ()
+
 (* Counter totals from one representative instrumented run (the Fig. 2
    pipeline end to end plus an XMI round trip). Collected *after* the timed
    groups, so metric recording never perturbs the measurements above. *)
@@ -581,7 +664,7 @@ let collect_counters () =
 
 let () =
   print_endline
-    "mdweave benchmark harness — experiments E1..E13 (see EXPERIMENTS.md; \
+    "mdweave benchmark harness — experiments E1..E14 (see EXPERIMENTS.md; \
      E12 is the fuzz harness, driven by bin/check_cli)";
   print_newline ();
   run_group ~experiment:"E1"
@@ -607,5 +690,6 @@ let () =
     "E11 indexed store: lookup, diff and scoped WF scaling" e11_tests;
   run_group ~experiment:"E13"
     "E13 ablation: OCL compile/extent caches and query planner" e13_tests;
+  run_e14 ();
   collect_counters ();
-  write_snapshot "BENCH_pr4.json"
+  write_snapshot "BENCH_pr5.json"

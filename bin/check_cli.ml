@@ -24,6 +24,7 @@ let () =
   let list_only = ref false in
   let quiet = ref false in
   let trace = ref "" in
+  let jobs = ref 0 in
   let spec =
     [
       ("--seed", Arg.Set_int seed, "N  run seed (default 42)");
@@ -33,6 +34,10 @@ let () =
         "NAME  run only this oracle (repeatable); default: all" );
       ("--list", Arg.Set list_only, "  list oracle names and exit");
       ("--quiet", Arg.Set quiet, "  suppress per-oracle progress");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  domains for running oracles (default: min of core count and \
+         oracle count)" );
       ( "--trace",
         Arg.Set_string trace,
         "FILE  write a Chrome trace-event file of the run" );
@@ -40,7 +45,8 @@ let () =
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "check [--seed N] [--count N] [--oracle NAME]... [--trace FILE]";
+    "check [--seed N] [--count N] [--oracle NAME]... [--jobs N] [--trace \
+     FILE]";
   if !list_only then begin
     List.iter (fun (o : Check.Oracle.t) -> print_endline o.name) Check.Oracle.all;
     exit 0
@@ -83,12 +89,22 @@ let () =
         failed := true;
         Format.printf "%a@." Check.Harness.pp_failure f
   in
-  (* One domain per requested oracle. Sequential fallback when there is
-     nothing to parallelize or when tracing: the Obs sink is a process
-     global, and trace events interleaved from several domains would race
-     it. Per-oracle progress is only printed sequentially for the same
-     reason; the joined summary lines are identical either way. *)
-  if List.length selected < 2 || chrome <> None then
+  (* Oracles run through a bounded Par.Pool (results come back in oracle
+     order) instead of the old one-unchecked-domain-per-oracle spawn, so
+     seven requested oracles no longer mean seven concurrent domains on a
+     two-core box; --jobs caps the pool explicitly. Sequential fallback
+     when there is nothing to parallelize or when tracing: the Obs sink is
+     domain-local and pool workers start on the null sink, so a traced run
+     must stay in the domain that owns the chrome sink. Per-oracle
+     progress is only printed sequentially for the same reason; the joined
+     summary lines are identical either way. *)
+  let jobs =
+    let cap =
+      if !jobs > 0 then !jobs else Domain.recommended_domain_count ()
+    in
+    max 1 (min cap (List.length selected))
+  in
+  if jobs < 2 || chrome <> None then
     List.iter
       (fun (o : Check.Oracle.t) ->
         let progress i =
@@ -100,13 +116,12 @@ let () =
         report o (Check.Harness.run ~progress o ~seed:seed64 ~count:!count))
       selected
   else
-    List.map
-      (fun (o : Check.Oracle.t) ->
-        ( o,
-          Domain.spawn (fun () ->
-              Check.Harness.run o ~seed:seed64 ~count:!count) ))
-      selected
-    |> List.iter (fun (o, d) -> report o (Domain.join d));
+    Par.Pool.with_pool ~jobs (fun pool ->
+        Par.Pool.map pool
+          (fun (o : Check.Oracle.t) ->
+            (o, Check.Harness.run o ~seed:seed64 ~count:!count))
+          selected)
+    |> List.iter (fun (o, r) -> report o r);
   (match chrome with
   | Some (path, render) ->
       Obs.set_sink Obs.Sink.Null;

@@ -8,7 +8,8 @@
      apply     apply one concern transformation to an XMI model
      check     evaluate an OCL constraint against an XMI model
      codegen   generate code (functional or monolithic) from an XMI model
-     build     apply a transformation sequence and emit code + aspects *)
+     build     apply a transformation sequence and emit code + aspects
+     batch     refine many independent models concurrently (domain pool) *)
 
 open Cmdliner
 
@@ -359,6 +360,121 @@ let build_cmd =
              output")
     Term.(const run $ file $ steps $ outdir $ trace_arg $ metrics_arg)
 
+(* ---- batch ------------------------------------------------------------ *)
+
+let batch_cmd =
+  let files = Arg.(value & pos_all string [] & info [] ~docv:"FILE") in
+  let synthetic =
+    Arg.(
+      value & opt int 0
+      & info [ "synthetic" ] ~docv:"N"
+          ~doc:
+            "Append $(docv) generated models (batch0, batch1, ...) to the \
+             batch")
+  in
+  let classes =
+    Arg.(
+      value & opt int 20
+      & info [ "classes" ] ~docv:"K"
+          ~doc:"Classes per generated model (with $(b,--synthetic))")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains refining concurrently; 1 stays in-process with no \
+             pool. Results always come back in submission order.")
+  in
+  let outdir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR"
+          ~doc:"Write each refined model as DIR/NAME.xmi")
+  in
+  let run files synthetic classes jobs steps outdir trace metrics =
+    Core.Platform.ensure_registered ();
+    let failures =
+      with_obs ~trace ~metrics @@ fun () ->
+      let steps =
+        List.map
+          (fun text ->
+            let concern, raw = or_die (parse_step text) in
+            let _, assignments = or_die (resolve_cmt concern raw) in
+            Par.Batch.step ~concern ~params:assignments)
+          steps
+      in
+      (* Items keep their submission order throughout; a file that fails to
+         read stays in the report as its own error line and the rest of the
+         batch still runs. *)
+      let items =
+        List.map
+          (fun f ->
+            (Filename.remove_extension (Filename.basename f), read_model f))
+          files
+        @ List.mapi
+            (fun i m -> (Printf.sprintf "batch%d" i, Ok m))
+            (Par.Workload.models ~classes synthetic)
+      in
+      if items = [] then
+        or_die (Error "batch: no models (give FILES and/or --synthetic N)");
+      let readable =
+        List.filter_map (fun (_, r) -> Result.to_option r) items
+      in
+      let refine pool = Par.Batch.refine_all ?pool ~steps readable in
+      let outcomes =
+        if jobs > 1 && List.length readable > 1 then
+          Par.Pool.with_pool ~jobs (fun p -> refine (Some p))
+        else refine None
+      in
+      (match outdir with
+      | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+      | _ -> ());
+      let failures = ref 0 in
+      let report_ok name project =
+        match outdir with
+        | Some dir ->
+            let path = Filename.concat dir (name ^ ".xmi") in
+            Xmi.Export.write_file path (Core.Project.model project);
+            Printf.printf "%s: ok -> %s\n" name path
+        | None -> Printf.printf "%s: ok\n" name
+      in
+      let rec walk items outcomes =
+        match (items, outcomes) with
+        | [], _ -> ()
+        | (name, Error msg) :: rest, outcomes ->
+            incr failures;
+            Printf.printf "%s: ERROR %s\n" name msg;
+            walk rest outcomes
+        | (name, Ok _) :: rest, outcome :: outcomes ->
+            (match outcome with
+            | Ok project -> report_ok name project
+            | Error e ->
+                incr failures;
+                Printf.printf "%s: ERROR %s\n" name
+                  (Core.Pipeline.error_to_string e));
+            walk rest outcomes
+        | (_, Ok _) :: _, [] -> assert false
+      in
+      walk items outcomes;
+      Printf.printf "%d/%d ok (jobs=%d)\n"
+        (List.length items - !failures)
+        (List.length items) jobs;
+      !failures
+    in
+    if failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Refine a batch of independent models concurrently on a domain \
+          pool; results are reported in submission order and one failing \
+          item never poisons the rest")
+    Term.(
+      const run $ files $ synthetic $ classes $ jobs $ steps_arg $ outdir
+      $ trace_arg $ metrics_arg)
+
 (* ---- joinpoints -------------------------------------------------------- *)
 
 let joinpoints_cmd =
@@ -612,6 +728,7 @@ let () =
             check_cmd;
             codegen_cmd;
             build_cmd;
+            batch_cmd;
             joinpoints_cmd;
             run_cmd;
             ship_cmd;

@@ -297,6 +297,150 @@ let check_weave ~aux (wc : Gen.weave_case) =
         "[weave] weave differs from the weave_one fold over reverse \
          precedence order"
 
+(* ---- R7: batch-parallel ≡ per-item sequential --------------------------- *)
+
+(* Pools are cached per size, so a long differential run drives every case
+   through the *same* worker domains — exactly the situation in which leaked
+   domain-local state (parse cache, extent cache, span counters) between
+   batches would surface as a divergence. *)
+let pools : (int, Par.Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let pool jobs =
+  match Hashtbl.find_opt pools jobs with
+  | Some p -> p
+  | None ->
+      let p = Par.Pool.create ~jobs () in
+      Hashtbl.add pools jobs p;
+      p
+
+(* Merged counter totals of a drained shard, minus the rows whose value is
+   per-domain cache warmth (which worker ran which item is a scheduling
+   accident, so parse/extent hit-miss splits are outside the contract). *)
+let counter_totals (shard : Obs.Metric.shard) =
+  List.filter_map
+    (fun ((name, labels), cell) ->
+      match (cell : Obs.Metric.cell) with
+      | Obs.Metric.Counter { total; _ } ->
+          let warmth =
+            List.exists
+              (fun p ->
+                String.length name >= String.length p
+                && String.sub name 0 (String.length p) = p)
+              [ "ocl.parse."; "ocl.extent." ]
+          in
+          if warmth then None else Some ((name, labels), total)
+      | _ -> None)
+    shard
+  |> List.sort compare
+
+let pp_totals ppf totals =
+  List.iter
+    (fun ((name, _), total) -> Format.fprintf ppf "@.  %s = %g" name total)
+    totals
+
+let same_outcome a b =
+  match ((a : Par.Batch.outcome), (b : Par.Batch.outcome)) with
+  | Ok p, Ok q -> Mof.Model.equal (Core.Project.model p) (Core.Project.model q)
+  | Error e, Error f ->
+      Core.Pipeline.error_to_string e = Core.Pipeline.error_to_string f
+  | _ -> false
+
+let outcome_tag = function
+  | Ok _ -> "ok"
+  | Error e -> "error: " ^ Core.Pipeline.error_to_string e
+
+let check_par ~aux ~base ~edits =
+  let base_m, slots =
+    Edit.apply_with_slots (Mof.Model.create ~name:"fuzz") base
+  in
+  let m' = Edit.apply_from base_m ~slots edits in
+  let half =
+    let n = List.length edits / 2 in
+    Edit.apply_from base_m ~slots (List.filteri (fun i _ -> i < n) edits)
+  in
+  let models = [ base_m; m'; half ] in
+  let steps =
+    let logging =
+      Par.Batch.step ~concern:"logging"
+        ~params:
+          [ ("targets", Transform.Params.V_list [ Transform.Params.V_string "*" ]) ]
+    in
+    let tx names =
+      Par.Batch.step ~concern:"transactions"
+        ~params:
+          [
+            ( "transactional",
+              Transform.Params.V_list
+                (List.map (fun n -> Transform.Params.V_ident n) names) );
+          ]
+    in
+    let classes =
+      List.map (fun c -> c.Mof.Element.name) (Mof.Query.classes m')
+    in
+    let some_class =
+      match classes with [] -> "NoSuchClass" | c :: _ -> c
+    in
+    match Int64.to_int (Int64.logand aux 0x3L) with
+    | 0 -> [ logging ]
+    | 1 -> [ tx [ "NoSuchClass" ] ] (* poisoned: precondition must fail *)
+    | 2 -> [ logging; tx [ some_class ] ]
+    | _ -> [ tx [ some_class ]; logging ]
+  in
+  (* Window the metric registry so the comparison sees only what the two
+     batch runs emit; whatever was accumulating before is put back after. *)
+  let was_on = Obs.Metric.enabled () in
+  let outer = Obs.Metric.drain () in
+  Obs.Metric.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if not was_on then Obs.Metric.disable ();
+      Obs.Metric.absorb outer)
+  @@ fun () ->
+  let seq = Par.Batch.refine_all_traced ~steps models in
+  let seq_totals = counter_totals (Obs.Metric.drain ()) in
+  let par2 = Par.Batch.refine_all_traced ~pool:(pool 2) ~steps models in
+  let par2_totals = counter_totals (Obs.Metric.drain ()) in
+  let par3 = Par.Batch.refine_all ~pool:(pool 3) ~steps models in
+  ignore (Obs.Metric.drain ());
+  let rec first_mismatch i = function
+    | [], [] -> Ok ()
+    | (o_seq, ev_seq) :: rest_seq, (o_par, ev_par) :: rest_par ->
+        if not (same_outcome o_seq o_par) then
+          Error
+            (Printf.sprintf
+               "[par] item %d: sequential %s but 2-domain pool %s" i
+               (outcome_tag o_seq) (outcome_tag o_par))
+        else if
+          List.map Obs.Event.normalize ev_seq
+          <> List.map Obs.Event.normalize ev_par
+        then
+          Error
+            (Printf.sprintf
+               "[par] item %d: normalized trace differs between sequential \
+                and 2-domain runs (%d vs %d events)"
+               i (List.length ev_seq) (List.length ev_par))
+        else first_mismatch (i + 1) (rest_seq, rest_par)
+    | _ ->
+        Error
+          (Printf.sprintf "[par] batch length changed: %d items in, %d out"
+             (List.length seq) (List.length par2))
+  in
+  match first_mismatch 0 (seq, par2) with
+  | Error _ as e -> e
+  | Ok () ->
+      if
+        not
+          (List.for_all2
+             (fun (o_seq, _) o_par -> same_outcome o_seq o_par)
+             seq par3)
+      then Error "[par] 3-domain pool outcomes diverge from sequential"
+      else if seq_totals <> par2_totals then
+        Error
+          (Format.asprintf
+             "[par] merged counters differ@.sequential:%a@.2-domain:%a"
+             pp_totals seq_totals pp_totals par2_totals)
+      else Ok ()
+
 let all =
   [
     { name = "diff"; check = Model_check check_diff };
@@ -305,6 +449,7 @@ let all =
     { name = "query"; check = Model_check check_query };
     { name = "ocl"; check = Model_check check_ocl };
     { name = "weave"; check = Weave_check check_weave };
+    { name = "par"; check = Model_check check_par };
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -20,10 +20,18 @@
       cache state would be caught;
     - [weave]: {!Weaver.Weave.weave} is invariant under aspect-list
       shuffling and equals the fold of {!Weaver.Weave.weave_one} over the
-      reverse precedence order.
+      reverse precedence order;
+    - [par]: a batch of refinements pushed through a {!Par.Pool} of 2 and 3
+      domains ≡ the same batch applied sequentially in the submitting
+      domain — per-item outcomes ({!Mof.Model.equal} on success, rendered
+      {!Core.Pipeline.error} on failure), per-item traces after
+      {!Obs.Event.normalize}, and merged counter totals (minus per-domain
+      cache hit/miss splits, which are scheduling accidents) must all
+      agree, with pools cached across cases so leaked domain-local state
+      would be caught.
 
     Failure messages begin with a bracketed tag ([[diff]], [[wf]], [[xmi]],
-    [[query]], [[ocl]], [[weave]], [[gen]]); the shrinker only accepts
+    [[query]], [[ocl]], [[weave]], [[par]], [[gen]]); the shrinker only accepts
     candidates failing with the original tag. *)
 
 type check =
@@ -36,7 +44,7 @@ type check =
 type t = { name : string; check : check }
 
 val all : t list
-(** The six oracles, in documentation order. *)
+(** The seven oracles, in documentation order. *)
 
 val find : string -> t option
 

@@ -18,6 +18,7 @@ type kind =
 type t = {
   seq : int;
   ts_ns : int64;
+  dom : int;  (** id of the domain that emitted the event *)
   depth : int;
   cat : string;
   name : string;
@@ -28,11 +29,14 @@ type t = {
 let phase = function Span_begin -> "B" | Span_end _ -> "E" | Instant -> "i"
 
 (* Strip the fields that vary between identical runs (timestamps, measured
-   durations, allocation counts); everything left must replay exactly. *)
+   durations, allocation counts, and the domain id — which worker of a pool
+   ran an item is a scheduling accident); everything left must replay
+   exactly. *)
 let normalize e =
   {
     e with
     ts_ns = 0L;
+    dom = 0;
     kind =
       (match e.kind with
       | Span_end _ -> Span_end { wall_ns = 0L; alloc_bytes = 0. }
@@ -80,8 +84,9 @@ let args_to_json args =
 let to_json e =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
-    (Printf.sprintf "{\"seq\":%d,\"ts_ns\":%Ld,\"depth\":%d,\"ph\":%s,\"cat\":%s,\"name\":%s"
-       e.seq e.ts_ns e.depth
+    (Printf.sprintf
+       "{\"seq\":%d,\"ts_ns\":%Ld,\"dom\":%d,\"depth\":%d,\"ph\":%s,\"cat\":%s,\"name\":%s"
+       e.seq e.ts_ns e.dom e.depth
        (json_string (phase e.kind))
        (json_string e.cat) (json_string e.name));
   (match e.kind with

@@ -1,9 +1,20 @@
 (* Counters, gauges and histograms keyed by (name, labels).
 
-   Recording is off by default: every entry point checks one ref before
-   touching the registry, so uninstrumented runs pay a memory read per
-   call site. Histograms keep count/sum/min/max — enough for the bench
-   snapshot rows — rather than full bucket vectors. *)
+   Recording is off by default: every entry point checks one atomic flag
+   before touching the registry, so uninstrumented runs pay a memory read
+   per call site. Histograms keep count/sum/min/max — enough for the bench
+   snapshot rows — rather than full bucket vectors.
+
+   The registry is sharded per domain (Domain.DLS): every domain records
+   into its own hash table, so instrumented code running on a pool of
+   worker domains never contends on — or races — a shared structure. The
+   merge contract is explicit: a worker {!drain}s its shard when it
+   finishes a parallel job, and the submitting domain {!absorb}s the
+   drained shards at join. After the join, the submitter's registry holds
+   exact totals (counters and histograms are commutative merges; a gauge
+   keeps the last absorbed write, matching its last-write-wins reading).
+   [rows] therefore reports the calling domain's view — which is the whole
+   run's view exactly when every parallel phase has been joined. *)
 
 type labels = (string * string) list
 
@@ -19,15 +30,21 @@ type cell =
   | Gauge of { mutable value : float; g_unit : string }
   | Histogram of { hist : hist; o_unit : string }
 
-let on = ref false
-let enable () = on := true
-let disable () = on := false
-let enabled () = !on
+(* The switch is global (an enable in the submitting domain must be seen by
+   pool workers it spawns work onto); the data is domain-local. *)
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
 
-let registry : (string * labels, cell) Hashtbl.t = Hashtbl.create 64
-let reset () = Hashtbl.reset registry
+let registry_key : ((string * labels, cell) Hashtbl.t) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get registry_key
+let reset () = Hashtbl.reset (registry ())
 
 let find_or_add key make =
+  let registry = registry () in
   match Hashtbl.find_opt registry key with
   | Some c -> c
   | None ->
@@ -39,7 +56,7 @@ let find_or_add key make =
    telemetry must never raise out of an instrumented hot path. *)
 
 let incr ?(by = 1.) ?(unit_ = "count") name labels =
-  if !on then
+  if Atomic.get on then
     match
       find_or_add (name, labels) (fun () -> Counter { total = 0.; c_unit = unit_ })
     with
@@ -47,7 +64,7 @@ let incr ?(by = 1.) ?(unit_ = "count") name labels =
     | Gauge _ | Histogram _ -> ()
 
 let set ?(unit_ = "value") name labels v =
-  if !on then
+  if Atomic.get on then
     match
       find_or_add (name, labels) (fun () -> Gauge { value = v; g_unit = unit_ })
     with
@@ -55,7 +72,7 @@ let set ?(unit_ = "value") name labels v =
     | Counter _ | Histogram _ -> ()
 
 let observe ?(unit_ = "ns") name labels v =
-  if !on then
+  if Atomic.get on then
     match
       find_or_add (name, labels) (fun () ->
           Histogram
@@ -71,6 +88,31 @@ let observe ?(unit_ = "ns") name labels v =
         if v < hist.h_min then hist.h_min <- v;
         if v > hist.h_max then hist.h_max <- v
     | Counter _ | Gauge _ -> ()
+
+(* ---- shards: drain on the worker, absorb at the join --------------------- *)
+
+type shard = ((string * labels) * cell) list
+
+let drain () : shard =
+  let registry = registry () in
+  let cells = Hashtbl.fold (fun k c acc -> (k, c) :: acc) registry [] in
+  Hashtbl.reset registry;
+  cells
+
+let absorb (shard : shard) =
+  List.iter
+    (fun (key, cell) ->
+      match (find_or_add key (fun () -> cell), cell) with
+      | c, c' when c == c' -> () (* key was absent: the cell moved over *)
+      | Counter c, Counter { total; _ } -> c.total <- c.total +. total
+      | Gauge g, Gauge { value; _ } -> g.value <- value
+      | Histogram { hist = h; _ }, Histogram { hist = h'; _ } ->
+          h.h_count <- h.h_count + h'.h_count;
+          h.h_sum <- h.h_sum +. h'.h_sum;
+          if h'.h_min < h.h_min then h.h_min <- h'.h_min;
+          if h'.h_max > h.h_max then h.h_max <- h'.h_max
+      | _, _ -> () (* kind clash across shards: drop, as recording does *))
+    shard
 
 (* ---- snapshots --------------------------------------------------------- *)
 
@@ -106,7 +148,7 @@ let rows () =
             :: r "max" hist.h_max o_unit
             :: r "mean" mean o_unit
             :: acc)
-      registry []
+      (registry ()) []
   in
   List.sort (fun a b -> String.compare a.metric b.metric) all
 

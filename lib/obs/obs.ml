@@ -1,10 +1,17 @@
 (* Obs — the pipeline-wide observability façade.
 
-   One global sink receives spans and structured events; one global metric
-   registry receives counters/gauges/histograms. Both are off by default
+   One sink per domain receives spans and structured events; one metric
+   registry shard per domain receives counters/gauges/histograms (see
+   metric.ml for the drain/absorb merge contract). Both are off by default
    (null sink, metrics disabled), and every entry point short-circuits on
    that default before doing any work, so instrumented hot paths stay
    within the < 3% overhead budget (DESIGN.md §7).
+
+   The sink is domain-local (Domain.DLS): a freshly spawned domain always
+   starts on the null sink, so pool workers never race a buffering sink
+   installed by the main domain. A worker that wants its work traced
+   installs its own sink (see Par.Batch's traced runs); events carry the
+   emitting domain's id either way.
 
    Call-site discipline: span/event *arguments* are evaluated by the
    caller, so anything more expensive than a field read must be guarded
@@ -17,18 +24,15 @@ module Metric = Metric
 module Span = Span
 module Sink = Sink
 
-let current : Sink.t ref = ref Sink.Null
-let enabled_flag = ref false
+let current : Sink.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Sink.Null)
 
-let set_sink s =
-  current := s;
-  enabled_flag := not (Sink.is_null s)
-
-let sink () = !current
-let enabled () = !enabled_flag
+let set_sink s = Domain.DLS.set current s
+let sink () = Domain.DLS.get current
+let enabled () = not (Sink.is_null (Domain.DLS.get current))
 
 (* Back to the quiescent default: null sink, fresh span numbering, metrics
-   disabled and emptied. Tests use this between cases. *)
+   disabled and emptied — all for the calling domain (the metrics switch is
+   global). Tests use this between cases. *)
 let reset () =
   set_sink Sink.Null;
   Span.reset ();
@@ -38,17 +42,17 @@ let reset () =
 (* Run [f] with [s] installed, restoring the previous sink after — the
    scoped form used by tests and the CLI front-ends. *)
 let with_sink s f =
-  let prev = !current in
+  let prev = sink () in
   set_sink s;
   Fun.protect ~finally:(fun () -> set_sink prev) f
 
 let event ?(cat = "app") ?(args = []) name =
-  match !current with
+  match Domain.DLS.get current with
   | Sink.Null -> ()
   | s -> Sink.emit s (Span.instant ~cat ~name ~args)
 
 let span ?(cat = "app") ?(args = []) name f =
-  match !current with
+  match Domain.DLS.get current with
   | Sink.Null -> f ()
   | s -> (
       let emit = Sink.emit s in

@@ -46,13 +46,15 @@ let chrome_of_events events =
         @ e.Event.args
       in
       Buffer.add_string buf
-        (Printf.sprintf "{\"name\":%s,\"cat\":%s,\"ph\":%s,%s\"pid\":1,\"tid\":1,\"ts\":%.3f%s}"
+        (Printf.sprintf
+           "{\"name\":%s,\"cat\":%s,\"ph\":%s,%s\"pid\":1,\"tid\":%d,\"ts\":%.3f%s}"
            (Event.json_string e.Event.name)
            (Event.json_string e.Event.cat)
            (Event.json_string (Event.phase e.Event.kind))
            (match e.Event.kind with
            | Event.Instant -> "\"s\":\"t\","
            | Event.Span_begin | Event.Span_end _ -> "")
+           (e.Event.dom + 1)
            ts_us
            (if args = [] then "" else ",\"args\":" ^ Event.args_to_json args)))
     events;

@@ -1,26 +1,54 @@
-(* Hierarchical span bookkeeping: one global sequence counter and nesting
-   depth, shared with instant events so the full event stream has a total,
-   deterministic order. Timing (wall ns) and allocation deltas are captured
-   between [enter] and [leave]. *)
+(* Hierarchical span bookkeeping: one sequence counter and nesting depth
+   per domain (Domain.DLS), shared with instant events so each domain's
+   event stream has a total, deterministic order. Per-domain state is what
+   lets a pool of worker domains trace concurrently without racing a global
+   counter; the emitting domain's id is stamped on every event. Timing
+   (wall ns) and allocation deltas are captured between [enter] and
+   [leave]. *)
 
 type open_span = { name : string; cat : string; t0 : int64; a0 : float }
 
-let seq = ref 0
-let depth = ref 0
+type state = { mutable seq : int; mutable depth : int }
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { seq = 0; depth = 0 })
+
+let state () = Domain.DLS.get state_key
+let seq () = (state ()).seq
+let depth () = (state ()).depth
 
 let reset () =
-  seq := 0;
-  depth := 0
+  let st = state () in
+  st.seq <- 0;
+  st.depth <- 0
 
-let next_seq () =
-  incr seq;
-  !seq
+(* Save/restore of the local counters, so a scoped trace capture (one batch
+   item recorded into its own sink) can renumber from zero without
+   corrupting the bookkeeping of whatever outer spans are open. *)
+type snapshot = { s_seq : int; s_depth : int }
+
+let save () =
+  let st = state () in
+  { s_seq = st.seq; s_depth = st.depth }
+
+let restore snap =
+  let st = state () in
+  st.seq <- snap.s_seq;
+  st.depth <- snap.s_depth
+
+let next_seq st =
+  st.seq <- st.seq + 1;
+  st.seq
+
+let dom_id () = (Domain.self () :> int)
 
 let instant ~cat ~name ~args =
+  let st = state () in
   {
-    Event.seq = next_seq ();
+    Event.seq = next_seq st;
     ts_ns = Clock.now_ns ();
-    depth = !depth;
+    dom = dom_id ();
+    depth = st.depth;
     cat;
     name;
     kind = Event.Instant;
@@ -28,31 +56,35 @@ let instant ~cat ~name ~args =
   }
 
 let enter ~cat ~name ~args emit =
+  let st = state () in
   let e =
     {
-      Event.seq = next_seq ();
+      Event.seq = next_seq st;
       ts_ns = Clock.now_ns ();
-      depth = !depth;
+      dom = dom_id ();
+      depth = st.depth;
       cat;
       name;
       kind = Event.Span_begin;
       args;
     }
   in
-  depth := !depth + 1;
+  st.depth <- st.depth + 1;
   emit e;
   { name; cat; t0 = e.Event.ts_ns; a0 = Clock.allocated_bytes () }
 
 let leave sp emit =
+  let st = state () in
   let now = Clock.now_ns () in
   let wall_ns = Int64.sub now sp.t0 in
   let alloc_bytes = Clock.allocated_bytes () -. sp.a0 in
-  depth := (if !depth > 0 then !depth - 1 else 0);
+  st.depth <- (if st.depth > 0 then st.depth - 1 else 0);
   emit
     {
-      Event.seq = next_seq ();
+      Event.seq = next_seq st;
       ts_ns = now;
-      depth = !depth;
+      dom = dom_id ();
+      depth = st.depth;
       cat = sp.cat;
       name = sp.name;
       kind = Event.Span_end { wall_ns; alloc_bytes };

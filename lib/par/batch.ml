@@ -1,0 +1,97 @@
+type step = {
+  concern : string;
+  params : (string * Transform.Params.value) list;
+}
+
+let step ~concern ~params = { concern; params }
+
+type outcome = (Core.Project.t, Core.Pipeline.error) result
+
+(* Pool workers resolve concerns through the registry; make sure the one
+   mutation it ever performs (registering the platform projection) happens
+   in the submitting domain, before any worker reads it. The mutex covers
+   the corner where two submitters race their first batch. *)
+let registry_mutex = Mutex.create ()
+
+let ensure_registry () =
+  Mutex.lock registry_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_mutex)
+    Core.Platform.ensure_registered
+
+let refine_one ~steps model =
+  let project = Core.Project.create model in
+  let rec go project = function
+    | [] -> Ok project
+    | s :: rest -> (
+        match Core.Pipeline.refine project ~concern:s.concern ~params:s.params with
+        | Ok (project, _report) -> go project rest
+        | Error e -> Error e)
+  in
+  let outcome = go project steps in
+  if Obs.Metric.enabled () then begin
+    Obs.incr "batch.items" [];
+    match outcome with
+    | Ok _ -> Obs.incr "batch.ok" []
+    | Error _ -> Obs.incr "batch.error" []
+  end;
+  outcome
+
+let run_batch ?pool ~label f models =
+  ensure_registry ();
+  let jobs = match pool with None -> 1 | Some p -> Pool.jobs p in
+  Obs.span ~cat:"par" "batch.run"
+    ~args:
+      [
+        ("kind", Obs.Event.V_string label);
+        ("items", Obs.Event.V_int (List.length models));
+        ("jobs", Obs.Event.V_int jobs);
+      ]
+  @@ fun () ->
+  match pool with
+  | None -> List.map f models
+  | Some p -> Pool.map p f models
+
+let refine_all ?pool ~steps models =
+  run_batch ?pool ~label:"refine" (refine_one ~steps) models
+
+(* Traced item: record into a private memory sink with span numbering
+   restarted at zero, so the captured stream only depends on what the item
+   did — not on which domain ran it or what ran on that domain before.
+   The previous sink and span counters are restored either way. *)
+let traced f item =
+  let snap = Obs.Span.save () in
+  let sink, events = Obs.Sink.memory () in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Obs.Span.restore snap)
+      (fun () ->
+        Obs.with_sink sink (fun () ->
+            Obs.Span.reset ();
+            f item))
+  in
+  (outcome, events ())
+
+let refine_all_traced ?pool ~steps models =
+  run_batch ?pool ~label:"refine-traced" (traced (refine_one ~steps)) models
+
+let apply_one ?checks ~cmts model =
+  let outcome =
+    match
+      match checks with
+      | None -> Transform.Engine.run model cmts
+      | Some checks -> Transform.Engine.run ~checks model cmts
+    with
+    | Ok session -> Ok session.Transform.Engine.current
+    | Error (name, failure) -> Error (name, failure)
+  in
+  if Obs.Metric.enabled () then begin
+    Obs.incr "batch.items" [];
+    match outcome with
+    | Ok _ -> Obs.incr "batch.ok" []
+    | Error _ -> Obs.incr "batch.error" []
+  end;
+  outcome
+
+let apply_all ?pool ?checks ~cmts models =
+  run_batch ?pool ~label:"apply" (apply_one ?checks ~cmts) models

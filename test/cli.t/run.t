@@ -147,3 +147,55 @@ hidden selftest-fail oracle forces the failure path deterministically.
   concerns applied: distribution, transactions
     distribution   25 element(s) in its concern space
     transactions   10 element(s) in its concern space
+
+Batch refinement drives many independent models through one concern chain
+on a domain pool. Report lines come back in submission order no matter
+which domain finished first; a model that fails to read (or to refine)
+gets its own error line and exit code 1 without poisoning the rest.
+
+  $ mdweave batch --synthetic 3 --classes 4 -s "logging: targets=*" -s "transactions: transactional=C0" --jobs 2 -o batchout
+  batch0: ok -> batchout/batch0.xmi
+  batch1: ok -> batchout/batch1.xmi
+  batch2: ok -> batchout/batch2.xmi
+  3/3 ok (jobs=2)
+
+  $ mdweave info batchout/batch1.xmi | tail -1
+  well-formed: yes
+
+  $ printf '<broken' > bad.xmi
+  $ mdweave batch bad.xmi --synthetic 2 --classes 3 -s "logging: targets=*" --jobs 2; echo "exit: $?"
+  bad: ERROR XML parse error at offset 7: expected '>' at end of input
+  batch0: ok
+  batch1: ok
+  2/3 ok (jobs=2)
+  exit: 1
+
+Metric shards are per-domain and merged into the submitter's registry when
+the pool joins, so counters written with --metrics are exact totals however
+the items were scheduled: 4 items, 2 steps each.
+
+  $ mdweave batch --synthetic 4 --classes 3 -s "logging: targets=*" -s "transactions: transactional=C0" --jobs 2 --metrics batch.metrics.json
+  batch0: ok
+  batch1: ok
+  batch2: ok
+  batch3: ok
+  4/4 ok (jobs=2)
+  metrics written to batch.metrics.json
+
+  $ grep -o '"metric":"batch.items","value":[0-9.]*' batch.metrics.json
+  "metric":"batch.items","value":4
+
+  $ grep -o '"metric":"batch.ok","value":[0-9.]*' batch.metrics.json
+  "metric":"batch.ok","value":4
+
+  $ grep -o '"metric":"engine.apply.ok","value":[0-9.]*' batch.metrics.json
+  "metric":"engine.apply.ok","value":8
+
+The check driver itself schedules oracles on the same bounded pool
+(--jobs), and the par oracle proves batch-parallel ≡ sequential.
+
+  $ check --oracle par --count 5 --quiet >/dev/null; echo "exit: $?"
+  exit: 0
+
+  $ check --oracle diff --oracle wf --count 5 --quiet --jobs 2 >/dev/null; echo "exit: $?"
+  exit: 0
