@@ -490,7 +490,7 @@ let e13_tests =
 let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
 
-(* ---- machine-readable snapshot (BENCH_pr5.json) -------------------------- *)
+(* ---- machine-readable snapshot (BENCH_pr6.json) -------------------------- *)
 
 (* One `{experiment, metric, value, unit}` row per measurement, accumulated
    alongside the human-readable table; see EXPERIMENTS.md for the schema. *)
@@ -643,6 +643,110 @@ let run_e14 () =
         ~unit_:"bytes";
       print_newline ()
 
+(* ---- E15: content-addressed store vs full-copy at 10k-commit histories --- *)
+
+(* Whole-history builds, timed directly like E14: a bounded ~200-element
+   model takes one single-class rename per commit, so the content-addressed
+   store grows by roughly one object per commit while the full-copy
+   baseline re-pays the whole model at every commit. One warmup build then
+   three timed builds per implementation, fastest kept; the size rows come
+   from the final build, and the ratio rows are the acceptance criterion
+   (the snapshot must be an order of magnitude smaller than the full-copy
+   estimate at a 10k-commit history). *)
+let run_e15 () =
+  let experiment = "E15" in
+  match selected_experiments with
+  | Some only when not (List.mem experiment only) -> ()
+  | _ ->
+      Printf.printf
+        "== E15 repository: content-addressed store vs full copy ==\n%!";
+      let t0 = Obs.Clock.now_ns () in
+      let a0 = Gc.allocated_bytes () in
+      let commits = 10_000 in
+      let base = synthetic 25 in
+      let ids =
+        Array.of_list (Mof.Id.Set.elements (Mof.Model.by_kind base "Class"))
+      in
+      let mutate m i =
+        let slot = i mod Array.length ids in
+        Mof.Builder.rename m ids.(slot) (Printf.sprintf "C%d_v%d" slot i)
+      in
+      let time_build build =
+        ignore (build ());
+        let best = ref Int64.max_int in
+        let last = ref None in
+        for _ = 1 to 3 do
+          let t = Obs.Clock.now_ns () in
+          let r = build () in
+          let d = Int64.sub (Obs.Clock.now_ns ()) t in
+          if d < !best then best := d;
+          last := Some r
+        done;
+        (Int64.to_float !best, Option.get !last)
+      in
+      let build_cas () =
+        let rec go repo i =
+          if i > commits then repo
+          else
+            let m = mutate (Repository.Repo.head_model repo) i in
+            go (Repository.Repo.commit ~message:"step" m repo) (i + 1)
+        in
+        go (Repository.Repo.init base) 1
+      in
+      let build_naive () =
+        let rec go repo i =
+          if i > commits then repo
+          else
+            let m = mutate (Repository.Naive.head_model repo) i in
+            go (Repository.Naive.commit ~message:"step" m repo) (i + 1)
+        in
+        go (Repository.Naive.init base) 1
+      in
+      let row_arm arm ns =
+        let per_s = float_of_int commits /. (ns /. 1e9) in
+        add_row ~experiment
+          ~metric:(Printf.sprintf "repo/build-10k:%s" arm)
+          ~value:ns ~unit_:"ns/run";
+        add_row ~experiment
+          ~metric:(Printf.sprintf "repo/commits:%s" arm)
+          ~value:per_s ~unit_:"commits/s";
+        Printf.printf "  %-55s %12.1f ns/run   (%.0f commits/s)\n%!"
+          (Printf.sprintf "repo/build-10k:%s" arm)
+          ns per_s
+      in
+      let cas_ns, cas = time_build build_cas in
+      row_arm "cas" cas_ns;
+      let naive_ns, naive = time_build build_naive in
+      row_arm "naive" naive_ns;
+      let store_bytes = float_of_int (Repository.Repo.store_bytes cas) in
+      let snapshot_bytes =
+        float_of_int (String.length (Repository.Repo.save cas))
+      in
+      let naive_bytes =
+        float_of_int (Repository.Naive.estimated_bytes naive)
+      in
+      let size name v =
+        add_row ~experiment ~metric:name ~value:v ~unit_:"bytes";
+        Printf.printf "  %-55s %12.0f bytes\n%!" name v
+      in
+      size "repo/store.bytes:cas" store_bytes;
+      size "repo/snapshot.bytes:cas" snapshot_bytes;
+      size "repo/store.bytes:naive-full-copy" naive_bytes;
+      let ratio name v =
+        add_row ~experiment ~metric:name ~value:v ~unit_:"x";
+        Printf.printf "  %-55s %12.1fx\n%!" name v
+      in
+      ratio "repo/size-advantage:naive-over-store" (naive_bytes /. store_bytes);
+      ratio "repo/size-advantage:naive-over-snapshot"
+        (naive_bytes /. snapshot_bytes);
+      add_row ~experiment ~metric:"group.wall"
+        ~value:(Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9)
+        ~unit_:"s";
+      add_row ~experiment ~metric:"group.alloc"
+        ~value:(Gc.allocated_bytes () -. a0)
+        ~unit_:"bytes";
+      print_newline ()
+
 (* Counter totals from one representative instrumented run (the Fig. 2
    pipeline end to end plus an XMI round trip). Collected *after* the timed
    groups, so metric recording never perturbs the measurements above. *)
@@ -664,7 +768,7 @@ let collect_counters () =
 
 let () =
   print_endline
-    "mdweave benchmark harness — experiments E1..E14 (see EXPERIMENTS.md; \
+    "mdweave benchmark harness — experiments E1..E15 (see EXPERIMENTS.md; \
      E12 is the fuzz harness, driven by bin/check_cli)";
   print_newline ();
   run_group ~experiment:"E1"
@@ -691,5 +795,6 @@ let () =
   run_group ~experiment:"E13"
     "E13 ablation: OCL compile/extent caches and query planner" e13_tests;
   run_e14 ();
+  run_e15 ();
   collect_counters ();
-  write_snapshot "BENCH_pr5.json"
+  write_snapshot "BENCH_pr6.json"

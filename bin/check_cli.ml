@@ -98,12 +98,16 @@ let () =
      must stay in the domain that owns the chrome sink. Per-oracle
      progress is only printed sequentially for the same reason; the joined
      summary lines are identical either way. *)
+  let host_domains = Domain.recommended_domain_count () in
   let jobs =
-    let cap =
-      if !jobs > 0 then !jobs else Domain.recommended_domain_count ()
-    in
+    let cap = if !jobs > 0 then !jobs else host_domains in
     max 1 (min cap (List.length selected))
   in
+  (* the run header records the effective parallelism so a logged run is
+     reconstructible: the default is host-dependent, not a constant *)
+  if not !quiet then
+    Printf.printf "run: seed %d, %d cases per oracle, %d oracle(s), jobs %d (host domains %d)\n%!"
+      !seed !count (List.length selected) jobs host_domains;
   if jobs < 2 || chrome <> None then
     List.iter
       (fun (o : Check.Oracle.t) ->

@@ -9,7 +9,8 @@
      check     evaluate an OCL constraint against an XMI model
      codegen   generate code (functional or monolithic) from an XMI model
      build     apply a transformation sequence and emit code + aspects
-     batch     refine many independent models concurrently (domain pool) *)
+     batch     refine many independent models concurrently (domain pool)
+     repo      versioned model repository on a content-addressed snapshot *)
 
 open Cmdliner
 
@@ -711,6 +712,303 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Summarize a model and its concern spaces")
     Term.(const run $ file $ steps_arg)
 
+(* ---- repo ------------------------------------------------------------ *)
+
+(* The repository front-end: a .mdr file is the binary snapshot of a
+   content-addressed model repository (Repository.Repo.save/load). Every
+   command loads the snapshot, operates, and writes it back, so the file
+   is the durable store and the CLI is a session against it. *)
+
+let read_repo path =
+  match
+    In_channel.with_open_bin path In_channel.input_all
+  with
+  | exception Sys_error msg -> Error msg
+  | data -> Repository.Repo.load data
+
+let write_repo path repo =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Repository.Repo.save repo))
+
+let store_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE.mdr")
+
+let repo_stats repo =
+  Printf.sprintf "%d commit(s), %d object(s), %d byte(s) in store"
+    (Repository.Repo.size repo)
+    (Repository.Repo.store_objects repo)
+    (Repository.Repo.store_bytes repo)
+
+let repo_init_cmd =
+  let model = Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL") in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"STORE.mdr" ~doc:"Snapshot path to create")
+  in
+  let branch =
+    Arg.(
+      value & opt string "main"
+      & info [ "branch" ] ~docv:"NAME" ~doc:"Initial branch name")
+  in
+  let run model out branch =
+    let m = or_die (read_model model) in
+    let repo = Repository.Repo.init ~branch m in
+    write_repo out repo;
+    Printf.printf "initialized %s: %s\n" out (repo_stats repo)
+  in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Create a repository snapshot from an XMI model")
+    Term.(const run $ model $ out $ branch)
+
+let repo_commit_cmd =
+  let model = Arg.(required & pos 1 (some file) None & info [] ~docv:"MODEL") in
+  let message =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "m"; "message" ] ~docv:"MSG" ~doc:"Commit message")
+  in
+  let branch =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "branch" ] ~docv:"NAME"
+          ~doc:"Commit on this branch instead of the current head")
+  in
+  let concern =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "concern" ] ~docv:"KEY" ~doc:"Concern to record on the commit")
+  in
+  let run store model message branch concern trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    let repo = or_die (read_repo store) in
+    let m = or_die (read_model model) in
+    let repo =
+      match branch with
+      | None -> Repository.Repo.commit ?concern ~message m repo
+      | Some branch ->
+          or_die
+            (Result.map_error Repository.Repo.checkout_error_to_string
+               (Repository.Repo.commit_on ~branch ?concern ~message m repo))
+    in
+    write_repo store repo;
+    Printf.printf "[%s] %s\n"
+      (Repository.Repo.branch repo)
+      (Repository.Commit.summary (Repository.Repo.head repo))
+  in
+  Cmd.v
+    (Cmd.info "commit" ~doc:"Commit an XMI model as a new version")
+    Term.(
+      const run $ store_pos $ model $ message $ branch $ concern $ trace_arg
+      $ metrics_arg)
+
+let repo_log_cmd =
+  let run store =
+    let repo = or_die (read_repo store) in
+    print_endline (Repository.History.render repo)
+  in
+  Cmd.v
+    (Cmd.info "log" ~doc:"Show the head-first commit chain with tags")
+    Term.(const run $ store_pos)
+
+let repo_tag_cmd =
+  let tag_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME")
+  in
+  let run store name =
+    let repo = or_die (read_repo store) in
+    let repo = Repository.Repo.tag name repo in
+    write_repo store repo;
+    Printf.printf "tagged #%d as %s\n"
+      (Repository.Repo.head repo).Repository.Commit.id name
+  in
+  Cmd.v
+    (Cmd.info "tag" ~doc:"Name the head commit")
+    Term.(const run $ store_pos $ tag_arg)
+
+let repo_checkout_cmd =
+  let tag_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TAG")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also export the checked-out model as XMI")
+  in
+  let run store name out =
+    let repo = or_die (read_repo store) in
+    let repo =
+      or_die
+        (Result.map_error Repository.Repo.checkout_error_to_string
+           (Repository.Repo.checkout name repo))
+    in
+    write_repo store repo;
+    Printf.printf "checked out %s at #%d\n" name
+      (Repository.Repo.head repo).Repository.Commit.id;
+    match out with
+    | None -> ()
+    | Some path ->
+        Xmi.Export.write_file path (Repository.Repo.head_model repo);
+        Printf.printf "-> %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "checkout" ~doc:"Move the head to a tagged commit")
+    Term.(const run $ store_pos $ tag_arg $ out)
+
+let repo_save_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Destination snapshot path")
+  in
+  let run store out =
+    let data =
+      match In_channel.with_open_bin store In_channel.input_all with
+      | exception Sys_error msg -> or_die (Error msg)
+      | data -> data
+    in
+    let repo = or_die (Repository.Repo.load data) in
+    let rendered = Repository.Repo.save repo in
+    if not (String.equal rendered data) then
+      or_die (Error "snapshot is not canonical: save after load differs");
+    Out_channel.with_open_bin out (fun oc ->
+        Out_channel.output_string oc rendered);
+    Printf.printf "verified byte fixpoint, wrote %s (%d bytes)\n" out
+      (String.length rendered)
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Re-render a snapshot, verifying the save/load byte fixpoint")
+    Term.(const run $ store_pos $ out)
+
+let repo_load_cmd =
+  let run store =
+    let repo = or_die (read_repo store) in
+    let head = Repository.Repo.head repo in
+    Printf.printf "head: #%d on %s\n" head.Repository.Commit.id
+      (Repository.Repo.branch repo);
+    Printf.printf "%s\n" (repo_stats repo);
+    List.iter
+      (fun (name, id) -> Printf.printf "branch %s -> #%d\n" name id)
+      (Repository.Repo.branches repo);
+    List.iter
+      (fun (name, id) -> Printf.printf "tag %s -> #%d\n" name id)
+      (Repository.Repo.tags repo)
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load a snapshot and summarize its contents")
+    Term.(const run $ store_pos)
+
+let repo_serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Concurrent session domains")
+  in
+  let commits =
+    Arg.(
+      value & opt int 3
+      & info [ "commits" ] ~docv:"K" ~doc:"Commits per session")
+  in
+  let run store jobs commits trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    let repo = or_die (read_repo store) in
+    let svc = Repository.Service.create repo in
+    let sessions = List.init (max 1 jobs) Fun.id in
+    (* branches first: create_branch points at the moving head *)
+    List.iter
+      (fun s ->
+        match
+          Repository.Service.create_branch svc (Printf.sprintf "sess%d" s)
+        with
+        | Ok _ -> ()
+        | Error e -> or_die (Error (Repository.Service.error_to_string e)))
+      sessions;
+    let session s =
+      let branch = Printf.sprintf "sess%d" s in
+      let rec go i =
+        if i > commits then Ok ()
+        else
+          let view = Repository.Service.snapshot svc in
+          match Repository.Repo.branch_head view branch with
+          | None -> Error (branch ^ " vanished")
+          | Some head_id -> (
+              match Repository.Repo.model_at view head_id with
+              | None -> Error (branch ^ " head not stored")
+              | Some base -> (
+                  let m, _ =
+                    Mof.Builder.add_class base ~owner:(Mof.Model.root base)
+                      ~name:(Printf.sprintf "S%dC%d" s i)
+                  in
+                  match
+                    Repository.Service.commit svc ~branch
+                      ~message:(Printf.sprintf "session %d commit %d" s i)
+                      m
+                  with
+                  | Ok _ -> go (i + 1)
+                  | Error e -> Error (Repository.Service.error_to_string e)))
+      in
+      go 1
+    in
+    let results =
+      if jobs > 1 then
+        Par.Pool.with_pool ~jobs (fun pool -> Par.Pool.map pool session sessions)
+      else List.map session sessions
+    in
+    List.iter
+      (function Ok () -> () | Error msg -> or_die (Error msg))
+      results;
+    let final = Repository.Service.snapshot svc in
+    write_repo store final;
+    List.iter
+      (fun s ->
+        let branch = Printf.sprintf "sess%d" s in
+        match Repository.Repo.branch_head final branch with
+        | None -> ()
+        | Some id ->
+            let elements =
+              match Repository.Repo.model_at final id with
+              | Some m -> Mof.Model.size m
+              | None -> 0
+            in
+            Printf.printf "branch %s: %d commit(s), head model %d element(s)\n"
+              branch commits elements)
+      sessions;
+    Printf.printf "served %d session(s): %s\n" (List.length sessions)
+      (repo_stats final)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run concurrent sessions against the repository: each commits on \
+          its own branch through the session service")
+    Term.(const run $ store_pos $ jobs $ commits $ trace_arg $ metrics_arg)
+
+let repo_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "repo")))) in
+  Cmd.group ~default
+    (Cmd.info "repo"
+       ~doc:
+         "Versioned model repository: content-addressed snapshots, tags, \
+          branches, concurrent sessions")
+    [
+      repo_init_cmd;
+      repo_commit_cmd;
+      repo_log_cmd;
+      repo_tag_cmd;
+      repo_checkout_cmd;
+      repo_save_cmd;
+      repo_load_cmd;
+      repo_serve_cmd;
+    ]
+
 (* ---- main ------------------------------------------------------------ *)
 
 let () =
@@ -735,4 +1033,5 @@ let () =
             replay_cmd;
             color_cmd;
             stats_cmd;
+            repo_cmd;
           ]))

@@ -441,6 +441,247 @@ let check_par ~aux ~base ~edits =
              pp_totals seq_totals pp_totals par2_totals)
       else Ok ()
 
+(* ---- R8: content-addressed repo ≡ naive full-copy repo ------------------ *)
+
+(* The CAS repository (hash-consed store, shared trees, stored diffs,
+   composed diff_between, binary snapshots, concurrent sessions) against
+   the embedded-model baseline it replaced. The whole observable surface
+   must agree at every step of a random commit/undo/redo/tag/checkout
+   script; then the snapshot round trip must be a byte fixpoint, identical
+   commits must not grow the store, and a burst of concurrent sessions
+   through a cached pool must linearize per branch. *)
+
+module R = Repository.Repo
+module N = Repository.Naive
+
+let repo_tag_name k = Printf.sprintf "t%d" k
+
+(* One deterministic mutation of [m]; cycles through add / rename / delete
+   so trees exercise added, modified, and removed bindings. *)
+let repo_mutate rng m =
+  let classes = Mof.Model.by_kind m "Class" in
+  match Prng.int rng 3 with
+  | 1 when not (Mof.Id.Set.is_empty classes) ->
+      let id = Prng.choose rng (Mof.Id.Set.elements classes) in
+      let n = Prng.int rng 10_000 in
+      Mof.Model.update m id (fun e ->
+          { e with Mof.Element.name = Printf.sprintf "Renamed%d" n })
+  | 2 when Mof.Id.Set.cardinal classes > 1 ->
+      Mof.Builder.delete_element m (Mof.Id.Set.max_elt classes)
+  | _ ->
+      fst
+        (Mof.Builder.add_class m ~owner:(Mof.Model.root m)
+           ~name:(Printf.sprintf "Fuzz%d" (Prng.int rng 1_000_000)))
+
+let repo_agree step cas naive =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "[repo] step %d: %s" step m)) fmt
+  in
+  if not (Mof.Model.equal (R.head_model cas) (N.head_model naive)) then
+    fail "head models differ"
+  else if R.size cas <> N.size naive then
+    fail "sizes differ: cas %d, naive %d" (R.size cas) (N.size naive)
+  else if R.can_undo cas <> N.can_undo naive then fail "can_undo differs"
+  else if R.can_redo cas <> N.can_redo naive then fail "can_redo differs"
+  else if R.tags cas <> List.sort compare (N.tags naive) then
+    fail "tag bindings differ"
+  else if
+    List.map (fun c -> c.Repository.Commit.message) (R.log cas)
+    <> List.map (fun (c : N.commit) -> c.message) (N.log naive)
+  then fail "log messages differ"
+  else Ok ()
+
+let repo_diff_eq (a : Mof.Diff.t) (b : Mof.Diff.t) =
+  Mof.Id.Set.equal a.added b.added
+  && Mof.Id.Set.equal a.removed b.removed
+  && Mof.Id.Set.equal a.modified b.modified
+
+let ( let* ) r f = Result.bind r f
+
+let repo_script rng cas naive =
+  let steps = Prng.range rng 6 24 in
+  let rec go i cas naive =
+    if i >= steps then Ok (cas, naive)
+    else
+      let pair =
+        match Prng.int rng 6 with
+        | 0 | 1 ->
+            let m = repo_mutate rng (R.head_model cas) in
+            let message = Printf.sprintf "c%d" i in
+            Ok (R.commit ~message m cas, N.commit ~message m naive)
+        | 2 -> (
+            match (R.undo cas, N.undo naive) with
+            | Some c, Some n -> Ok (c, n)
+            | None, None -> Ok (cas, naive)
+            | _ -> Error (Printf.sprintf "[repo] step %d: undo disagreement" i))
+        | 3 -> (
+            match (R.redo cas, N.redo naive) with
+            | Some c, Some n -> Ok (c, n)
+            | None, None -> Ok (cas, naive)
+            | _ -> Error (Printf.sprintf "[repo] step %d: redo disagreement" i))
+        | 4 ->
+            let name = repo_tag_name (Prng.int rng 3) in
+            Ok (R.tag name cas, N.tag name naive)
+        | _ -> (
+            let name = repo_tag_name (Prng.int rng 4) in
+            match (R.checkout name cas, N.checkout name naive) with
+            | Ok c, Some n -> Ok (c, n)
+            | Error (R.Unknown_tag _), None -> Ok (cas, naive)
+            | _ ->
+                Error (Printf.sprintf "[repo] step %d: checkout disagreement" i))
+      in
+      let* cas, naive = pair in
+      let* () = repo_agree i cas naive in
+      go (i + 1) cas naive
+  in
+  go 0 cas naive
+
+let repo_check_diffs cas naive =
+  let head = (R.head cas).Repository.Commit.id in
+  let pairs = [ (0, head); (head, 0); (0, 0) ] in
+  List.fold_left
+    (fun acc (from_id, to_id) ->
+      let* () = acc in
+      match
+        ( R.diff_between cas ~from_id ~to_id,
+          R.diff_between_scan cas ~from_id ~to_id,
+          N.diff_between naive ~from_id ~to_id )
+      with
+      | Some composed, Some scanned, Some reference ->
+          if not (repo_diff_eq composed scanned) then
+            Error
+              (Printf.sprintf
+                 "[repo] composed diff %d->%d disagrees with the scan" from_id
+                 to_id)
+          else if not (repo_diff_eq composed reference) then
+            Error
+              (Printf.sprintf
+                 "[repo] diff %d->%d disagrees with the naive recompute"
+                 from_id to_id)
+          else Ok ()
+      | _ -> Error "[repo] diff_between availability differs")
+    (Ok ()) pairs
+
+let repo_check_snapshot cas =
+  let s1 = R.save cas in
+  match R.load s1 with
+  | Error e -> Error (Printf.sprintf "[repo] snapshot load failed: %s" e)
+  | Ok r2 ->
+      if not (String.equal (R.save r2) s1) then
+        Error "[repo] save after load is not byte-identical"
+      else if not (Mof.Model.equal (R.head_model cas) (R.head_model r2)) then
+        Error "[repo] reloaded head model differs"
+      else if R.tags cas <> R.tags r2 || R.branches cas <> R.branches r2 then
+        Error "[repo] reloaded tags or branches differ"
+      else Ok ()
+
+let repo_check_sharing cas =
+  let objects = R.store_objects cas and bytes = R.store_bytes cas in
+  let m = R.head_model cas in
+  let r = R.commit ~message:"same" m (R.commit ~message:"same" m cas) in
+  if R.store_objects r <> objects || R.store_bytes r <> bytes then
+    Error "[repo] identical commits grew the object store"
+  else Ok ()
+
+(* Three sessions, each committing twice to its own branch through a
+   cached pool: afterwards the service must hold every commit, and each
+   branch's chain must read exactly [s:1; s:2] on top of what was there —
+   the per-branch linearization the one-writer-lock promises. *)
+let repo_check_sessions cas =
+  let svc = Repository.Service.create cas in
+  let base_size = R.size (Repository.Service.snapshot svc) in
+  let branch s = Printf.sprintf "sess%d" s in
+  let sessions = [ 0; 1; 2 ] in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        match Repository.Service.create_branch svc (branch s) with
+        | Ok _ -> Ok ()
+        | Error e ->
+            Error ("[repo] create_branch: " ^ Repository.Service.error_to_string e))
+      (Ok ()) sessions
+  in
+  let run s =
+    let rec go i =
+      if i > 2 then Ok ()
+      else
+        let view = Repository.Service.snapshot svc in
+        match R.branch_head view (branch s) with
+        | None -> Error "branch vanished"
+        | Some head_id -> (
+            match R.model_at view head_id with
+            | None -> Error "branch head not stored"
+            | Some base -> (
+                let m, _ =
+                  Mof.Builder.add_class base ~owner:(Mof.Model.root base)
+                    ~name:(Printf.sprintf "S%dC%d" s i)
+                in
+                match
+                  Repository.Service.commit svc ~branch:(branch s)
+                    ~message:(Printf.sprintf "s%d:%d" s i)
+                    m
+                with
+                | Ok _ -> go (i + 1)
+                | Error e -> Error (Repository.Service.error_to_string e)))
+    in
+    go 1
+  in
+  let results = Par.Pool.map (pool 3) run sessions in
+  let* () =
+    List.fold_left
+      (fun acc r ->
+        let* () = acc in
+        match r with
+        | Ok () -> Ok ()
+        | Error msg -> Error ("[repo] session failed: " ^ msg))
+      (Ok ()) results
+  in
+  let final = Repository.Service.snapshot svc in
+  if R.size final <> base_size + 6 then
+    Error
+      (Printf.sprintf "[repo] expected %d commits after sessions, found %d"
+         (base_size + 6) (R.size final))
+  else
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        match R.branch_head final (branch s) with
+        | None -> Error "[repo] session branch missing after run"
+        | Some head_id ->
+            let rec chain acc id =
+              match R.find final id with
+              | None -> acc
+              | Some c -> (
+                  match c.Repository.Commit.parent with
+                  | None -> c.Repository.Commit.message :: acc
+                  | Some p -> chain (c.Repository.Commit.message :: acc) p)
+            in
+            let tail =
+              let all = chain [] head_id in
+              let n = List.length all in
+              List.filteri (fun i _ -> i >= n - 2) all
+            in
+            if tail <> [ Printf.sprintf "s%d:1" s; Printf.sprintf "s%d:2" s ]
+            then Error (Printf.sprintf "[repo] branch %s chain out of order" (branch s))
+            else Ok ())
+      (Ok ()) sessions
+
+let check_repo ~aux ~base ~edits =
+  let base_m, m' = build ~base ~edits in
+  let rng = Prng.make aux in
+  let cas = R.init base_m and naive = N.init base_m in
+  (* first commit is the edited model itself — derived from the base with
+     journal lineage intact, so the replay diff path is on the hook *)
+  let cas = R.commit ~message:"edits" m' cas
+  and naive = N.commit ~message:"edits" m' naive in
+  let* () = repo_agree (-1) cas naive in
+  let* cas, naive = repo_script rng cas naive in
+  let* () = repo_check_diffs cas naive in
+  let* () = repo_check_snapshot cas in
+  let* () = repo_check_sharing cas in
+  repo_check_sessions cas
+
 let all =
   [
     { name = "diff"; check = Model_check check_diff };
@@ -450,6 +691,7 @@ let all =
     { name = "ocl"; check = Model_check check_ocl };
     { name = "weave"; check = Weave_check check_weave };
     { name = "par"; check = Model_check check_par };
+    { name = "repo"; check = Model_check check_repo };
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -28,11 +28,19 @@
       {!Obs.Event.normalize}, and merged counter totals (minus per-domain
       cache hit/miss splits, which are scheduling accidents) must all
       agree, with pools cached across cases so leaked domain-local state
-      would be caught.
+      would be caught;
+    - [repo]: the content-addressed {!Repository.Repo} ≡ the full-copy
+      {!Repository.Naive} baseline over random commit/undo/redo/tag/
+      checkout scripts — head model, sizes, undo/redo availability, tags,
+      and log must agree at every step, composed {!Repository.Repo.diff_between}
+      must equal both its scan form and the naive recompute, the binary
+      snapshot must round-trip as a byte fixpoint, identical commits must
+      not grow the object store, and concurrent sessions through a cached
+      pool must linearize per branch.
 
     Failure messages begin with a bracketed tag ([[diff]], [[wf]], [[xmi]],
-    [[query]], [[ocl]], [[weave]], [[par]], [[gen]]); the shrinker only accepts
-    candidates failing with the original tag. *)
+    [[query]], [[ocl]], [[weave]], [[par]], [[repo]], [[gen]]); the shrinker
+    only accepts candidates failing with the original tag. *)
 
 type check =
   | Model_check of
@@ -44,7 +52,7 @@ type check =
 type t = { name : string; check : check }
 
 val all : t list
-(** The seven oracles, in documentation order. *)
+(** The eight oracles, in documentation order. *)
 
 val find : string -> t option
 

@@ -66,13 +66,17 @@ let ship ~dir project =
     (Filename.concat dir "initial.xmi")
     (Project.initial_model project);
   (* one XMI per applied step, replayed from the repository log *)
-  let commits = List.rev (Repository.Repo.log project.Project.repo) in
+  let repo = project.Project.repo in
+  let commits = List.rev (Repository.Repo.log repo) in
   List.iteri
     (fun i (c : Repository.Commit.t) ->
       if i > 0 then
-        Xmi.Export.write_file
-          (Filename.concat dir (Printf.sprintf "step-%d.xmi" i))
-          c.Repository.Commit.model)
+        match Repository.Repo.model_at repo c.Repository.Commit.id with
+        | Some model ->
+            Xmi.Export.write_file
+              (Filename.concat dir (Printf.sprintf "step-%d.xmi" i))
+              model
+        | None -> assert false (* commits from [log] are stored *))
     commits;
   Xmi.Export.write_file (Filename.concat dir "final.xmi") (Project.model project);
   write_file (Filename.concat dir "MANIFEST") manifest;

@@ -1,12 +1,18 @@
+type tree = Store.digest Mof.Id.Map.t
+
 type t = {
   id : int;
   parent : int option;
   message : string;
-  model : Mof.Model.t;
+  tree : tree;
+  root : Mof.Id.t;
+  next_id : int;
   diff : Mof.Diff.t;
   transformation : string option;
   concern : string option;
 }
+
+let tree_size t = Mof.Id.Map.cardinal t.tree
 
 let summary t =
   Format.asprintf "#%d %s (%a)%s" t.id t.message Mof.Diff.pp t.diff

@@ -1,15 +1,33 @@
-(** Commits: immutable model versions with provenance. *)
+(** Commits: immutable model versions with provenance, stored as trees of
+    content-addressed element refs.
+
+    A commit no longer embeds a model copy: [tree] maps every live element
+    id to the digest of its content in the {!Store}, so consecutive commits
+    share the digests (and, transitively, the stored objects) of everything
+    that did not change. [Repo.model_at] rematerializes the full
+    {!Mof.Model.t} on demand. *)
+
+type tree = Store.digest Mof.Id.Map.t
+(** Element id → content digest. Persistent: a child commit's tree is the
+    parent's with only the changed bindings replaced. *)
 
 type t = {
   id : int;
   parent : int option;
   message : string;
-  model : Mof.Model.t;
-  diff : Mof.Diff.t;  (** against the parent; empty for the root commit *)
+  tree : tree;
+  root : Mof.Id.t;  (** root package id, for rematerialization *)
+  next_id : int;  (** the model's fresh-id counter at commit time *)
+  diff : Mof.Diff.t;
+      (** against the parent, computed once at commit time (journal replay
+          when lineage allows, scan otherwise); empty for a root commit *)
   transformation : string option;
       (** concrete transformation that produced this version, if any *)
   concern : string option;
 }
+
+val tree_size : t -> int
+(** Number of live elements in the committed version. *)
 
 val summary : t -> string
 (** One line: id, message, diff size. *)

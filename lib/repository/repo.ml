@@ -1,32 +1,94 @@
 module Int_map = Map.Make (Int)
+module Smap = Map.Make (String)
+
+type checkout_error =
+  | Unknown_tag of string
+  | Unknown_branch of string
+  | Dangling of { name : string; commit : int }
+
+let pp_checkout_error ppf = function
+  | Unknown_tag t -> Format.fprintf ppf "unknown tag %S" t
+  | Unknown_branch b -> Format.fprintf ppf "unknown branch %S" b
+  | Dangling { name; commit } ->
+      Format.fprintf ppf "%S points at missing commit #%d" name commit
+
+let checkout_error_to_string e = Format.asprintf "%a" pp_checkout_error e
 
 type t = {
+  store : Store.t;
   commits : Commit.t Int_map.t;
   head_id : int;
-  redo_path : int list;  (** child ids to re-advance through, nearest first *)
-  tag_list : (string * int) list;
+  head_model : Mof.Model.t;
+      (* the head version, kept materialized: [commit] stores the model it
+         was handed, so journal lineage survives across commits and the
+         next diff replays the journal instead of scanning *)
+  redo_path : int list;
+      (* child ids to re-advance through, nearest first *)
+  tag_map : int Smap.t;
+  branch_map : int Smap.t;
+  current_branch : string;
   next : int;
 }
 
-let init model =
-  let root =
+(* Fold a whole model into the store, yielding its commit tree. Only the
+   root commit and [load] pay this; ordinary commits extend the parent
+   tree by the diff. *)
+let tree_of_model store model =
+  Mof.Model.fold
+    (fun e (store, tree) ->
+      let store, digest = Store.add store e in
+      (store, Mof.Id.Map.add e.Mof.Element.id digest tree))
+    model
+    (store, Mof.Id.Map.empty)
+
+let materialize store (c : Commit.t) =
+  let elements =
+    (* bindings come back in ascending id order, the order [of_elements]
+       and the historical scans expect *)
+    List.map
+      (fun (_, digest) -> Store.find_exn store digest)
+      (Mof.Id.Map.bindings c.Commit.tree)
+  in
+  Mof.Model.of_elements ~root:c.Commit.root ~next:c.Commit.next_id elements
+
+let publish_store_metrics t =
+  if Obs.Metric.enabled () then begin
+    Obs.gauge ~unit_:"objects" "repo.store.objects" []
+      (float_of_int (Store.count t.store));
+    Obs.gauge ~unit_:"bytes" "repo.store.bytes" []
+      (float_of_int (Store.bytes t.store))
+  end
+
+let init ?(branch = "main") model =
+  let store, tree = tree_of_model Store.empty model in
+  let root_commit =
     {
       Commit.id = 0;
       parent = None;
       message = "initial model";
-      model;
+      tree;
+      root = Mof.Model.root model;
+      next_id = Mof.Model.next model;
       diff = Mof.Diff.empty;
       transformation = None;
       concern = None;
     }
   in
-  {
-    commits = Int_map.singleton 0 root;
-    head_id = 0;
-    redo_path = [];
-    tag_list = [];
-    next = 1;
-  }
+  let t =
+    {
+      store;
+      commits = Int_map.singleton 0 root_commit;
+      head_id = 0;
+      head_model = model;
+      redo_path = [];
+      tag_map = Smap.empty;
+      branch_map = Smap.singleton branch 0;
+      current_branch = branch;
+      next = 1;
+    }
+  in
+  publish_store_metrics t;
+  t
 
 let find t id = Int_map.find_opt id t.commits
 
@@ -35,54 +97,148 @@ let head t =
   | Some c -> c
   | None -> assert false (* head always points at a stored commit *)
 
-let head_model t = (head t).Commit.model
+let head_model t = t.head_model
 
-let commit ?transformation ?concern ~message model t =
-  let parent = head t in
+(* Append [model] as a child of commit [parent] (whose materialization is
+   [parent_model]), on branch [branch] — the shared machinery behind
+   [commit] and [commit_on]. The child tree is the parent tree with only
+   the diff applied, so everything unchanged is shared. *)
+let append ?transformation ?concern ~message ~branch ~parent ~parent_model
+    model t =
+  let diff = Mof.Diff.compute ~old_model:parent_model ~new_model:model in
+  let tree =
+    Mof.Id.Set.fold Mof.Id.Map.remove diff.Mof.Diff.removed parent.Commit.tree
+  in
+  let store, tree =
+    Mof.Id.Set.fold
+      (fun id (store, tree) ->
+        let store, digest = Store.add store (Mof.Model.find_exn model id) in
+        (store, Mof.Id.Map.add id digest tree))
+      (Mof.Id.Set.union diff.Mof.Diff.added diff.Mof.Diff.modified)
+      (t.store, tree)
+  in
   let c =
     {
       Commit.id = t.next;
       parent = Some parent.Commit.id;
       message;
-      model;
-      diff = Mof.Diff.compute ~old_model:parent.Commit.model ~new_model:model;
+      tree;
+      root = Mof.Model.root model;
+      next_id = Mof.Model.next model;
+      diff;
       transformation;
       concern;
     }
   in
+  let t =
+    {
+      t with
+      store;
+      commits = Int_map.add c.Commit.id c t.commits;
+      head_id = c.Commit.id;
+      head_model = model;
+      redo_path = [];
+      branch_map = Smap.add branch c.Commit.id t.branch_map;
+      current_branch = branch;
+      next = t.next + 1;
+    }
+  in
+  if Obs.Metric.enabled () then begin
+    publish_store_metrics t;
+    let total = Commit.tree_size c in
+    if total > 0 then begin
+      let changed =
+        Mof.Id.Set.cardinal diff.Mof.Diff.added
+        + Mof.Id.Set.cardinal diff.Mof.Diff.modified
+      in
+      Obs.observe ~unit_:"ratio" "repo.commit.shared_ratio" []
+        (float_of_int (total - changed) /. float_of_int total)
+    end
+  end;
+  t
+
+let commit ?transformation ?concern ~message model t =
+  append ?transformation ?concern ~message ~branch:t.current_branch
+    ~parent:(head t) ~parent_model:t.head_model model t
+
+let commit_on ~branch ?transformation ?concern ~message model t =
+  match Smap.find_opt branch t.branch_map with
+  | None -> Error (Unknown_branch branch)
+  | Some id -> (
+      match find t id with
+      | None -> Error (Dangling { name = branch; commit = id })
+      | Some parent ->
+          let parent_model =
+            if id = t.head_id then t.head_model else materialize t.store parent
+          in
+          Ok
+            (append ?transformation ?concern ~message ~branch ~parent
+               ~parent_model model t))
+
+(* Move the head to a stored commit: rematerialize its model (fresh
+   lineage — [Model.equal] ignores journals, and watermark-keyed caches
+   detect the break and fall back to a scan) and drag the current branch
+   pointer along. *)
+let move_head t id ~redo_path =
+  let c = Int_map.find id t.commits in
   {
     t with
-    commits = Int_map.add c.Commit.id c t.commits;
-    head_id = c.Commit.id;
-    redo_path = [];
-    next = t.next + 1;
+    head_id = id;
+    head_model = materialize t.store c;
+    redo_path;
+    branch_map = Smap.add t.current_branch id t.branch_map;
   }
 
 let undo t =
   match (head t).Commit.parent with
   | None -> None
   | Some parent_id ->
-      Some { t with head_id = parent_id; redo_path = t.head_id :: t.redo_path }
+      Some (move_head t parent_id ~redo_path:(t.head_id :: t.redo_path))
 
 let redo t =
   match t.redo_path with
   | [] -> None
-  | child :: rest -> Some { t with head_id = child; redo_path = rest }
+  | child :: rest -> Some (move_head t child ~redo_path:rest)
 
 let can_undo t = (head t).Commit.parent <> None
 let can_redo t = t.redo_path <> []
 
-let tag name t =
-  let others = List.filter (fun (n, _) -> not (String.equal n name)) t.tag_list in
-  { t with tag_list = (name, t.head_id) :: others }
+let tag name t = { t with tag_map = Smap.add name t.head_id t.tag_map }
+let tag_find t name = Smap.find_opt name t.tag_map
+let tags t = Smap.bindings t.tag_map
 
 let checkout name t =
-  match List.assoc_opt name t.tag_list with
-  | Some id when Int_map.mem id t.commits ->
-      Some { t with head_id = id; redo_path = [] }
-  | Some _ | None -> None
+  match Smap.find_opt name t.tag_map with
+  | None -> Error (Unknown_tag name)
+  | Some id ->
+      if Int_map.mem id t.commits then Ok (move_head t id ~redo_path:[])
+      else Error (Dangling { name; commit = id })
 
-let tags t = t.tag_list
+let branch t = t.current_branch
+let branches t = Smap.bindings t.branch_map
+let branch_head t name = Smap.find_opt name t.branch_map
+
+let create_branch name t =
+  if Smap.mem name t.branch_map then Error (`Branch_exists name)
+  else Ok { t with branch_map = Smap.add name t.head_id t.branch_map }
+
+let switch_branch name t =
+  match Smap.find_opt name t.branch_map with
+  | None -> Error (Unknown_branch name)
+  | Some id -> (
+      match find t id with
+      | None -> Error (Dangling { name; commit = id })
+      | Some c ->
+          Ok
+            {
+              t with
+              head_id = id;
+              head_model = materialize t.store c;
+              redo_path = [];
+              current_branch = name;
+            })
+
+let model_at t id = Option.map (materialize t.store) (find t id)
 
 let log t =
   (* head-first chain *)
@@ -98,8 +254,293 @@ let log t =
 
 let size t = Int_map.cardinal t.commits
 
+(* --- composed diffs ---------------------------------------------------- *)
+
+(* Every id that differs between two versions was necessarily touched by
+   some commit on the path between them (a commit tree only changes where
+   its stored diff says so), so: gather candidate ids from the stored
+   diffs along the path through the lowest common ancestor, then classify
+   each candidate against the two endpoint trees — membership decides
+   added/removed, digest inequality decides modified. Exact by
+   construction, no model materialized, O(path changes · log n). *)
 let diff_between t ~from_id ~to_id =
   match (find t from_id, find t to_id) with
+  | None, _ | _, None -> None
   | Some a, Some b ->
-      Some (Mof.Diff.compute ~old_model:a.Commit.model ~new_model:b.Commit.model)
-  | _, _ -> None
+      let ancestors =
+        (* every commit id on [from]'s chain up to the root *)
+        let rec up acc id =
+          let acc = Int_map.add id () acc in
+          match (Int_map.find id t.commits).Commit.parent with
+          | None -> acc
+          | Some p -> up acc p
+        in
+        up Int_map.empty a.Commit.id
+      in
+      (* walk up from [id] accumulating touched ids until [stop] holds;
+         returns the accumulator and the id it stopped at *)
+      let rec collect acc id ~stop =
+        if stop id then (acc, id)
+        else
+          let c = Int_map.find id t.commits in
+          let acc = Mof.Id.Set.union acc (Mof.Diff.touched c.Commit.diff) in
+          match c.Commit.parent with
+          | None -> (acc, id)
+          | Some p -> collect acc p ~stop
+      in
+      let candidates, lca =
+        collect Mof.Id.Set.empty b.Commit.id ~stop:(fun id ->
+            Int_map.mem id ancestors)
+      in
+      let candidates, _ =
+        collect candidates a.Commit.id ~stop:(fun id -> id = lca)
+      in
+      let classify id acc =
+        match
+          ( Mof.Id.Map.find_opt id a.Commit.tree,
+            Mof.Id.Map.find_opt id b.Commit.tree )
+        with
+        | None, None -> acc
+        | None, Some _ ->
+            { acc with Mof.Diff.added = Mof.Id.Set.add id acc.Mof.Diff.added }
+        | Some _, None ->
+            {
+              acc with
+              Mof.Diff.removed = Mof.Id.Set.add id acc.Mof.Diff.removed;
+            }
+        | Some da, Some db ->
+            if String.equal da db then acc
+            else
+              {
+                acc with
+                Mof.Diff.modified = Mof.Id.Set.add id acc.Mof.Diff.modified;
+              }
+      in
+      Some (Mof.Id.Set.fold classify candidates Mof.Diff.empty)
+
+let diff_between_scan t ~from_id ~to_id =
+  match (model_at t from_id, model_at t to_id) with
+  | Some old_model, Some new_model ->
+      Some (Mof.Diff.compute_scan ~old_model ~new_model)
+  | _ -> None
+
+let store_objects t = Store.count t.store
+let store_bytes t = Store.bytes t.store
+
+(* --- binary snapshots -------------------------------------------------- *)
+
+let magic = "MDWREPO1"
+
+let w_id_set buf s = Mof.Canon.w_list Mof.Canon.w_id buf (Mof.Id.Set.elements s)
+let r_id_set r = Mof.Id.Set.of_list (Mof.Canon.r_list Mof.Canon.r_id r)
+
+(* Determinism is structural: objects stream in digest order (Store.fold),
+   commits in id order (Int_map.iter), names in name order (Smap.bindings),
+   id sets in ascending order — no iteration order depends on construction
+   history, which is what makes save ∘ load ∘ save a byte fixpoint. *)
+let save t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  (* each store object exactly once; remember digest → stream index *)
+  Mof.Canon.w_int buf (Store.count t.store);
+  let index = Hashtbl.create (max 16 (Store.count t.store)) in
+  let (_ : int) =
+    Store.fold
+      (fun digest _e bytes i ->
+        Buffer.add_string buf digest;
+        Mof.Canon.w_str buf bytes;
+        Hashtbl.add index digest i;
+        i + 1)
+      t.store 0
+  in
+  let w_tree_delta parent_tree tree =
+    let removed =
+      Mof.Id.Map.fold
+        (fun id _ acc -> if Mof.Id.Map.mem id tree then acc else id :: acc)
+        parent_tree []
+    in
+    Mof.Canon.w_list Mof.Canon.w_id buf (List.rev removed);
+    let set =
+      Mof.Id.Map.fold
+        (fun id digest acc ->
+          match Mof.Id.Map.find_opt id parent_tree with
+          | Some d when String.equal d digest -> acc
+          | _ -> (id, digest) :: acc)
+        tree []
+    in
+    Mof.Canon.w_list
+      (fun buf (id, digest) ->
+        Mof.Canon.w_id buf id;
+        Mof.Canon.w_int buf (Hashtbl.find index digest))
+      buf (List.rev set)
+  in
+  (* ascending id order; ids are allocated monotonically so every parent
+     precedes its children and tree deltas resolve on load *)
+  Mof.Canon.w_int buf (Int_map.cardinal t.commits);
+  Int_map.iter
+    (fun _ (c : Commit.t) ->
+      Mof.Canon.w_int buf c.Commit.id;
+      Mof.Canon.w_opt Mof.Canon.w_int buf c.Commit.parent;
+      Mof.Canon.w_str buf c.Commit.message;
+      Mof.Canon.w_opt Mof.Canon.w_str buf c.Commit.transformation;
+      Mof.Canon.w_opt Mof.Canon.w_str buf c.Commit.concern;
+      Mof.Canon.w_id buf c.Commit.root;
+      Mof.Canon.w_int buf c.Commit.next_id;
+      let parent_tree =
+        match c.Commit.parent with
+        | None -> Mof.Id.Map.empty
+        | Some p -> (Int_map.find p t.commits).Commit.tree
+      in
+      w_tree_delta parent_tree c.Commit.tree;
+      w_id_set buf c.Commit.diff.Mof.Diff.added;
+      w_id_set buf c.Commit.diff.Mof.Diff.removed;
+      w_id_set buf c.Commit.diff.Mof.Diff.modified)
+    t.commits;
+  Mof.Canon.w_int buf t.head_id;
+  Mof.Canon.w_list Mof.Canon.w_int buf t.redo_path;
+  Mof.Canon.w_int buf t.next;
+  let w_named m =
+    Mof.Canon.w_list
+      (fun buf (name, id) ->
+        Mof.Canon.w_str buf name;
+        Mof.Canon.w_int buf id)
+      buf (Smap.bindings m)
+  in
+  w_named t.tag_map;
+  w_named t.branch_map;
+  Mof.Canon.w_str buf t.current_branch;
+  Buffer.contents buf
+
+let load data =
+  try
+    if
+      String.length data < String.length magic
+      || not (String.equal (String.sub data 0 (String.length magic)) magic)
+    then Error "repository snapshot: bad magic"
+    else begin
+      let r = Mof.Canon.reader ~pos:(String.length magic) data in
+      let n_objects = Mof.Canon.r_int r in
+      let by_index = Array.make (max 1 n_objects) "" in
+      let store = ref Store.empty in
+      for i = 0 to n_objects - 1 do
+        let digest = Mof.Canon.r_bytes r Mof.Canon.digest_size in
+        let bytes = Mof.Canon.r_str r in
+        if not (String.equal (Digest.string bytes) digest) then
+          raise
+            (Mof.Canon.Corrupt
+               ("object digest mismatch at index " ^ string_of_int i));
+        let er = Mof.Canon.reader bytes in
+        let e = Mof.Canon.read_element er in
+        if not (Mof.Canon.at_end er) then
+          raise (Mof.Canon.Corrupt "trailing bytes after element");
+        let store', d = Store.add !store e in
+        if not (String.equal d digest) then
+          raise (Mof.Canon.Corrupt "non-canonical object payload");
+        store := store';
+        by_index.(i) <- digest
+      done;
+      let object_at i =
+        if i < 0 || i >= n_objects then
+          raise (Mof.Canon.Corrupt "object index out of range")
+        else by_index.(i)
+      in
+      let n_commits = Mof.Canon.r_int r in
+      let commits = ref Int_map.empty in
+      for _ = 1 to n_commits do
+        let id = Mof.Canon.r_int r in
+        let parent = Mof.Canon.r_opt Mof.Canon.r_int r in
+        let message = Mof.Canon.r_str r in
+        let transformation = Mof.Canon.r_opt Mof.Canon.r_str r in
+        let concern = Mof.Canon.r_opt Mof.Canon.r_str r in
+        let root = Mof.Canon.r_id r in
+        let next_id = Mof.Canon.r_int r in
+        let parent_tree =
+          match parent with
+          | None -> Mof.Id.Map.empty
+          | Some p -> (
+              match Int_map.find_opt p !commits with
+              | Some (pc : Commit.t) -> pc.Commit.tree
+              | None ->
+                  raise
+                    (Mof.Canon.Corrupt
+                       (Printf.sprintf
+                          "commit #%d references unknown parent #%d" id p)))
+        in
+        let removed = Mof.Canon.r_list Mof.Canon.r_id r in
+        let tree =
+          List.fold_left
+            (fun tr rid -> Mof.Id.Map.remove rid tr)
+            parent_tree removed
+        in
+        let set =
+          Mof.Canon.r_list
+            (fun r ->
+              let eid = Mof.Canon.r_id r in
+              let idx = Mof.Canon.r_int r in
+              (eid, object_at idx))
+            r
+        in
+        let tree =
+          List.fold_left
+            (fun tr (eid, digest) -> Mof.Id.Map.add eid digest tr)
+            tree set
+        in
+        let added = r_id_set r in
+        let d_removed = r_id_set r in
+        let modified = r_id_set r in
+        let c =
+          {
+            Commit.id;
+            parent;
+            message;
+            tree;
+            root;
+            next_id;
+            diff = { Mof.Diff.added; removed = d_removed; modified };
+            transformation;
+            concern;
+          }
+        in
+        commits := Int_map.add id c !commits
+      done;
+      let head_id = Mof.Canon.r_int r in
+      let redo_path = Mof.Canon.r_list Mof.Canon.r_int r in
+      let next = Mof.Canon.r_int r in
+      let r_named () =
+        List.fold_left
+          (fun m (name, id) -> Smap.add name id m)
+          Smap.empty
+          (Mof.Canon.r_list
+             (fun r ->
+               let name = Mof.Canon.r_str r in
+               let id = Mof.Canon.r_int r in
+               (name, id))
+             r)
+      in
+      let tag_map = r_named () in
+      let branch_map = r_named () in
+      let current_branch = Mof.Canon.r_str r in
+      if not (Mof.Canon.at_end r) then
+        raise (Mof.Canon.Corrupt "trailing bytes after snapshot");
+      match Int_map.find_opt head_id !commits with
+      | None -> Error (Printf.sprintf "snapshot head #%d is not stored" head_id)
+      | Some head_commit ->
+          let t =
+            {
+              store = !store;
+              commits = !commits;
+              head_id;
+              head_model = materialize !store head_commit;
+              redo_path;
+              tag_map;
+              branch_map;
+              current_branch;
+              next;
+            }
+          in
+          publish_store_metrics t;
+          Ok t
+    end
+  with
+  | Mof.Canon.Corrupt msg -> Error ("repository snapshot: " ^ msg)
+  | Invalid_argument msg -> Error ("repository snapshot: " ^ msg)

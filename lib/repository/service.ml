@@ -1,0 +1,74 @@
+type t = { state : Repo.t Atomic.t; lock : Mutex.t }
+
+type error =
+  | Stale_parent of { branch : string; expected : int; actual : int }
+  | Branch_exists of string
+  | Repo_error of Repo.checkout_error
+
+let pp_error ppf = function
+  | Stale_parent { branch; expected; actual } ->
+      Format.fprintf ppf
+        "stale parent on branch %S: expected head #%d, found #%d" branch
+        expected actual
+  | Branch_exists b -> Format.fprintf ppf "branch %S already exists" b
+  | Repo_error e -> Repo.pp_checkout_error ppf e
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let create repo = { state = Atomic.make repo; lock = Mutex.create () }
+
+let snapshot t =
+  if Obs.Metric.enabled () then Obs.incr "repo.session.reads" [];
+  Atomic.get t.state
+
+let stale t view = not (Atomic.get t.state == view)
+
+(* All writers funnel through here: one mutex serializes commits (and so,
+   a fortiori, commits per branch), one atomic store publishes. Readers
+   never take the lock. *)
+let update t f =
+  Mutex.protect t.lock (fun () ->
+      let repo = Atomic.get t.state in
+      match f repo with
+      | Error _ as e -> e
+      | Ok (repo, v) ->
+          Atomic.set t.state repo;
+          Ok v)
+
+let commit t ~branch ?expect_head ?transformation ?concern ~message model =
+  let result =
+    update t (fun repo ->
+        match (expect_head, Repo.branch_head repo branch) with
+        | Some expected, Some actual when expected <> actual ->
+            Error (Stale_parent { branch; expected; actual })
+        | _ -> (
+            match
+              Repo.commit_on ~branch ?transformation ?concern ~message model
+                repo
+            with
+            | Error e -> Error (Repo_error e)
+            | Ok repo -> Ok (repo, (Repo.head repo).Commit.id)))
+  in
+  if Obs.Metric.enabled () then
+    Obs.incr
+      (match result with
+      | Ok _ -> "repo.session.commits"
+      | Error _ -> "repo.session.conflicts")
+      [];
+  result
+
+let tag t name =
+  update t (fun repo ->
+      let repo = Repo.tag name repo in
+      Ok (repo, (Repo.head repo).Commit.id))
+
+let create_branch t name =
+  update t (fun repo ->
+      match Repo.create_branch name repo with
+      | Error (`Branch_exists b) -> Error (Branch_exists b)
+      | Ok repo -> (
+          match Repo.branch_head repo name with
+          | Some id -> Ok (repo, id)
+          | None -> assert false (* just created *)))
+
+let save t = Repo.save (Atomic.get t.state)

@@ -917,8 +917,9 @@ let cache_tests =
             | Some r1 ->
                 ignore (agree "after redo" (Repository.Repo.head_model r1))));
         match Repository.Repo.checkout "v1" repo with
-        | None -> Alcotest.fail "checkout failed"
-        | Some r -> ignore (agree "after checkout" (Repository.Repo.head_model r)));
+        | Error e ->
+            Alcotest.fail (Repository.Repo.checkout_error_to_string e)
+        | Ok r -> ignore (agree "after checkout" (Repository.Repo.head_model r)));
     Alcotest.test_case "two models share one compiled constraint" `Quick
       (fun () ->
         (* a body string no other test compiles, so the first check is the

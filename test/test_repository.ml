@@ -1,5 +1,7 @@
 (* Tests for the versioned model repository: commits, undo/redo, tags,
-   history rendering. *)
+   branches, history rendering — plus the property suite locking the
+   content-addressed rewrite against the naive full-copy baseline and the
+   snapshot byte fixpoint. *)
 
 let check = Alcotest.check
 let cb = Alcotest.bool
@@ -20,6 +22,11 @@ let three_versions () =
   let m2, _ = Mof.Builder.add_class m1 ~owner:(Mof.Model.root m1) ~name:"Two" in
   let repo = Repository.Repo.commit ~concern:"b" ~message:"add Two" m2 repo in
   (repo, m0, m1, m2)
+
+let checkout_exn name repo =
+  match Repository.Repo.checkout name repo with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Repository.Repo.checkout_error_to_string e)
 
 let repo_tests =
   [
@@ -68,9 +75,14 @@ let repo_tests =
         let repo = Repository.Repo.tag "stable" repo in
         let repo = Option.get (Repository.Repo.redo repo) in
         check cb "at head again" true (Mof.Model.equal m2 (Repository.Repo.head_model repo));
-        let repo = Option.get (Repository.Repo.checkout "stable" repo) in
+        let repo = checkout_exn "stable" repo in
         check cb "checked out" true (Mof.Model.equal m1 (Repository.Repo.head_model repo));
-        check cb "unknown tag" true (Repository.Repo.checkout "nope" repo = None));
+        check cb "tag_find" true (Repository.Repo.tag_find repo "stable" = Some 1);
+        match Repository.Repo.checkout "nope" repo with
+        | Error (Repository.Repo.Unknown_tag "nope") -> ()
+        | Error e ->
+            Alcotest.fail (Repository.Repo.checkout_error_to_string e)
+        | Ok _ -> Alcotest.fail "checkout of unknown tag succeeded");
     Alcotest.test_case "re-tagging moves the tag" `Quick (fun () ->
         let repo, _, _, _ = three_versions () in
         let repo = Repository.Repo.tag "mark" repo in
@@ -83,7 +95,7 @@ let repo_tests =
         let repo = Option.get (Repository.Repo.undo repo) in
         let repo = Repository.Repo.tag "base" repo in
         let repo = Option.get (Repository.Repo.redo repo) in
-        let repo = Option.get (Repository.Repo.checkout "base" repo) in
+        let repo = checkout_exn "base" repo in
         let m1', _ = Mof.Builder.add_class m1 ~owner:(Mof.Model.root m1) ~name:"Side" in
         let repo = Repository.Repo.commit ~message:"side" m1' repo in
         let log = Repository.Repo.log repo in
@@ -100,6 +112,453 @@ let repo_tests =
     Alcotest.test_case "diff_between unknown ids" `Quick (fun () ->
         let repo, _, _, _ = three_versions () in
         check cb "none" true (Repository.Repo.diff_between repo ~from_id:0 ~to_id:99 = None));
+    Alcotest.test_case "diff_between across a fork agrees with the scan" `Quick
+      (fun () ->
+        (* head #2, then fork from #1: composed diff must walk through the
+           lowest common ancestor, and removals must invert correctly *)
+        let repo, _, m1, _ = three_versions () in
+        let repo = Option.get (Repository.Repo.undo repo) in
+        let m1', side = Mof.Builder.add_class m1 ~owner:(Mof.Model.root m1) ~name:"Side" in
+        let repo = Repository.Repo.commit ~message:"side" m1' repo in
+        let m1'' = Mof.Builder.delete_element m1' side in
+        let repo = Repository.Repo.commit ~message:"drop side" m1'' repo in
+        List.iter
+          (fun (from_id, to_id) ->
+            let composed =
+              Option.get (Repository.Repo.diff_between repo ~from_id ~to_id)
+            in
+            let scanned =
+              Option.get (Repository.Repo.diff_between_scan repo ~from_id ~to_id)
+            in
+            check cb
+              (Printf.sprintf "diff %d->%d" from_id to_id)
+              true
+              (Mof.Id.Set.equal composed.Mof.Diff.added scanned.Mof.Diff.added
+              && Mof.Id.Set.equal composed.Mof.Diff.removed
+                   scanned.Mof.Diff.removed
+              && Mof.Id.Set.equal composed.Mof.Diff.modified
+                   scanned.Mof.Diff.modified))
+          [ (2, 3); (3, 2); (0, 4); (2, 4); (4, 4) ]);
+    Alcotest.test_case "model_at rematerializes any stored version" `Quick
+      (fun () ->
+        let repo, m0, m1, m2 = three_versions () in
+        List.iteri
+          (fun i m ->
+            match Repository.Repo.model_at repo i with
+            | Some m' ->
+                check cb (Printf.sprintf "version %d" i) true
+                  (Mof.Model.equal m m')
+            | None -> Alcotest.fail "stored commit not found")
+          [ m0; m1; m2 ];
+        check cb "unknown id" true (Repository.Repo.model_at repo 99 = None));
+    Alcotest.test_case "identical commits add no objects" `Quick (fun () ->
+        let repo, _, _, m2 = three_versions () in
+        let objects = Repository.Repo.store_objects repo in
+        let bytes = Repository.Repo.store_bytes repo in
+        let repo = Repository.Repo.commit ~message:"noop" m2 repo in
+        let repo = Repository.Repo.commit ~message:"noop2" m2 repo in
+        check ci "objects unchanged" objects (Repository.Repo.store_objects repo);
+        check ci "bytes unchanged" bytes (Repository.Repo.store_bytes repo);
+        check ci "commits recorded" 5 (Repository.Repo.size repo));
+  ]
+
+let branch_tests =
+  [
+    Alcotest.test_case "init starts on main" `Quick (fun () ->
+        let repo = Repository.Repo.init (Fixtures.banking ()) in
+        check cs "branch" "main" (Repository.Repo.branch repo);
+        check cb "head" true (Repository.Repo.branch_head repo "main" = Some 0));
+    Alcotest.test_case "branch pointer follows the head" `Quick (fun () ->
+        let repo, _, _, _ = three_versions () in
+        check cb "at #2" true (Repository.Repo.branch_head repo "main" = Some 2);
+        let repo = Option.get (Repository.Repo.undo repo) in
+        check cb "follows undo" true
+          (Repository.Repo.branch_head repo "main" = Some 1));
+    Alcotest.test_case "create, switch, and typed errors" `Quick (fun () ->
+        let repo, _, _, m2 = three_versions () in
+        let repo =
+          match Repository.Repo.create_branch "feature" repo with
+          | Ok r -> r
+          | Error (`Branch_exists _) -> Alcotest.fail "fresh name rejected"
+        in
+        check cb "duplicate rejected" true
+          (match Repository.Repo.create_branch "feature" repo with
+          | Error (`Branch_exists "feature") -> true
+          | _ -> false);
+        let m3, _ =
+          Mof.Builder.add_class m2 ~owner:(Mof.Model.root m2) ~name:"Feat"
+        in
+        let repo =
+          match
+            Repository.Repo.commit_on ~branch:"feature" ~message:"feat" m3 repo
+          with
+          | Ok r -> r
+          | Error e ->
+              Alcotest.fail (Repository.Repo.checkout_error_to_string e)
+        in
+        check cs "switched to feature" "feature" (Repository.Repo.branch repo);
+        check cb "feature advanced" true
+          (Repository.Repo.branch_head repo "feature" = Some 3);
+        check cb "main untouched" true
+          (Repository.Repo.branch_head repo "main" = Some 2);
+        let repo =
+          match Repository.Repo.switch_branch "main" repo with
+          | Ok r -> r
+          | Error e ->
+              Alcotest.fail (Repository.Repo.checkout_error_to_string e)
+        in
+        check cb "back on main head" true
+          (Mof.Model.equal m2 (Repository.Repo.head_model repo));
+        check cb "unknown branch" true
+          (match Repository.Repo.switch_branch "nope" repo with
+          | Error (Repository.Repo.Unknown_branch "nope") -> true
+          | _ -> false);
+        check cb "commit_on unknown branch" true
+          (match
+             Repository.Repo.commit_on ~branch:"nope" ~message:"x" m3 repo
+           with
+          | Error (Repository.Repo.Unknown_branch "nope") -> true
+          | _ -> false));
+  ]
+
+(* --- the property suite: CAS repo vs naive full-copy baseline ---------- *)
+
+(* A random op script drives both implementations in lockstep. Ops are
+   drawn as small ints; model mutations cycle through add / rename /
+   delete so removed and modified ids show up in the trees too. *)
+module Props = struct
+  type op = Commit of int | Undo | Redo | Tag of int | Checkout of int
+
+  let op_gen =
+    let open QCheck2.Gen in
+    oneof
+      [
+        map (fun k -> Commit k) (int_bound 2);
+        return Undo;
+        return Redo;
+        map (fun k -> Tag k) (int_bound 2);
+        map (fun k -> Checkout k) (int_bound 3);
+      ]
+
+  let script_gen = QCheck2.Gen.(list_size (int_range 1 25) op_gen)
+
+  let tag_name k = Printf.sprintf "t%d" k
+
+  (* One deterministic mutation of [m], distinct per step. *)
+  let mutate m ~step ~kind =
+    let classes = Mof.Model.by_kind m "Class" in
+    match kind with
+    | 1 when not (Mof.Id.Set.is_empty classes) ->
+        let id = Mof.Id.Set.min_elt classes in
+        Mof.Model.update m id (fun e ->
+            { e with Mof.Element.name = Printf.sprintf "Renamed%d" step })
+    | 2 when Mof.Id.Set.cardinal classes > 1 ->
+        Mof.Builder.delete_element m (Mof.Id.Set.max_elt classes)
+    | _ ->
+        fst
+          (Mof.Builder.add_class m ~owner:(Mof.Model.root m)
+             ~name:(Printf.sprintf "Step%d" step))
+
+  (* Run the script over both, checking the whole observable surface at
+     every step; returns the final pair for further checks. *)
+  let run_lockstep m0 script =
+    let agree step cas naive =
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg -> QCheck2.Test.fail_reportf "step %d: %s" step msg)
+          fmt
+      in
+      if
+        not
+          (Mof.Model.equal
+             (Repository.Repo.head_model cas)
+             (Repository.Naive.head_model naive))
+      then fail "head models differ";
+      if Repository.Repo.size cas <> Repository.Naive.size naive then
+        fail "sizes differ";
+      if Repository.Repo.can_undo cas <> Repository.Naive.can_undo naive then
+        fail "can_undo differs";
+      if Repository.Repo.can_redo cas <> Repository.Naive.can_redo naive then
+        fail "can_redo differs";
+      let sorted l = List.sort compare l in
+      if
+        Repository.Repo.tags cas <> sorted (Repository.Naive.tags naive)
+      then fail "tags differ";
+      let messages_cas =
+        List.map
+          (fun c -> c.Repository.Commit.message)
+          (Repository.Repo.log cas)
+      in
+      let messages_naive =
+        List.map
+          (fun (c : Repository.Naive.commit) -> c.message)
+          (Repository.Naive.log naive)
+      in
+      if messages_cas <> messages_naive then fail "log messages differ"
+    in
+    let step_pair i (cas, naive) op =
+      match op with
+      | Commit kind ->
+          let m =
+            mutate (Repository.Repo.head_model cas) ~step:i ~kind
+          in
+          let message = Printf.sprintf "c%d" i in
+          ( Repository.Repo.commit ~message m cas,
+            Repository.Naive.commit ~message m naive )
+      | Undo -> (
+          match (Repository.Repo.undo cas, Repository.Naive.undo naive) with
+          | Some c, Some n -> (c, n)
+          | None, None -> (cas, naive)
+          | _ -> QCheck2.Test.fail_reportf "step %d: undo disagreement" i)
+      | Redo -> (
+          match (Repository.Repo.redo cas, Repository.Naive.redo naive) with
+          | Some c, Some n -> (c, n)
+          | None, None -> (cas, naive)
+          | _ -> QCheck2.Test.fail_reportf "step %d: redo disagreement" i)
+      | Tag k ->
+          ( Repository.Repo.tag (tag_name k) cas,
+            Repository.Naive.tag (tag_name k) naive )
+      | Checkout k -> (
+          let name = tag_name k in
+          match
+            (Repository.Repo.checkout name cas, Repository.Naive.checkout name naive)
+          with
+          | Ok c, Some n -> (c, n)
+          | Error (Repository.Repo.Unknown_tag _), None -> (cas, naive)
+          | _ -> QCheck2.Test.fail_reportf "step %d: checkout disagreement" i)
+    in
+    let _, final =
+      List.fold_left
+        (fun (i, pair) op ->
+          let pair = step_pair i pair op in
+          agree i (fst pair) (snd pair);
+          (i + 1, pair))
+        (0, (Repository.Repo.init m0, Repository.Naive.init m0))
+        script
+    in
+    final
+
+  let diff_eq (a : Mof.Diff.t) (b : Mof.Diff.t) =
+    Mof.Id.Set.equal a.added b.added
+    && Mof.Id.Set.equal a.removed b.removed
+    && Mof.Id.Set.equal a.modified b.modified
+end
+
+let property_tests =
+  let gen = QCheck2.Gen.pair Gen.model_gen Props.script_gen in
+  let print (_, script) =
+    String.concat ";"
+      (List.map
+         (function
+           | Props.Commit k -> Printf.sprintf "commit%d" k
+           | Props.Undo -> "undo"
+           | Props.Redo -> "redo"
+           | Props.Tag k -> Printf.sprintf "tag%d" k
+           | Props.Checkout k -> Printf.sprintf "checkout%d" k)
+         script)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"random scripts agree with the naive baseline"
+        ~count:60 ~print gen
+        (fun (m0, script) ->
+          let cas, naive = Props.run_lockstep m0 script in
+          (* and the stored/composed diffs agree with the recomputed ones
+             between every pair drawn from root and head *)
+          let head = (Repository.Repo.head cas).Repository.Commit.id in
+          List.for_all
+            (fun (from_id, to_id) ->
+              match
+                ( Repository.Repo.diff_between cas ~from_id ~to_id,
+                  Repository.Naive.diff_between naive ~from_id ~to_id )
+              with
+              | Some a, Some b -> Props.diff_eq a b
+              | None, None -> true
+              | _ -> false)
+            [ (0, head); (head, 0); (0, 0) ]);
+      QCheck2.Test.make ~name:"snapshot save/load/save is a byte fixpoint"
+        ~count:40 ~print gen
+        (fun (m0, script) ->
+          let cas, _ = Props.run_lockstep m0 script in
+          let s1 = Repository.Repo.save cas in
+          match Repository.Repo.load s1 with
+          | Error e -> QCheck2.Test.fail_reportf "load failed: %s" e
+          | Ok r2 ->
+              if not (String.equal (Repository.Repo.save r2) s1) then
+                QCheck2.Test.fail_reportf "save after load differs";
+              (* the reloaded value is observably the same repository *)
+              Mof.Model.equal
+                (Repository.Repo.head_model cas)
+                (Repository.Repo.head_model r2)
+              && Repository.Repo.tags cas = Repository.Repo.tags r2
+              && Repository.Repo.branches cas = Repository.Repo.branches r2);
+      QCheck2.Test.make
+        ~name:"store objects are monotone and saturate on identical commits"
+        ~count:30 ~print gen
+        (fun (m0, script) ->
+          let cas, _ = Props.run_lockstep m0 script in
+          let before = Repository.Repo.store_objects cas in
+          let m = Repository.Repo.head_model cas in
+          let repeat =
+            List.fold_left
+              (fun r i ->
+                let r' =
+                  Repository.Repo.commit
+                    ~message:(Printf.sprintf "same%d" i)
+                    m r
+                in
+                if Repository.Repo.store_objects r' < Repository.Repo.store_objects r
+                then QCheck2.Test.fail_reportf "store shrank";
+                r')
+              cas [ 1; 2; 3 ]
+          in
+          Repository.Repo.store_objects repeat = before);
+      QCheck2.Test.make ~name:"load rejects corrupted snapshots" ~count:20
+        ~print gen
+        (fun (m0, script) ->
+          let cas, _ = Props.run_lockstep m0 script in
+          let s = Bytes.of_string (Repository.Repo.save cas) in
+          (* flip one byte inside an object payload (right after the magic
+             and the object count, i.e. in the first digest) *)
+          let i = String.length "MDWREPO1" + 2 in
+          if Bytes.length s <= i then true
+          else begin
+            Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0xff));
+            match Repository.Repo.load (Bytes.to_string s) with
+            | Error _ -> true
+            | Ok _ -> false
+          end);
+    ]
+
+(* --- the concurrent session front-end ---------------------------------- *)
+
+let service_tests =
+  [
+    Alcotest.test_case "snapshot isolation across a commit" `Quick (fun () ->
+        let repo, _, _, m2 = three_versions () in
+        let svc = Repository.Service.create repo in
+        let view = Repository.Service.snapshot svc in
+        let m3, _ =
+          Mof.Builder.add_class m2 ~owner:(Mof.Model.root m2) ~name:"Late"
+        in
+        (match Repository.Service.commit svc ~branch:"main" ~message:"late" m3 with
+        | Ok id -> check ci "new id" 3 id
+        | Error e -> Alcotest.fail (Repository.Service.error_to_string e));
+        (* the old view is untouched; the service sees the new head *)
+        check ci "view size" 3 (Repository.Repo.size view);
+        check ci "service size" 4
+          (Repository.Repo.size (Repository.Service.snapshot svc));
+        check cb "view is stale" true (Repository.Service.stale svc view));
+    Alcotest.test_case "expect_head detects a raced commit" `Quick (fun () ->
+        let repo, _, _, m2 = three_versions () in
+        let svc = Repository.Service.create repo in
+        let expected =
+          (Repository.Repo.head (Repository.Service.snapshot svc))
+            .Repository.Commit.id
+        in
+        let m3, _ =
+          Mof.Builder.add_class m2 ~owner:(Mof.Model.root m2) ~name:"A"
+        in
+        (match
+           Repository.Service.commit svc ~branch:"main" ~expect_head:expected
+             ~message:"first" m3
+         with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (Repository.Service.error_to_string e));
+        (* same expectation again: the branch has moved on *)
+        match
+          Repository.Service.commit svc ~branch:"main" ~expect_head:expected
+            ~message:"second" m3
+        with
+        | Error (Repository.Service.Stale_parent { expected = e; actual; _ }) ->
+            check ci "expected" 2 e;
+            check ci "actual" 3 actual
+        | Error e -> Alcotest.fail (Repository.Service.error_to_string e)
+        | Ok _ -> Alcotest.fail "stale commit accepted");
+    Alcotest.test_case "typed errors for unknown branches" `Quick (fun () ->
+        let repo, _, _, m2 = three_versions () in
+        let svc = Repository.Service.create repo in
+        match Repository.Service.commit svc ~branch:"nope" ~message:"x" m2 with
+        | Error
+            (Repository.Service.Repo_error (Repository.Repo.Unknown_branch "nope"))
+          ->
+            ()
+        | Error e -> Alcotest.fail (Repository.Service.error_to_string e)
+        | Ok _ -> Alcotest.fail "commit on unknown branch accepted");
+    Alcotest.test_case "concurrent sessions serialize per branch" `Quick
+      (fun () ->
+        let m0 = Fixtures.banking () in
+        let svc = Repository.Service.create (Repository.Repo.init m0) in
+        let n_sessions = 3 and n_commits = 5 in
+        (* branches are created before any session runs: create_branch
+           points at the current head, which moves as sessions commit *)
+        List.iter
+          (fun s ->
+            match
+              Repository.Service.create_branch svc (Printf.sprintf "s%d" s)
+            with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Repository.Service.error_to_string e))
+          (List.init n_sessions Fun.id);
+        let session s =
+          let branch = Printf.sprintf "s%d" s in
+          let rec go i =
+                if i > n_commits then Ok ()
+                else
+                  let view = Repository.Service.snapshot svc in
+                  let base =
+                    Option.get
+                      (Repository.Repo.model_at view
+                         (Option.get (Repository.Repo.branch_head view branch)))
+                  in
+                  let m, _ =
+                    Mof.Builder.add_class base ~owner:(Mof.Model.root base)
+                      ~name:(Printf.sprintf "S%dC%d" s i)
+                  in
+                  match
+                    Repository.Service.commit svc ~branch
+                      ~message:(Printf.sprintf "s%d:%d" s i)
+                      m
+                  with
+                  | Ok _ -> go (i + 1)
+                  | Error e -> Error (Repository.Service.error_to_string e)
+          in
+          go 1
+        in
+        let domains =
+          List.init n_sessions (fun s -> Domain.spawn (fun () -> session s))
+        in
+        List.iter
+          (fun d ->
+            match Domain.join d with
+            | Ok () -> ()
+            | Error msg -> Alcotest.fail msg)
+          domains;
+        let repo = Repository.Service.snapshot svc in
+        check ci "all commits stored"
+          (1 + (n_sessions * n_commits))
+          (Repository.Repo.size repo);
+        (* each branch holds its own chain, in order *)
+        List.iter
+          (fun s ->
+            let branch = Printf.sprintf "s%d" s in
+            let head = Option.get (Repository.Repo.branch_head repo branch) in
+            let rec chain acc id =
+              match Repository.Repo.find repo id with
+              | None -> acc
+              | Some c -> (
+                  match c.Repository.Commit.parent with
+                  | None -> c.Repository.Commit.message :: acc
+                  | Some p -> chain (c.Repository.Commit.message :: acc) p)
+            in
+            let messages = chain [] head in
+            check (Alcotest.list cs)
+              (Printf.sprintf "branch %s" branch)
+              ("initial model"
+              :: List.init n_commits (fun i -> Printf.sprintf "s%d:%d" s (i + 1))
+              )
+              messages)
+          (List.init n_sessions Fun.id));
   ]
 
 let history_tests =
@@ -126,4 +585,10 @@ let history_tests =
 
 let () =
   Alcotest.run "repository"
-    [ ("repo", repo_tests); ("history", history_tests) ]
+    [
+      ("repo", repo_tests);
+      ("branches", branch_tests);
+      ("properties", property_tests);
+      ("service", service_tests);
+      ("history", history_tests);
+    ]
