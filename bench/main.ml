@@ -138,25 +138,27 @@ let e4_tests =
 
 (* ---- E5: weaving cost vs number of aspects --------------------------------- *)
 
+(* Shared by E5 and E16: the paper's logging concern specialized to every
+   class, replicated with distinct sequence numbers to scale aspect count. *)
+let logging_set =
+  match
+    Transform.Params.build Concerns.Logging.formals
+      [ ("targets", Transform.Params.V_list [ Transform.Params.V_string "*" ]) ]
+  with
+  | Ok set -> set
+  | Error _ -> assert false
+
+let logging_aspect i =
+  {
+    Aspects.Generator.aspect =
+      Aspects.Generic.specialize_with_set Concerns.Logging.generic_aspect
+        logging_set;
+    from_transformation = Printf.sprintf "T.logging#%d" i;
+    seq = i;
+  }
+
 let e5_tests =
   let program = Code.Generator.generate (synthetic 50) in
-  let logging_set =
-    match
-      Transform.Params.build Concerns.Logging.formals
-        [ ("targets", Transform.Params.V_list [ Transform.Params.V_string "*" ]) ]
-    with
-    | Ok set -> set
-    | Error _ -> assert false
-  in
-  let logging_aspect i =
-    {
-      Aspects.Generator.aspect =
-        Aspects.Generic.specialize_with_set Concerns.Logging.generic_aspect
-          logging_set;
-      from_transformation = Printf.sprintf "T.logging#%d" i;
-      seq = i;
-    }
-  in
   List.map
     (fun k ->
       let aspects = List.init k (fun i -> logging_aspect (i + 1)) in
@@ -490,7 +492,7 @@ let e13_tests =
 let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
 
-(* ---- machine-readable snapshot (BENCH_pr6.json) -------------------------- *)
+(* ---- machine-readable snapshot (BENCH_pr7.json) -------------------------- *)
 
 (* One `{experiment, metric, value, unit}` row per measurement, accumulated
    alongside the human-readable table; see EXPERIMENTS.md for the schema. *)
@@ -747,6 +749,124 @@ let run_e15 () =
         ~unit_:"bytes";
       print_newline ()
 
+(* ---- E16: incremental re-weave and the joinpoint index -------------------- *)
+
+(* Whole-weave wall time, measured directly like E14/E15 (warmup run, then
+   best of three): 8 logging aspects over a 100-class program, with a
+   single-method edit between weaves. Four arms separate the two
+   optimizations: [full-indexed] is the production path, [full-scan] drops
+   the joinpoint index (the weave_one fold), [initial] is the incremental
+   weaver paying its cache-building cost cold, and [reweave] re-weaves
+   after the one-method edit against a warm state. The acceptance
+   criterion is the reweave-vs-full speedup row (target: >= 5x). *)
+let run_e16 () =
+  let experiment = "E16" in
+  match selected_experiments with
+  | Some only when not (List.mem experiment only) -> ()
+  | _ ->
+      Printf.printf
+        "== E16 weaver: incremental re-weave and joinpoint index ==\n%!";
+      let t0 = Obs.Clock.now_ns () in
+      let a0 = Gc.allocated_bytes () in
+      let program = Code.Generator.generate (synthetic 100) in
+      let aspects = List.init 8 (fun i -> logging_aspect (i + 1)) in
+      let target =
+        match Code.Junit.classes program with
+        | c :: _ -> c.Code.Jdecl.class_name
+        | [] -> failwith "synthetic program has no classes"
+      in
+      (* one-joinpoint edit: append a statement to the target's first
+         bodied method; untouched classes stay physically shared *)
+      let edited =
+        Code.Junit.update_class program target (fun c ->
+            {
+              c with
+              Code.Jdecl.methods =
+                (match c.Code.Jdecl.methods with
+                | m :: rest ->
+                    {
+                      m with
+                      Code.Jdecl.body =
+                        Some
+                          (Option.value ~default:[] m.Code.Jdecl.body
+                          @ [ Code.Jstmt.S_comment "edited" ]);
+                    }
+                    :: rest
+                | [] -> []);
+            })
+      in
+      let time f =
+        ignore (f ());
+        let best = ref Int64.max_int in
+        for _ = 1 to 3 do
+          let t = Obs.Clock.now_ns () in
+          ignore (f ());
+          let d = Int64.sub (Obs.Clock.now_ns ()) t in
+          if d < !best then best := d
+        done;
+        Int64.to_float !best
+      in
+      let row name ns =
+        add_row ~experiment ~metric:name ~value:ns ~unit_:"ns/run";
+        Printf.printf "  %-55s %12.1f ns/run\n%!" name ns
+      in
+      let st = Weaver.Weave.initial aspects program in
+      let full_ns = time (fun () -> Weaver.Weave.weave aspects edited) in
+      row "weave/full-indexed:8-aspects-100-classes" full_ns;
+      let scan_ns = time (fun () -> Weaver.Weave.weave_scan aspects edited) in
+      row "weave/full-scan:no-index-ablation" scan_ns;
+      let init_ns = time (fun () -> Weaver.Weave.initial aspects edited) in
+      row "weave/initial:cold-incremental-ablation" init_ns;
+      let re_ns = time (fun () -> Weaver.Weave.reweave st edited) in
+      row "weave/reweave:one-method-edit" re_ns;
+      let ratio name v =
+        add_row ~experiment ~metric:name ~value:v ~unit_:"x";
+        Printf.printf "  %-55s %12.1fx\n%!" name v
+      in
+      ratio "weave/speedup:reweave-vs-full-indexed" (full_ns /. re_ns);
+      ratio "weave/speedup:reweave-vs-full-scan" (scan_ns /. re_ns);
+      ratio "weave/speedup:indexed-vs-scan" (scan_ns /. full_ns);
+      (* the logging concern is all-wildcard, so the arm above never
+         probes; a literal-pointcut set shows what the index buys when
+         the probe path engages *)
+      let literal_aspects =
+        List.init 8 (fun i ->
+            {
+              Aspects.Generator.aspect =
+                Aspects.Aspect.make
+                  ~name:(Printf.sprintf "L%d" i)
+                  ~concern:"bench"
+                  ~advices:
+                    [
+                      Aspects.Advice.make Aspects.Advice.Before
+                        (Aspects.Pointcut.execution
+                           (Printf.sprintf "C%d" (i * 12))
+                           (Printf.sprintf "m%d" (i mod 3)))
+                        [ Code.Jstmt.S_comment "probe" ];
+                    ]
+                  ();
+              from_transformation = Printf.sprintf "T.lit#%d" i;
+              seq = i + 1;
+            })
+      in
+      let lit_full_ns =
+        time (fun () -> Weaver.Weave.weave literal_aspects edited)
+      in
+      row "weave/full-indexed:literal-pointcuts" lit_full_ns;
+      let lit_scan_ns =
+        time (fun () -> Weaver.Weave.weave_scan literal_aspects edited)
+      in
+      row "weave/full-scan:literal-pointcuts" lit_scan_ns;
+      ratio "weave/speedup:indexed-vs-scan:literal"
+        (lit_scan_ns /. lit_full_ns);
+      add_row ~experiment ~metric:"group.wall"
+        ~value:(Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9)
+        ~unit_:"s";
+      add_row ~experiment ~metric:"group.alloc"
+        ~value:(Gc.allocated_bytes () -. a0)
+        ~unit_:"bytes";
+      print_newline ()
+
 (* Counter totals from one representative instrumented run (the Fig. 2
    pipeline end to end plus an XMI round trip). Collected *after* the timed
    groups, so metric recording never perturbs the measurements above. *)
@@ -768,7 +888,7 @@ let collect_counters () =
 
 let () =
   print_endline
-    "mdweave benchmark harness — experiments E1..E15 (see EXPERIMENTS.md; \
+    "mdweave benchmark harness — experiments E1..E16 (see EXPERIMENTS.md; \
      E12 is the fuzz harness, driven by bin/check_cli)";
   print_newline ();
   run_group ~experiment:"E1"
@@ -796,5 +916,6 @@ let () =
     "E13 ablation: OCL compile/extent caches and query planner" e13_tests;
   run_e14 ();
   run_e15 ();
+  run_e16 ();
   collect_counters ();
-  write_snapshot "BENCH_pr6.json"
+  write_snapshot "BENCH_pr7.json"

@@ -91,7 +91,7 @@ let () =
   in
   (* Oracles run through a bounded Par.Pool (results come back in oracle
      order) instead of the old one-unchecked-domain-per-oracle spawn, so
-     seven requested oracles no longer mean seven concurrent domains on a
+     nine requested oracles no longer mean nine concurrent domains on a
      two-core box; --jobs caps the pool explicitly. Sequential fallback
      when there is nothing to parallelize or when tracing: the Obs sink is
      domain-local and pool workers start on the null sink, so a traced run

@@ -338,7 +338,17 @@ let build_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Artifact output directory")
   in
-  let run file steps outdir trace metrics =
+  let explain_interference =
+    Arg.(
+      value & flag
+      & info
+          [ "explain-interference" ]
+          ~doc:
+            "Print the critical-pair interference report — every advised \
+             join point and, for every aspect pair, whether their weaves \
+             provably commute")
+  in
+  let run file steps outdir explain trace metrics =
     Core.Platform.ensure_registered ();
     with_obs ~trace ~metrics @@ fun () ->
     let m = or_die (read_model file) in
@@ -353,13 +363,19 @@ let build_cmd =
       (Filename.concat outdir "refined.xmi")
       (Core.Project.model project);
     print_endline (Core.Artifacts.summary artifacts);
+    if explain then (
+      print_endline "interference analysis:";
+      print_endline
+        (Weaver.Interference.render (Core.Artifacts.interference artifacts)));
     Printf.printf "artifacts written to %s\n" outdir
   in
   Cmd.v
     (Cmd.info "build"
        ~doc:"Apply a transformation sequence and emit code, aspects, woven \
              output")
-    Term.(const run $ file $ steps $ outdir $ trace_arg $ metrics_arg)
+    Term.(
+      const run $ file $ steps $ outdir $ explain_interference $ trace_arg
+      $ metrics_arg)
 
 (* ---- batch ------------------------------------------------------------ *)
 
@@ -499,20 +515,20 @@ let joinpoints_cmd =
       | Error e -> or_die (Error e)
     in
     let program = Core.Pipeline.functional_code project in
-    let shadows = Weaver.Joinpoint.execution_shadows program in
+    let shadows = Weaver.Joinpoint.all_shadows program in
     let matching = List.filter (Weaver.Matcher.matches pc) shadows in
     List.iter
       (fun shadow -> print_endline (Weaver.Joinpoint.describe shadow))
       matching;
-    Printf.printf "%d of %d execution join point(s) match %s\n"
-      (List.length matching) (List.length shadows)
+    Printf.printf "%d of %d join point(s) match %s\n" (List.length matching)
+      (List.length shadows)
       (Aspects.Pointcut.to_string pc)
   in
   Cmd.v
     (Cmd.info "joinpoints"
        ~doc:
-         "List the execution join points of the generated functional code \
-          matching a pointcut")
+         "List the join points (execution, call, field-set) of the \
+          generated functional code matching a pointcut")
     Term.(const run $ file $ steps_arg $ pointcut)
 
 (* ---- run ----------------------------------------------------------------- *)

@@ -407,7 +407,7 @@ let class_names = [ "C0"; "C1"; "C2"; "Account" ]
 
 let random_body rng cls =
   let stmt i =
-    match Prng.int rng 5 with
+    match Prng.int rng 6 with
     | 0 ->
         Code.Jstmt.S_local
           (Code.Jtype.T_int, Printf.sprintf "v%d" i, Some (Code.Jexpr.E_int i))
@@ -422,6 +422,15 @@ let random_body rng cls =
         Code.Jstmt.S_expr
           (Code.Jexpr.E_assign
              (Code.Jexpr.E_field (Code.Jexpr.E_this, "f"), Code.Jexpr.E_int i))
+    | 4 ->
+        (* [mystery] is never a parameter, field or local, so the receiver
+           does not resolve — exercises the wildcard matching of
+           unknown-receiver call shadows. *)
+        Code.Jstmt.S_expr
+          (Code.Jexpr.E_call
+             ( Some (Code.Jexpr.E_name "mystery"),
+               Prng.choose rng method_names,
+               [] ))
     | _ ->
         Code.Jstmt.S_if
           ( Code.Jexpr.E_binary
@@ -476,20 +485,32 @@ let random_class rng name =
     methods;
   }
 
-let pattern_pool = [ "C0"; "C1"; "C*"; "Account"; "*"; "m0"; "m*"; "deposit" ]
+let pattern_pool =
+  [
+    "C0"; "C1"; "C*"; "Account"; "Acc*"; "*"; "*0"; "m0"; "m*"; "de*"; "deposit";
+  ]
 
 let random_pointcut rng =
   let pat () = Prng.choose rng pattern_pool in
   let leaf () =
-    match Prng.int rng 4 with
+    match Prng.int rng 6 with
     | 0 -> Aspects.Pointcut.execution (pat ()) (pat ())
     | 1 -> Aspects.Pointcut.call (pat ()) (pat ())
     | 2 -> Aspects.Pointcut.set_field (pat ()) "f"
+    | 3 ->
+        (* wildcard class: also selects calls whose receiver class does
+           not resolve, so the optimistic-match path gets fuzzed *)
+        Aspects.Pointcut.call "*" (pat ())
+    | 4 -> Aspects.Pointcut.set_field "*" "f"
     | _ -> Aspects.Pointcut.execution (pat ()) "*"
   in
-  if Prng.chance rng 1 4 then
-    Aspects.Pointcut.And (leaf (), Aspects.Pointcut.within (pat ()))
-  else leaf ()
+  match Prng.int rng 8 with
+  | 0 -> Aspects.Pointcut.And (leaf (), Aspects.Pointcut.within (pat ()))
+  | 1 -> Aspects.Pointcut.Or (leaf (), leaf ())
+  | 2 ->
+      Aspects.Pointcut.And
+        (leaf (), Aspects.Pointcut.Not (Aspects.Pointcut.within (pat ())))
+  | _ -> leaf ()
 
 let log_call text =
   Code.Jstmt.S_expr
@@ -566,6 +587,117 @@ let pp_weave_case ppf { program; aspects } =
         (List.length g.Aspects.Generator.aspect.Aspects.Aspect.advices))
     aspects;
   Format.fprintf ppf "program:@.%s@." (Code.Printer.program_to_string program)
+
+(* One structural edit to a program, for the incremental-weave oracle.
+   Edits go through [Code.Junit.update_class] or rebuild a single unit, so
+   every declaration the edit does not touch is returned physically
+   unchanged — exactly the sharing the incremental weaver's watermark
+   fast-path keys on. Degenerate draws (no class, no method to hit) fall
+   back to the identity, which the oracle tolerates. *)
+let program_edit rng (program : Code.Junit.program) =
+  let classes = Code.Junit.classes program in
+  let pick_class () =
+    match classes with [] -> None | l -> Some (Prng.choose rng l)
+  in
+  match Prng.int rng 7 with
+  | 0 -> (
+      (* replace one method body *)
+      match pick_class () with
+      | Some c when c.Code.Jdecl.methods <> [] ->
+          let m = Prng.choose rng c.Code.Jdecl.methods in
+          Code.Junit.update_class program c.Code.Jdecl.class_name (fun c ->
+              {
+                c with
+                Code.Jdecl.methods =
+                  List.map
+                    (fun m' ->
+                      if m' == m then
+                        {
+                          m with
+                          Code.Jdecl.body =
+                            Some (random_body rng c.Code.Jdecl.class_name);
+                        }
+                      else m')
+                    c.Code.Jdecl.methods;
+              })
+      | _ -> program)
+  | 1 -> (
+      (* add a method *)
+      match pick_class () with
+      | Some c ->
+          let mname = Prng.choose rng method_names in
+          let body = random_body rng c.Code.Jdecl.class_name in
+          Code.Junit.update_class program c.Code.Jdecl.class_name (fun c ->
+              Code.Jdecl.add_method
+                {
+                  Code.Jdecl.method_name = mname;
+                  method_mods = [ Code.Jdecl.M_public ];
+                  return_type = Code.Jtype.T_int;
+                  params = [];
+                  throws = [];
+                  body = Some body;
+                }
+                c)
+      | None -> program)
+  | 2 -> (
+      (* remove a method *)
+      match pick_class () with
+      | Some c when c.Code.Jdecl.methods <> [] ->
+          let m = Prng.choose rng c.Code.Jdecl.methods in
+          Code.Junit.update_class program c.Code.Jdecl.class_name (fun c ->
+              {
+                c with
+                Code.Jdecl.methods =
+                  List.filter (fun m' -> m' != m) c.Code.Jdecl.methods;
+              })
+      | _ -> program)
+  | 3 -> (
+      (* add a field *)
+      match pick_class () with
+      | Some c ->
+          Code.Junit.update_class program c.Code.Jdecl.class_name (fun c ->
+              Code.Jdecl.add_field
+                {
+                  Code.Jdecl.field_name = Printf.sprintf "g%d" (Prng.int rng 3);
+                  field_type = Code.Jtype.T_int;
+                  field_mods = [ Code.Jdecl.M_private ];
+                  field_init = Some (Code.Jexpr.E_int 0);
+                }
+                c)
+      | None -> program)
+  | 4 -> (
+      (* add a class (possibly shadowing an existing name) *)
+      let fresh = random_class rng (Prng.choose rng class_names) in
+      match program with
+      | u :: rest ->
+          { u with Code.Junit.decls = u.Code.Junit.decls @ [ Code.Jdecl.Class fresh ] }
+          :: rest
+      | [] -> [ Code.Junit.unit_ ~package:"fuzz" [ Code.Jdecl.Class fresh ] ])
+  | 5 -> (
+      (* remove a class *)
+      match pick_class () with
+      | Some c ->
+          List.map
+            (fun u ->
+              {
+                u with
+                Code.Junit.decls =
+                  List.filter
+                    (function
+                      | Code.Jdecl.Class c' -> c' != c
+                      | Code.Jdecl.Interface _ -> true)
+                    u.Code.Junit.decls;
+              })
+            program
+      | None -> program)
+  | _ -> (
+      (* rename a class *)
+      match pick_class () with
+      | Some c ->
+          let name = Prng.choose rng class_names in
+          Code.Junit.update_class program c.Code.Jdecl.class_name (fun c ->
+              { c with Code.Jdecl.class_name = name })
+      | None -> program)
 
 (* ---- character-reference armoring ---------------------------------------- *)
 

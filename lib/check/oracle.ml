@@ -291,11 +291,92 @@ let check_weave ~aux (wc : Gen.weave_case) =
             .Weaver.Weave.program)
         wc.program (List.rev ordered)
     in
-    if Code.Junit.equal r1.Weaver.Weave.program manual then Ok ()
-    else
+    if not (Code.Junit.equal r1.Weaver.Weave.program manual) then
       Error
         "[weave] weave differs from the weave_one fold over reverse \
          precedence order"
+    else
+      (* The interference analysis makes a strong claim only one way:
+         [Independent] promises the two weaves commute. Hold it to that —
+         every reported-independent pair must produce the same program in
+         either order. (Conflicting is conservative and never checked.) *)
+      let report = Weaver.Interference.analyze wc.aspects wc.program in
+      let aspect_named name =
+        List.find_map
+          (fun (g : Aspects.Generator.generated) ->
+            let a = g.Aspects.Generator.aspect in
+            if String.equal a.Aspects.Aspect.aspect_name name then Some a
+            else None)
+          wc.aspects
+      in
+      let commutes a b =
+        let once x p = (Weaver.Weave.weave_one x p).Weaver.Weave.program in
+        Code.Junit.equal
+          (once a (once b wc.program))
+          (once b (once a wc.program))
+      in
+      let rec pairs_ok = function
+        | [] -> Ok ()
+        | (p : Weaver.Interference.pair) :: rest -> (
+            match p.Weaver.Interference.verdict with
+            | Weaver.Interference.Conflicting _ -> pairs_ok rest
+            | Weaver.Interference.Independent -> (
+                match (aspect_named p.left, aspect_named p.right) with
+                | Some a, Some b when not (commutes a b) ->
+                    Error
+                      (Printf.sprintf
+                         "[weave] pair %s / %s reported independent but the \
+                          weaves do not commute"
+                         p.Weaver.Interference.left p.Weaver.Interference.right)
+                | _ -> pairs_ok rest))
+      in
+      pairs_ok report.Weaver.Interference.pairs
+
+(* ---- R9: incremental re-weave ≡ full weave ------------------------------ *)
+
+(* An incremental weaver earns its keep only if its output is
+   indistinguishable from throwing the cache away: same program, same
+   application report, after any sequence of edits. Edits come from
+   [Gen.program_edit], which preserves physical sharing on untouched
+   declarations (the watermark fast path) but may also rebuild, rename,
+   duplicate or delete classes — the hostile cases for cache keying. *)
+
+let weave_results_agree tag (r1 : Weaver.Weave.result)
+    (r2 : Weaver.Weave.result) =
+  if not (Code.Junit.equal r1.Weaver.Weave.program r2.Weaver.Weave.program)
+  then
+    Error
+      (Printf.sprintf "[weave-inc] %s: woven program differs from full weave"
+         tag)
+  else if r1.Weaver.Weave.applications <> r2.Weaver.Weave.applications then
+    Error
+      (Printf.sprintf
+         "[weave-inc] %s: application report differs from full weave" tag)
+  else Ok ()
+
+let check_weave_inc ~aux (wc : Gen.weave_case) =
+  let rng = Prng.make aux in
+  let scan p = Weaver.Weave.weave_scan wc.aspects p in
+  let steps = Prng.range rng 1 3 in
+  let rec go st program i =
+    if i > steps then Ok ()
+    else
+      let program = Gen.program_edit rng program in
+      let st = Weaver.Weave.reweave st program in
+      match
+        weave_results_agree
+          (Printf.sprintf "after edit %d" i)
+          (Weaver.Weave.result_of st) (scan program)
+      with
+      | Error _ as e -> e
+      | Ok () -> go st program (i + 1)
+  in
+  let st = Weaver.Weave.initial wc.aspects wc.program in
+  match
+    weave_results_agree "initial" (Weaver.Weave.result_of st) (scan wc.program)
+  with
+  | Error _ as e -> e
+  | Ok () -> go st wc.program 1
 
 (* ---- R7: batch-parallel ≡ per-item sequential --------------------------- *)
 
@@ -690,6 +771,7 @@ let all =
     { name = "query"; check = Model_check check_query };
     { name = "ocl"; check = Model_check check_ocl };
     { name = "weave"; check = Weave_check check_weave };
+    { name = "weave-inc"; check = Weave_check check_weave_inc };
     { name = "par"; check = Model_check check_par };
     { name = "repo"; check = Model_check check_repo };
   ]

@@ -20,7 +20,16 @@
       cache state would be caught;
     - [weave]: {!Weaver.Weave.weave} is invariant under aspect-list
       shuffling and equals the fold of {!Weaver.Weave.weave_one} over the
-      reverse precedence order;
+      reverse precedence order; additionally every aspect pair the
+      interference analysis ({!Weaver.Interference.analyze}) reports
+      [Independent] must commute under [weave_one] — the one direction in
+      which the conservative analysis makes a strong claim;
+    - [weave-inc]: {!Weaver.Weave.initial} followed by
+      {!Weaver.Weave.reweave} over 1–3 random structural edits
+      ({!Gen.program_edit}) ≡ {!Weaver.Weave.weave_scan} from scratch on
+      every intermediate program — same woven program {e and} same
+      application report, so the watermark cache may never skip a class it
+      should re-weave nor distort the report's order;
     - [par]: a batch of refinements pushed through a {!Par.Pool} of 2 and 3
       domains ≡ the same batch applied sequentially in the submitting
       domain — per-item outcomes ({!Mof.Model.equal} on success, rendered
@@ -39,8 +48,9 @@
       pool must linearize per branch.
 
     Failure messages begin with a bracketed tag ([[diff]], [[wf]], [[xmi]],
-    [[query]], [[ocl]], [[weave]], [[par]], [[repo]], [[gen]]); the shrinker
-    only accepts candidates failing with the original tag. *)
+    [[query]], [[ocl]], [[weave]], [[weave-inc]], [[par]], [[repo]],
+    [[gen]]); the shrinker only accepts candidates failing with the
+    original tag. *)
 
 type check =
   | Model_check of
@@ -52,7 +62,7 @@ type check =
 type t = { name : string; check : check }
 
 val all : t list
-(** The eight oracles, in documentation order. *)
+(** The nine oracles, in documentation order. *)
 
 val find : string -> t option
 

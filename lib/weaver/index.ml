@@ -1,0 +1,192 @@
+(* The joinpoint index: per-class shadow tables keyed the way pointcuts
+   probe them (execution shadows by method name, call shadows by callee
+   name, field-set shadows by field name), mirroring the PR-1 model
+   indexes and the PR-4 OCL query planner. Candidate sets are upper
+   bounds — [Matcher.matches] always has the final word — so a probe can
+   only narrow, never change, the match set. *)
+
+module Sm = Map.Make (String)
+
+(* a keyed shadow table: [shadows] in program order, buckets too *)
+type part = {
+  shadows : Joinpoint.shadow list;
+  by_key : Joinpoint.shadow list Sm.t;
+}
+
+type exec_index = part
+type stmt_index = {
+  calls : part;
+  sets : part;
+  all_stmts : Joinpoint.shadow list;  (* calls and sets, program order *)
+}
+
+type entry = {
+  exec : exec_index;
+  stmts : stmt_index;
+  all : Joinpoint.shadow list;  (* all three kinds, program order *)
+}
+
+type t = (Code.Jdecl.class_ * entry) list  (* program order *)
+
+let part_of key_of shadows =
+  let by_key =
+    List.fold_left
+      (fun m s ->
+        let k = key_of s in
+        Sm.update k
+          (function Some l -> Some (s :: l) | None -> Some [ s ])
+          m)
+      Sm.empty (List.rev shadows)
+  in
+  { shadows; by_key }
+
+let exec_index_of_class (c : Code.Jdecl.class_) =
+  let shadows =
+    List.filter_map
+      (fun (m : Code.Jdecl.method_) ->
+        match m.Code.Jdecl.body with
+        | Some _ ->
+            Some
+              (Joinpoint.Sh_execution
+                 {
+                   class_name = c.Code.Jdecl.class_name;
+                   method_name = m.Code.Jdecl.method_name;
+                 })
+        | None -> None)
+      c.Code.Jdecl.methods
+  in
+  part_of
+    (function
+      | Joinpoint.Sh_execution { method_name; _ } -> method_name
+      | _ -> assert false)
+    shadows
+
+let stmt_index_of_shadows shadows =
+  let stmts =
+    List.filter
+      (function Joinpoint.Sh_execution _ -> false | _ -> true)
+      shadows
+  in
+  let calls =
+    List.filter (function Joinpoint.Sh_call _ -> true | _ -> false) stmts
+  in
+  let sets =
+    List.filter (function Joinpoint.Sh_field_set _ -> true | _ -> false) stmts
+  in
+  {
+    calls =
+      part_of
+        (function
+          | Joinpoint.Sh_call { method_name; _ } -> method_name
+          | _ -> assert false)
+        calls;
+    sets =
+      part_of
+        (function
+          | Joinpoint.Sh_field_set { field_name; _ } -> field_name
+          | _ -> assert false)
+        sets;
+    all_stmts = stmts;
+  }
+
+let stmt_index_of_class c =
+  stmt_index_of_shadows (Joinpoint.shadows_of_class c)
+
+let entry_of_class c =
+  let all = Joinpoint.shadows_of_class c in
+  {
+    exec = exec_index_of_class c;
+    stmts = stmt_index_of_shadows all;
+    all;
+  }
+
+let build program =
+  Obs.span ~cat:"weaver" "weave.index.build" @@ fun () ->
+  List.map (fun c -> (c, entry_of_class c)) (Code.Junit.classes program)
+
+let entries t = t
+let all_shadows t = List.concat_map (fun (_, e) -> e.all) t
+
+(* --- candidate resolution -------------------------------------------- *)
+
+let probed () = Obs.incr "weave.index.probe" []
+let scanned () = Obs.incr "weave.index.scan" []
+let literal p = not (Aspects.Pattern.is_wildcard p)
+let bucket part key =
+  match Sm.find_opt key part.by_key with Some l -> l | None -> []
+
+(* For [And], probe through the cheaper side: a conjunct's candidate set is
+   a sound upper bound for the conjunction. Rank 3 = provably empty in this
+   domain, 2 = keyed probe, 1 = kind scan, 0 = class-local scan. *)
+let rec exec_rank = function
+  | Aspects.Pointcut.Call _ | Aspects.Pointcut.Set_field _ -> 3
+  | Aspects.Pointcut.Execution mp ->
+      if literal mp.Aspects.Pattern.mp_method then 2 else 1
+  | Aspects.Pointcut.And (a, b) -> max (exec_rank a) (exec_rank b)
+  | Aspects.Pointcut.Within _ | Aspects.Pointcut.Or _ | Aspects.Pointcut.Not _
+    ->
+      0
+
+let rec exec_candidates (ix : exec_index) pc =
+  match pc with
+  | Aspects.Pointcut.Call _ | Aspects.Pointcut.Set_field _ ->
+      probed ();
+      []
+  | Aspects.Pointcut.Execution mp when literal mp.Aspects.Pattern.mp_method ->
+      probed ();
+      bucket ix mp.Aspects.Pattern.mp_method
+  | Aspects.Pointcut.And (a, b) ->
+      exec_candidates ix (if exec_rank a >= exec_rank b then a else b)
+  | Aspects.Pointcut.Execution _ | Aspects.Pointcut.Within _
+  | Aspects.Pointcut.Or _ | Aspects.Pointcut.Not _ ->
+      scanned ();
+      ix.shadows
+
+let rec stmt_rank = function
+  | Aspects.Pointcut.Execution _ -> 3
+  | Aspects.Pointcut.Call mp ->
+      if literal mp.Aspects.Pattern.mp_method then 2 else 1
+  | Aspects.Pointcut.Set_field (_, fp) -> if literal fp then 2 else 1
+  | Aspects.Pointcut.And (a, b) -> max (stmt_rank a) (stmt_rank b)
+  | Aspects.Pointcut.Within _ | Aspects.Pointcut.Or _ | Aspects.Pointcut.Not _
+    ->
+      0
+
+let rec stmt_candidates (ix : stmt_index) pc =
+  match pc with
+  | Aspects.Pointcut.Execution _ ->
+      probed ();
+      []
+  | Aspects.Pointcut.Call mp when literal mp.Aspects.Pattern.mp_method ->
+      probed ();
+      bucket ix.calls mp.Aspects.Pattern.mp_method
+  | Aspects.Pointcut.Call _ ->
+      scanned ();
+      ix.calls.shadows
+  | Aspects.Pointcut.Set_field (_, fp) when literal fp ->
+      probed ();
+      bucket ix.sets fp
+  | Aspects.Pointcut.Set_field _ ->
+      scanned ();
+      ix.sets.shadows
+  | Aspects.Pointcut.And (a, b) ->
+      stmt_candidates ix (if stmt_rank a >= stmt_rank b then a else b)
+  | Aspects.Pointcut.Within _ | Aspects.Pointcut.Or _ | Aspects.Pointcut.Not _
+    ->
+      scanned ();
+      ix.all_stmts
+
+let exec_matching ix pc =
+  List.filter (Matcher.matches pc) (exec_candidates ix pc)
+
+let stmt_matching ix pc =
+  List.filter (Matcher.matches pc) (stmt_candidates ix pc)
+
+let exec_touches ix pc =
+  List.exists (Matcher.matches pc) (exec_candidates ix pc)
+
+let stmt_touches ix pc =
+  List.exists (Matcher.matches pc) (stmt_candidates ix pc)
+
+let matching_entry e pc = exec_matching e.exec pc @ stmt_matching e.stmts pc
+let matching t pc = List.concat_map (fun (_, e) -> matching_entry e pc) t

@@ -1,0 +1,69 @@
+(** The joinpoint index: probe-not-scan pointcut resolution.
+
+    Shadows of each class are tabulated the way pointcuts probe them —
+    execution shadows by method name, call shadows by callee name,
+    field-set shadows by field name — mirroring the model-level indexes of
+    {!Mof.Model} and the OCL query planner. Candidate sets are sound upper
+    bounds of the match set ({!Matcher.matches} always filters), split by
+    shadow domain:
+
+    - the {e execution} domain answers "which execution shadows might this
+      pointcut match" — what execution advice needs;
+    - the {e statement} domain answers the same for call/set shadows —
+      what statement advice needs.
+
+    The split matters to the weaver: advice weaving rewrites statements
+    (invalidating the statement tables) but never adds or removes methods,
+    so the execution table of a class stays valid across the whole advice
+    chain; only inter-type declarations invalidate it.
+
+    Counters: [weave.index.probe] counts keyed (or provably-empty) candidate
+    resolutions, [weave.index.scan] the fallbacks that filter a class-local
+    shadow list. *)
+
+type exec_index
+(** Execution shadows of one class, keyed by method name. *)
+
+type stmt_index
+(** Call/set shadows of one class, keyed by callee / field name. *)
+
+type entry = {
+  exec : exec_index;
+  stmts : stmt_index;
+  all : Joinpoint.shadow list;  (** all three kinds, program order *)
+}
+
+type t
+(** A whole-program index: one {!entry} per class, program order. *)
+
+val exec_index_of_class : Code.Jdecl.class_ -> exec_index
+val stmt_index_of_class : Code.Jdecl.class_ -> stmt_index
+val entry_of_class : Code.Jdecl.class_ -> entry
+
+val build : Code.Junit.program -> t
+val entries : t -> (Code.Jdecl.class_ * entry) list
+val all_shadows : t -> Joinpoint.shadow list
+
+val exec_candidates : exec_index -> Aspects.Pointcut.t -> Joinpoint.shadow list
+(** Sound upper bound of the execution shadows the pointcut matches in this
+    class: a keyed probe when the pointcut (or a conjunct of it) names a
+    literal method, empty when the pointcut is of the wrong kind, a
+    class-local scan otherwise. *)
+
+val stmt_candidates : stmt_index -> Aspects.Pointcut.t -> Joinpoint.shadow list
+
+val exec_matching : exec_index -> Aspects.Pointcut.t -> Joinpoint.shadow list
+(** [exec_candidates] filtered by {!Matcher.matches} — exactly the
+    execution shadows of the class the pointcut matches, program order. *)
+
+val stmt_matching : stmt_index -> Aspects.Pointcut.t -> Joinpoint.shadow list
+
+val exec_touches : exec_index -> Aspects.Pointcut.t -> bool
+val stmt_touches : stmt_index -> Aspects.Pointcut.t -> bool
+
+val matching_entry : entry -> Aspects.Pointcut.t -> Joinpoint.shadow list
+(** Matches across both domains (execution shadows first, then
+    statement shadows). *)
+
+val matching : t -> Aspects.Pointcut.t -> Joinpoint.shadow list
+(** Program-wide index-resolved matching, class by class. *)

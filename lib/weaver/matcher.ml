@@ -1,3 +1,16 @@
+(* Which shadow domains a pointcut can match: [(wants_exec, wants_stmt)].
+   A pure [within] pointcut constrains but never selects, so it wants
+   neither — advice gated on it is inert, and the weaver, the joinpoint
+   index and the interference analysis must all agree on that. *)
+let rec kinds = function
+  | Aspects.Pointcut.Execution _ -> (true, false)
+  | Aspects.Pointcut.Call _ | Aspects.Pointcut.Set_field _ -> (false, true)
+  | Aspects.Pointcut.Within _ -> (false, false)
+  | Aspects.Pointcut.And (x, y) | Aspects.Pointcut.Or (x, y) ->
+      let ex, st = kinds x and ey, sy = kinds y in
+      (ex || ey, st || sy)
+  | Aspects.Pointcut.Not x -> kinds x
+
 let rec matches pc shadow =
   match (pc, shadow) with
   | Aspects.Pointcut.Execution mp, Joinpoint.Sh_execution { class_name; method_name } ->
@@ -8,8 +21,10 @@ let rec matches pc shadow =
       | Some class_name ->
           Aspects.Pattern.matches_method mp ~class_name ~method_name
       | None ->
-          String.equal mp.Aspects.Pattern.mp_class "*"
-          && Aspects.Pattern.matches mp.Aspects.Pattern.mp_method method_name)
+          (* Unresolved receiver: the shadow could belong to any class, so
+             the class pattern never excludes it — only the method pattern
+             filters. Narrow with [within] when precision matters. *)
+          Aspects.Pattern.matches mp.Aspects.Pattern.mp_method method_name)
   | ( Aspects.Pointcut.Set_field (cls_pat, field_pat),
       Joinpoint.Sh_field_set { target_class; field_name; _ } ) ->
       Aspects.Pattern.matches cls_pat target_class

@@ -1,3 +1,5 @@
+module Sm = Map.Make (String)
+
 type application = {
   aspect_name : string;
   advice_name : string;
@@ -81,137 +83,6 @@ let weave_execution_advice (a : Aspects.Advice.t) shadow body =
       | _ -> body @ advice_body)
   | Aspects.Advice.Around -> splice_proceed body advice_body
 
-(* --- receiver-type resolution for call/set shadows ------------------- *)
-
-type scope = {
-  current_class : string;
-  var_types : (string * string) list;  (* variable -> class name, when known *)
-}
-
-let class_of_jtype = function
-  | Code.Jtype.T_named n -> Some n
-  | _ -> None
-
-let scope_of_method (c : Code.Jdecl.class_) (m : Code.Jdecl.method_) =
-  let param_types =
-    List.filter_map
-      (fun (p : Code.Jdecl.param) ->
-        Option.map
-          (fun cls -> (p.Code.Jdecl.param_name, cls))
-          (class_of_jtype p.Code.Jdecl.param_type))
-      m.Code.Jdecl.params
-  in
-  let field_types =
-    List.filter_map
-      (fun (f : Code.Jdecl.field) ->
-        Option.map
-          (fun cls -> (f.Code.Jdecl.field_name, cls))
-          (class_of_jtype f.Code.Jdecl.field_type))
-      c.Code.Jdecl.fields
-  in
-  let local_types =
-    match m.Code.Jdecl.body with
-    | None -> []
-    | Some body ->
-        let rec collect acc stmts =
-          List.fold_left
-            (fun acc stmt ->
-              match stmt with
-              | Code.Jstmt.S_local (t, name, _) -> (
-                  match class_of_jtype t with
-                  | Some cls -> (name, cls) :: acc
-                  | None -> acc)
-              | Code.Jstmt.S_if (_, a, b) -> collect (collect acc a) b
-              | Code.Jstmt.S_while (_, b)
-              | Code.Jstmt.S_sync (_, b)
-              | Code.Jstmt.S_block b ->
-                  collect acc b
-              | Code.Jstmt.S_try (b, catches, fin) ->
-                  let acc = collect acc b in
-                  let acc =
-                    List.fold_left
-                      (fun acc (_, _, stmts) -> collect acc stmts)
-                      acc catches
-                  in
-                  collect acc fin
-              | Code.Jstmt.S_expr _ | Code.Jstmt.S_return _
-              | Code.Jstmt.S_throw _ | Code.Jstmt.S_comment _ ->
-                  acc)
-            acc stmts
-        in
-        collect [] body
-  in
-  {
-    current_class = c.Code.Jdecl.class_name;
-    var_types = param_types @ field_types @ local_types;
-  }
-
-let receiver_class scope = function
-  | None -> Some scope.current_class (* unqualified call *)
-  | Some Code.Jexpr.E_this -> Some scope.current_class
-  | Some (Code.Jexpr.E_name v) -> List.assoc_opt v scope.var_types
-  | Some (Code.Jexpr.E_field (Code.Jexpr.E_this, f)) ->
-      List.assoc_opt f scope.var_types
-  | Some (Code.Jexpr.E_new (c, _)) -> Some c
-  | Some (Code.Jexpr.E_cast (t, _)) -> class_of_jtype t
-  | Some _ -> None
-
-(* Call shadows occurring anywhere inside an expression. *)
-let call_shadows_in_expr scope ~within_method e =
-  Code.Jexpr.fold_calls
-    (fun acc (recv, name, _) ->
-      if String.equal name "proceed" && recv = None then acc
-      else
-        Joinpoint.Sh_call
-          {
-            within_class = scope.current_class;
-            within_method;
-            receiver_class = receiver_class scope recv;
-            method_name = name;
-          }
-        :: acc)
-    [] e
-
-let field_set_shadows_in_expr scope ~within_method e =
-  let rec walk acc e =
-    match e with
-    | Code.Jexpr.E_assign (lhs, rhs) ->
-        let acc = walk acc rhs in
-        let target =
-          match lhs with
-          | Code.Jexpr.E_field (Code.Jexpr.E_this, f) ->
-              Some (scope.current_class, f)
-          | Code.Jexpr.E_field (Code.Jexpr.E_name v, f) ->
-              Option.map (fun cls -> (cls, f)) (List.assoc_opt v scope.var_types)
-          | _ -> None
-        in
-        (match target with
-        | Some (target_class, field_name) ->
-            Joinpoint.Sh_field_set
-              {
-                within_class = scope.current_class;
-                within_method;
-                target_class;
-                field_name;
-              }
-            :: acc
-        | None -> acc)
-    | Code.Jexpr.E_null | Code.Jexpr.E_this | Code.Jexpr.E_bool _
-    | Code.Jexpr.E_int _ | Code.Jexpr.E_double _ | Code.Jexpr.E_string _
-    | Code.Jexpr.E_name _ ->
-        acc
-    | Code.Jexpr.E_field (r, _) -> walk acc r
-    | Code.Jexpr.E_call (r, _, args) ->
-        let acc = match r with Some r -> walk acc r | None -> acc in
-        List.fold_left walk acc args
-    | Code.Jexpr.E_new (_, args) -> List.fold_left walk acc args
-    | Code.Jexpr.E_binary (_, a, b) -> walk (walk acc a) b
-    | Code.Jexpr.E_unary (_, a) -> walk acc a
-    | Code.Jexpr.E_cast (_, a) -> walk acc a
-    | Code.Jexpr.E_instanceof (a, _) -> walk acc a
-  in
-  walk [] e
-
 (* Wrap individual statements that contain matching call/set shadows. *)
 let weave_statement_advice (a : Aspects.Advice.t) scope ~within_method record body
     =
@@ -233,24 +104,7 @@ let weave_statement_advice (a : Aspects.Advice.t) scope ~within_method record bo
         in
         (* only direct expressions of this statement, not nested ones —
            nested statements were handled by the recursion above *)
-        let direct_exprs =
-          match nested with
-          | Code.Jstmt.S_expr e -> [ e ]
-          | Code.Jstmt.S_local (_, _, Some e) -> [ e ]
-          | Code.Jstmt.S_return (Some e) -> [ e ]
-          | Code.Jstmt.S_if (c, _, _) -> [ c ]
-          | Code.Jstmt.S_while (c, _) -> [ c ]
-          | Code.Jstmt.S_throw e -> [ e ]
-          | Code.Jstmt.S_sync (e, _) -> [ e ]
-          | _ -> []
-        in
-        let shadows =
-          List.concat_map
-            (fun e ->
-              call_shadows_in_expr scope ~within_method e
-              @ field_set_shadows_in_expr scope ~within_method e)
-            direct_exprs
-        in
+        let shadows = Joinpoint.statement_shadows scope ~within_method nested in
         let matching =
           List.filter (Matcher.matches a.Aspects.Advice.pointcut) shadows
         in
@@ -271,38 +125,76 @@ let weave_statement_advice (a : Aspects.Advice.t) scope ~within_method record bo
   rewrite body
 
 let is_execution_advice (a : Aspects.Advice.t) =
-  let rec kinds = function
-    | Aspects.Pointcut.Execution _ -> (true, false)
-    | Aspects.Pointcut.Call _ | Aspects.Pointcut.Set_field _ -> (false, true)
-    | Aspects.Pointcut.Within _ -> (false, false)
-    | Aspects.Pointcut.And (x, y) | Aspects.Pointcut.Or (x, y) ->
-        let ex, st = kinds x and ey, sy = kinds y in
-        (ex || ey, st || sy)
-    | Aspects.Pointcut.Not x -> kinds x
-  in
-  kinds a.Aspects.Advice.pointcut
+  Matcher.kinds a.Aspects.Advice.pointcut
+
+(* Apply every inter-type declaration of an aspect to one class
+   (declaration order preserved). Returns the class physically unchanged
+   when nothing applied. *)
+let apply_intertypes_to_class intertypes (c : Code.Jdecl.class_) =
+  List.fold_left
+    (fun c it ->
+      match it with
+      | Aspects.Aspect.It_field (pattern, field) ->
+          if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
+            Code.Jdecl.add_field field c
+          else c
+      | Aspects.Aspect.It_method (pattern, m) ->
+          if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
+            Code.Jdecl.add_method m c
+          else c)
+    c intertypes
 
 (* One traversal of the program applies every inter-type declaration to each
-   class it reaches (declaration order preserved per class), instead of one
-   full rebuild of the program per declaration. *)
+   class it reaches, instead of one full rebuild of the program per
+   declaration. *)
 let apply_intertypes (aspect : Aspects.Aspect.t) program =
   match aspect.Aspects.Aspect.intertypes with
   | [] -> program
   | intertypes ->
-      let apply_to_class c it =
-        match it with
-        | Aspects.Aspect.It_field (pattern, field) ->
-            if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
-              Code.Jdecl.add_field field c
-            else c
-        | Aspects.Aspect.It_method (pattern, m) ->
-            if Aspects.Pattern.matches pattern c.Code.Jdecl.class_name then
-              Code.Jdecl.add_method m c
-            else c
-      in
-      Code.Junit.map_classes
-        (fun c -> List.fold_left apply_to_class c intertypes)
-        program
+      Code.Junit.map_classes (apply_intertypes_to_class intertypes) program
+
+(* Weave one aspect's advice into one class; [record] receives each advice
+   application. The scope of a method only reads the class itself, so
+   per-class weaving is a pure function of (class, aspect). *)
+let weave_class_with (aspect : Aspects.Aspect.t) record (c : Code.Jdecl.class_)
+    =
+  Code.Jdecl.map_methods
+    (fun m ->
+      match m.Code.Jdecl.body with
+      | None -> m
+      | Some body ->
+          let scope = Joinpoint.scope_of_method c m in
+          let within_method = m.Code.Jdecl.method_name in
+          let exec_shadow =
+            Joinpoint.Sh_execution
+              {
+                class_name = c.Code.Jdecl.class_name;
+                method_name = m.Code.Jdecl.method_name;
+              }
+          in
+          let body =
+            List.fold_left
+              (fun body (a : Aspects.Advice.t) ->
+                let wants_exec, wants_stmt = is_execution_advice a in
+                let body =
+                  if wants_stmt then
+                    weave_statement_advice a scope ~within_method
+                      (record a.Aspects.Advice.advice_name)
+                      body
+                  else body
+                in
+                if
+                  wants_exec
+                  && Matcher.matches a.Aspects.Advice.pointcut exec_shadow
+                then begin
+                  record a.Aspects.Advice.advice_name exec_shadow;
+                  weave_execution_advice a exec_shadow body
+                end
+                else body)
+              body aspect.Aspects.Aspect.advices
+          in
+          { m with Code.Jdecl.body = Some body })
+    c
 
 let weave_one (aspect : Aspects.Aspect.t) program =
   let applications = ref [] in
@@ -317,55 +209,111 @@ let weave_one (aspect : Aspects.Aspect.t) program =
       :: !applications
   in
   let program = apply_intertypes aspect program in
-  let weave_class (c : Code.Jdecl.class_) =
-    Code.Jdecl.map_methods
-      (fun m ->
-        match m.Code.Jdecl.body with
-        | None -> m
-        | Some body ->
-            let scope = scope_of_method c m in
-            let within_method = m.Code.Jdecl.method_name in
-            let exec_shadow =
-              Joinpoint.Sh_execution
-                {
-                  class_name = c.Code.Jdecl.class_name;
-                  method_name = m.Code.Jdecl.method_name;
-                }
-            in
-            let body =
-              List.fold_left
-                (fun body (a : Aspects.Advice.t) ->
-                  let wants_exec, wants_stmt = is_execution_advice a in
-                  let body =
-                    if wants_stmt then
-                      weave_statement_advice a scope ~within_method
-                        (record a.Aspects.Advice.advice_name)
-                        body
-                    else body
-                  in
-                  if
-                    wants_exec
-                    && Matcher.matches a.Aspects.Advice.pointcut exec_shadow
-                  then begin
-                    record a.Aspects.Advice.advice_name exec_shadow;
-                    weave_execution_advice a exec_shadow body
-                  end
-                  else body)
-                body aspect.Aspects.Aspect.advices
-            in
-            { m with Code.Jdecl.body = Some body })
-      c
+  let program =
+    Code.Junit.map_classes (weave_class_with aspect record) program
   in
-  let program = Code.Junit.map_classes weave_class program in
   { program; applications = List.rev !applications }
 
-let weave generated program =
-  Obs.span ~cat:"weaver" "weave"
-    ~args:[ ("aspects", Obs.Event.V_int (List.length generated)) ]
-  @@ fun () ->
-  (* reverse precedence order: the last-woven (highest-precedence) aspect
-     ends up outermost at shared join points *)
-  let ordered = List.rev (Precedence.order generated) in
+(* The pre-index weaver, kept as the differential baseline (like
+   [Repository.Naive]): one full program traversal per aspect, every
+   advice tested against every shadow. The [weave] oracle pins
+   [weave ≡ weave_scan ≡ fold of weave_one]. *)
+let weave_scan generated program =
+  List.fold_left
+    (fun acc (g : Aspects.Generator.generated) ->
+      let r = weave_one g.Aspects.Generator.aspect acc.program in
+      { program = r.program; applications = acc.applications @ r.applications })
+    { program; applications = [] }
+    (List.rev (Precedence.order generated))
+
+(* --- the indexed, class-major weaver --------------------------------- *)
+
+(* Weave the whole ordered aspect chain into one class. The per-class
+   joinpoint index answers "can this aspect apply here at all" — when it
+   cannot, the class is not traversed for that aspect. The execution table
+   survives advice weaving (statement rewrites never add or remove
+   methods); only inter-type declarations invalidate it. Returns the woven
+   class and the applications per aspect position. *)
+let weave_class_chain (ordered : Aspects.Aspect.t array)
+    (c0 : Code.Jdecl.class_) =
+  let n = Array.length ordered in
+  let apps = Array.make n [] in
+  let c = ref c0 in
+  let exec_ix = ref None in
+  let stmt_ix = ref None in
+  let exec_index () =
+    match !exec_ix with
+    | Some ix -> ix
+    | None ->
+        let ix = Index.exec_index_of_class !c in
+        exec_ix := Some ix;
+        ix
+  in
+  let stmt_index () =
+    match !stmt_ix with
+    | Some ix -> ix
+    | None ->
+        let ix = Index.stmt_index_of_class !c in
+        stmt_ix := Some ix;
+        ix
+  in
+  for i = 0 to n - 1 do
+    let aspect = ordered.(i) in
+    (match aspect.Aspects.Aspect.intertypes with
+    | [] -> ()
+    | intertypes ->
+        let c' = apply_intertypes_to_class intertypes !c in
+        if c' != !c then begin
+          c := c';
+          exec_ix := None;
+          stmt_ix := None
+        end);
+    let touches =
+      List.exists
+        (fun (a : Aspects.Advice.t) ->
+          let wants_exec, wants_stmt = is_execution_advice a in
+          (wants_exec
+          && Index.exec_touches (exec_index ()) a.Aspects.Advice.pointcut)
+          || wants_stmt
+             && Index.stmt_touches (stmt_index ()) a.Aspects.Advice.pointcut)
+        aspect.Aspects.Aspect.advices
+    in
+    if touches then begin
+      let recorded = ref [] in
+      let record advice_name shadow =
+        Obs.incr "weave.joinpoint.match" [];
+        recorded :=
+          {
+            aspect_name = aspect.Aspects.Aspect.aspect_name;
+            advice_name;
+            at = Joinpoint.describe shadow;
+          }
+          :: !recorded
+      in
+      c := weave_class_with aspect record !c;
+      apps.(i) <- List.rev !recorded;
+      (* statement rewrites invalidate the call/set tables only *)
+      stmt_ix := None
+    end
+  done;
+  (!c, apps)
+
+type cached = {
+  src : Code.Jdecl.class_;  (* the class as it was before weaving *)
+  woven : Code.Jdecl.class_;
+  apps : application list array;  (* per aspect position *)
+}
+
+let class_equal a b =
+  a == b || Code.Jdecl.equal_type_decl (Code.Jdecl.Class a) (Code.Jdecl.Class b)
+
+let ordered_aspects generated =
+  Array.of_list
+    (List.map
+       (fun (g : Aspects.Generator.generated) -> g.Aspects.Generator.aspect)
+       (List.rev (Precedence.order generated)))
+
+let emit_precedence generated =
   if Obs.enabled () then
     (* the precedence decision, as one structured event: position in the
        model-level transformation order -> aspect woven at that rank *)
@@ -376,21 +324,90 @@ let weave generated program =
              ( string_of_int (i + 1),
                Obs.Event.V_string
                  g.Aspects.Generator.aspect.Aspects.Aspect.aspect_name ))
-           (Precedence.order generated));
-  List.fold_left
-    (fun acc (g : Aspects.Generator.generated) ->
-      let r =
-        Obs.span ~cat:"weaver" "weave.aspect"
-          ~args:
-            [
-              ( "aspect",
-                Obs.Event.V_string
-                  g.Aspects.Generator.aspect.Aspects.Aspect.aspect_name );
-            ]
-        @@ fun () -> weave_one g.Aspects.Generator.aspect acc.program
-      in
-      Obs.incr "weave.applications" []
-        ~by:(float_of_int (List.length r.applications));
-      { program = r.program; applications = acc.applications @ r.applications })
-    { program; applications = [] }
-    ordered
+           (Precedence.order generated))
+
+(* Weave every class of a program through the aspect chain, consulting
+   [lookup] for a cached result first. Applications are reassembled
+   aspect-major (aspect, then class, then method — the order the
+   aspect-major baseline reports them in). *)
+let weave_classes (ordered : Aspects.Aspect.t array) ~lookup program =
+  let n = Array.length ordered in
+  let per_aspect = Array.make n [] in
+  let cache = ref Sm.empty in
+  let program' =
+    Code.Junit.map_classes
+      (fun c ->
+        let entry =
+          match lookup c with
+          | Some e -> e
+          | None ->
+              let woven, apps = weave_class_chain ordered c in
+              { src = c; woven; apps }
+        in
+        cache :=
+          Sm.update entry.src.Code.Jdecl.class_name
+            (function Some l -> Some (entry :: l) | None -> Some [ entry ])
+            !cache;
+        for i = 0 to n - 1 do
+          match entry.apps.(i) with
+          | [] -> ()
+          | l -> per_aspect.(i) <- l :: per_aspect.(i)
+        done;
+        entry.woven)
+      program
+  in
+  let applications =
+    List.concat
+      (List.init n (fun i ->
+           let apps = List.concat (List.rev per_aspect.(i)) in
+           Obs.incr "weave.applications" []
+             ~by:(float_of_int (List.length apps));
+           apps))
+  in
+  ({ program = program'; applications }, !cache)
+
+let weave generated program =
+  Obs.span ~cat:"weaver" "weave"
+    ~args:[ ("aspects", Obs.Event.V_int (List.length generated)) ]
+  @@ fun () ->
+  emit_precedence generated;
+  let ordered = ordered_aspects generated in
+  fst (weave_classes ordered ~lookup:(fun _ -> None) program)
+
+(* --- incremental re-weave -------------------------------------------- *)
+
+type state = {
+  generated : Aspects.Generator.generated list;
+  ordered : Aspects.Aspect.t array;
+  cache : cached list Sm.t;  (* by class name; lists cover duplicates *)
+  last : result;
+}
+
+let initial generated program =
+  Obs.span ~cat:"weaver" "weave"
+    ~args:[ ("aspects", Obs.Event.V_int (List.length generated)) ]
+  @@ fun () ->
+  emit_precedence generated;
+  let ordered = ordered_aspects generated in
+  let last, cache = weave_classes ordered ~lookup:(fun _ -> None) program in
+  { generated; ordered; cache; last }
+
+let result_of st = st.last
+
+let reweave st program =
+  Obs.span ~cat:"weaver" "weave.reweave"
+    ~args:[ ("aspects", Obs.Event.V_int (List.length st.generated)) ]
+  @@ fun () ->
+  let lookup (c : Code.Jdecl.class_) =
+    let hit =
+      match Sm.find_opt c.Code.Jdecl.class_name st.cache with
+      | None -> None
+      | Some entries -> List.find_opt (fun e -> class_equal e.src c) entries
+    in
+    (match hit with
+    | Some _ -> Obs.incr "weave.inc.skipped" []
+    | None -> Obs.incr "weave.inc.rewoven" []);
+    hit
+  in
+  let last, cache = weave_classes st.ordered ~lookup program in
+  { st with cache; last }

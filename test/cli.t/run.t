@@ -40,9 +40,24 @@ interpreted execution of the woven program.
   refined.xmi
   woven.java
 
+--explain-interference prints the critical-pair report: distribution's
+before advice and transactions' around advice meet at shared join points
+without commuting, so the pair is flagged with its witness shadow:
+
+  $ mdweave build bank.xmi -s "distribution: remote=Account|Teller" -s "transactions: transactional=Account" -o out2 --explain-interference | grep -A1 "aspect pairs:"
+  aspect pairs: 0 independent, 1 conflicting
+  [!] DistributionAspect x TransactionAspect: non-commuting advice at a shared join point (DistributionAspect before vs TransactionAspect around) [at execution(Account.getBalance)]
+
   $ mdweave joinpoints bank.xmi --pointcut "execution(Teller.*)"
   execution(Teller.transfer)
-  1 of 5 execution join point(s) match execution(Teller.*)
+  1 of 6 join point(s) match execution(Teller.*)
+
+The query walks all three shadow kinds — field-set (and call) join
+points are selectable too:
+
+  $ mdweave joinpoints bank.xmi --pointcut "set(Account.balance)"
+  set(Account.balance)
+  1 of 6 join point(s) match set(Account.balance)
 
   $ mdweave run bank.xmi -s "transactions: transactional=Account" --class Account --method deposit
   T.transactions<[Account], "serializable", "required"> [transactions] +8 -0 ~2

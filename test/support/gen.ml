@@ -147,3 +147,39 @@ let pattern_and_name_gen =
       ]
   in
   return (pattern, variant)
+
+(* Random shadows of all three kinds, drawn from the same vocabulary as
+   [pointcut_gen] so pointcut x shadow pairs actually collide. Receivers
+   are sometimes unresolved ([None]) to exercise the optimistic call
+   matching path. *)
+let shadow_gen =
+  let open QCheck2.Gen in
+  let cls = oneofl [ "Account"; "Teller"; "AccountProxy"; "Helper" ] in
+  let mth = oneofl [ "setBalance"; "set"; "run"; "deposit"; "m" ] in
+  oneof
+    [
+      map2
+        (fun c m ->
+          Weaver.Joinpoint.Sh_execution { class_name = c; method_name = m })
+        cls mth;
+      map3
+        (fun w (recv, m) c ->
+          Weaver.Joinpoint.Sh_call
+            {
+              within_class = w;
+              within_method = "m";
+              receiver_class = (if recv then Some c else None);
+              method_name = m;
+            })
+        cls (pair bool mth) cls;
+      map3
+        (fun w t f ->
+          Weaver.Joinpoint.Sh_field_set
+            {
+              within_class = w;
+              within_method = "m";
+              target_class = t;
+              field_name = f;
+            })
+        cls cls (oneofl [ "balance"; "state"; "f" ]);
+    ]

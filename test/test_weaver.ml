@@ -147,10 +147,17 @@ let matcher_tests =
           (Weaver.Matcher.matches (call "Helper" "run") call_known);
         check cb "wrong class" false
           (Weaver.Matcher.matches (call "Service" "run") call_known);
-        check cb "unknown receiver vs named pattern" false
+        (* unresolved receivers match optimistically: any class pattern
+           could describe the runtime receiver, so only the method
+           pattern filters *)
+        check cb "unknown receiver vs named pattern" true
           (Weaver.Matcher.matches (call "Helper" "run") call_unknown);
+        check cb "unknown receiver vs wildcard pattern" true
+          (Weaver.Matcher.matches (call "Help*" "run") call_unknown);
         check cb "unknown receiver vs star" true
-          (Weaver.Matcher.matches (call "*" "run") call_unknown));
+          (Weaver.Matcher.matches (call "*" "run") call_unknown);
+        check cb "unknown receiver, method still filters" false
+          (Weaver.Matcher.matches (call "Helper" "walk") call_unknown));
     Alcotest.test_case "within matches any shadow kind" `Quick (fun () ->
         check cb "exec" true (Weaver.Matcher.matches (within "Service") exec);
         check cb "call" true (Weaver.Matcher.matches (within "Service") call_known);
@@ -163,6 +170,66 @@ let matcher_tests =
         check cb "not" false
           (Weaver.Matcher.matches (not_ (execution "Service" "*")) exec));
   ]
+
+(* The matcher is a boolean algebra over shadows: De Morgan, double
+   negation, and totality must hold for every pointcut x shadow pair, not
+   just the handcrafted ones above. *)
+let matcher_properties =
+  let pair_gen = QCheck2.Gen.pair Gen.pointcut_gen Gen.shadow_gen in
+  let triple_gen =
+    QCheck2.Gen.triple Gen.pointcut_gen Gen.pointcut_gen Gen.shadow_gen
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"De Morgan: not (a and b) = not a or not b"
+        ~count:500 triple_gen (fun (a, b, s) ->
+          Weaver.Matcher.matches
+            (Aspects.Pointcut.Not (Aspects.Pointcut.And (a, b)))
+            s
+          = Weaver.Matcher.matches
+              (Aspects.Pointcut.Or
+                 (Aspects.Pointcut.Not a, Aspects.Pointcut.Not b))
+              s);
+      QCheck2.Test.make ~name:"De Morgan: not (a or b) = not a and not b"
+        ~count:500 triple_gen (fun (a, b, s) ->
+          Weaver.Matcher.matches
+            (Aspects.Pointcut.Not (Aspects.Pointcut.Or (a, b)))
+            s
+          = Weaver.Matcher.matches
+              (Aspects.Pointcut.And
+                 (Aspects.Pointcut.Not a, Aspects.Pointcut.Not b))
+              s);
+      QCheck2.Test.make ~name:"double negation is identity" ~count:500 pair_gen
+        (fun (pc, s) ->
+          Weaver.Matcher.matches
+            (Aspects.Pointcut.Not (Aspects.Pointcut.Not pc))
+            s
+          = Weaver.Matcher.matches pc s);
+      QCheck2.Test.make ~name:"matches and kinds are total" ~count:500 pair_gen
+        (fun (pc, s) ->
+          (* no pointcut x shadow pair may raise, and [kinds] must agree
+             with itself under negation (the weaver's gate treats [Not p]
+             exactly like [p]) *)
+          let (_ : bool) = Weaver.Matcher.matches pc s in
+          Weaver.Matcher.kinds (Aspects.Pointcut.Not pc)
+          = Weaver.Matcher.kinds pc);
+      QCheck2.Test.make ~name:"index candidates are a sound upper bound"
+        ~count:300 Gen.pointcut_gen (fun pc ->
+          (* probe-not-scan must never lose a match: resolving through the
+             joinpoint index equals filtering every shadow directly *)
+          let program = mk_program () in
+          let index = Weaver.Index.build program in
+          let via_index = Weaver.Index.matching index pc in
+          let direct =
+            List.filter
+              (Weaver.Matcher.matches pc)
+              (Weaver.Index.all_shadows index)
+          in
+          (* [matching] lists execution shadows before statement shadows
+             per class, [all_shadows] interleaves per method — compare as
+             multisets *)
+          List.sort compare via_index = List.sort compare direct);
+    ]
 
 (* ---- weaving semantics ------------------------------------------------------ *)
 
@@ -513,14 +580,242 @@ let interference_tests =
         in
         check cb "bang marker" true (contains text "[!] execution(Service.handle)");
         check cb "summary" true (contains text "1 shared across concerns"));
+    Alcotest.test_case "call and field-set join points are reported" `Quick
+      (fun () ->
+        (* all three shadow kinds in one report: Helper.run's call site and
+           the this.state assignment, both inside Service.handle *)
+        let gs =
+          [
+            g 1 "A" "log" [ before (Aspects.Pointcut.call "Helper" "run") ];
+            g 2 "B" "audit"
+              [ before (Aspects.Pointcut.set_field "Service" "state") ];
+          ]
+        in
+        let report = Weaver.Interference.analyze gs (mk_program ()) in
+        let described =
+          List.map
+            (fun (e : Weaver.Interference.entry) ->
+              Weaver.Joinpoint.describe e.Weaver.Interference.at)
+            report.Weaver.Interference.entries
+        in
+        check (Alcotest.list cs) "both statement shadows advised"
+          [ "call(Helper.run)"; "set(Service.state)" ]
+          described;
+        (* distinct statements, but inside the same method body: the
+           conservative same-method collision rule reports the pair *)
+        check cb "same-method statement advice conflicts" true
+          (List.for_all
+             (fun (p : Weaver.Interference.pair) ->
+               match p.Weaver.Interference.verdict with
+               | Weaver.Interference.Conflicting _ -> true
+               | Weaver.Interference.Independent -> false)
+             report.Weaver.Interference.pairs));
+    Alcotest.test_case "entry.shared is per-entry, not physical identity"
+      `Quick (fun () ->
+        (* the old render path used [List.memq] against the shared subset,
+           which silently depended on physical equality of entries; the
+           flag now travels on the entry itself *)
+        let gs =
+          [
+            g 1 "A" "dist" [ before (Aspects.Pointcut.execution "Service" "*") ];
+            g 2 "B" "tx"
+              [ before (Aspects.Pointcut.execution "Service" "handle") ];
+          ]
+        in
+        let report = Weaver.Interference.analyze gs (mk_program ()) in
+        let flag_of name =
+          List.find_map
+            (fun (e : Weaver.Interference.entry) ->
+              if
+                Weaver.Joinpoint.describe e.Weaver.Interference.at
+                = "execution(Service." ^ name ^ ")"
+              then Some e.Weaver.Interference.shared
+              else None)
+            report.Weaver.Interference.entries
+        in
+        check (Alcotest.option cb) "handle shared" (Some true)
+          (flag_of "handle");
+        check (Alcotest.option cb) "other not shared" (Some false)
+          (flag_of "other"));
+    Alcotest.test_case "overlapping wrap advice is a conflicting pair" `Quick
+      (fun () ->
+        let gs =
+          [
+            g 1 "A" "dist" [ before (Aspects.Pointcut.execution "Service" "handle") ];
+            g 2 "B" "tx"
+              [
+                Aspects.Advice.make Aspects.Advice.Around
+                  (Aspects.Pointcut.execution "Service" "handle")
+                  [ marker "wrap"; Aspects.Advice.proceed ];
+              ];
+          ]
+        in
+        let report = Weaver.Interference.analyze gs (mk_program ()) in
+        match report.Weaver.Interference.pairs with
+        | [ { left = "A"; right = "B"; verdict = Conflicting { witness; _ } } ]
+          ->
+            check (Alcotest.option cs) "witness shadow"
+              (Some "execution(Service.handle)")
+              (Option.map Weaver.Joinpoint.describe witness)
+        | _ -> Alcotest.fail "expected exactly one conflicting pair A x B");
+    Alcotest.test_case "before and after-returning at one shadow commute"
+      `Quick (fun () ->
+        let program = mk_program () in
+        let mk time name =
+          Aspects.Aspect.make ~name ~concern:name
+            ~advices:
+              [
+                Aspects.Advice.make time
+                  (Aspects.Pointcut.execution "Service" "handle")
+                  [ marker name ];
+              ]
+            ()
+        in
+        let a = mk Aspects.Advice.Before "A"
+        and b = mk Aspects.Advice.After_returning "B" in
+        let gs =
+          [
+            { Aspects.Generator.aspect = a; from_transformation = "T.A"; seq = 1 };
+            { Aspects.Generator.aspect = b; from_transformation = "T.B"; seq = 2 };
+          ]
+        in
+        let report = Weaver.Interference.analyze gs program in
+        check cb "reported independent" true
+          (List.for_all
+             (fun (p : Weaver.Interference.pair) ->
+               p.Weaver.Interference.verdict = Weaver.Interference.Independent)
+             report.Weaver.Interference.pairs);
+        (* and they really do commute *)
+        let once x p = (Weaver.Weave.weave_one x p).Weaver.Weave.program in
+        check cb "weaves commute" true
+          (Code.Junit.equal (once a (once b program)) (once b (once a program))));
+    Alcotest.test_case "render lists pair verdicts" `Quick (fun () ->
+        (* one report with a provably independent pair, one with a
+           conflicting pair — both renderings are locked *)
+        let independent_gs =
+          [
+            g 1 "A" "log" [ before (Aspects.Pointcut.execution "Service" "other") ];
+            g 2 "B" "audit" [ before (Aspects.Pointcut.execution "Helper" "run") ];
+          ]
+        in
+        let text =
+          Weaver.Interference.render
+            (Weaver.Interference.analyze independent_gs (mk_program ()))
+        in
+        check cb "pair summary" true
+          (contains text "aspect pairs: 1 independent, 0 conflicting");
+        check cb "pair line" true (contains text "A ~ B: independent");
+        let conflicting_gs =
+          [
+            g 1 "A" "log" [ before (Aspects.Pointcut.call "Helper" "run") ];
+            g 2 "B" "audit"
+              [ before (Aspects.Pointcut.set_field "Service" "state") ];
+          ]
+        in
+        let text =
+          Weaver.Interference.render
+            (Weaver.Interference.analyze conflicting_gs (mk_program ()))
+        in
+        check cb "conflict summary" true
+          (contains text "aspect pairs: 0 independent, 1 conflicting");
+        check cb "conflict line marked" true (contains text "[!] A x B:"));
+  ]
+
+(* ---- incremental re-weave ------------------------------------------------- *)
+
+let incremental_tests =
+  let before name pc =
+    Aspects.Advice.make Aspects.Advice.Before pc [ marker name ]
+  in
+  let g seq name advices =
+    {
+      Aspects.Generator.aspect =
+        Aspects.Aspect.make ~name ~concern:name ~advices ();
+      from_transformation = "T." ^ name;
+      seq;
+    }
+  in
+  let aspects () =
+    [
+      g 1 "A" [ before "A" (Aspects.Pointcut.execution "Service" "*") ];
+      g 2 "B" [ before "B" (Aspects.Pointcut.call "Helper" "run") ];
+    ]
+  in
+  let agree msg (r1 : Weaver.Weave.result) (r2 : Weaver.Weave.result) =
+    check cb (msg ^ ": program") true
+      (Code.Junit.equal r1.Weaver.Weave.program r2.Weaver.Weave.program);
+    check cb (msg ^ ": applications") true
+      (r1.Weaver.Weave.applications = r2.Weaver.Weave.applications)
+  in
+  [
+    Alcotest.test_case "initial state equals the scan baseline" `Quick
+      (fun () ->
+        let program = mk_program () in
+        let gs = aspects () in
+        let st = Weaver.Weave.initial gs program in
+        agree "initial" (Weaver.Weave.result_of st)
+          (Weaver.Weave.weave_scan gs program));
+    Alcotest.test_case "reweave after an edit equals a fresh full weave"
+      `Quick (fun () ->
+        let program = mk_program () in
+        let gs = aspects () in
+        let st = Weaver.Weave.initial gs program in
+        (* touch only Service: empty handle's body *)
+        let edited =
+          Code.Junit.update_class program "Service" (fun c ->
+              {
+                c with
+                Code.Jdecl.methods =
+                  List.map
+                    (fun m ->
+                      if m.Code.Jdecl.method_name = "handle" then
+                        { m with Code.Jdecl.body = Some [ marker "edited" ] }
+                      else m)
+                    c.Code.Jdecl.methods;
+              })
+        in
+        let st = Weaver.Weave.reweave st edited in
+        agree "after edit" (Weaver.Weave.result_of st)
+          (Weaver.Weave.weave_scan gs edited);
+        (* a second reweave with no changes is still the same answer *)
+        let st = Weaver.Weave.reweave st edited in
+        agree "no-op reweave" (Weaver.Weave.result_of st)
+          (Weaver.Weave.weave_scan gs edited));
+    Alcotest.test_case "reweave tracks class addition and removal" `Quick
+      (fun () ->
+        let program = mk_program () in
+        let gs = aspects () in
+        let st = Weaver.Weave.initial gs program in
+        let smaller =
+          List.map
+            (fun u ->
+              {
+                u with
+                Code.Junit.decls =
+                  List.filter
+                    (function
+                      | Code.Jdecl.Class c ->
+                          c.Code.Jdecl.class_name <> "Helper"
+                      | Code.Jdecl.Interface _ -> true)
+                    u.Code.Junit.decls;
+              })
+            program
+        in
+        let st = Weaver.Weave.reweave st smaller in
+        agree "after removal" (Weaver.Weave.result_of st)
+          (Weaver.Weave.weave_scan gs smaller);
+        let st = Weaver.Weave.reweave st program in
+        agree "after re-adding" (Weaver.Weave.result_of st)
+          (Weaver.Weave.weave_scan gs program));
   ]
 
 let () =
   Alcotest.run "weaver"
     [
       ("joinpoints", joinpoint_tests);
-      ("matcher", matcher_tests);
+      ("matcher", matcher_tests @ matcher_properties);
       ("weaving", weave_tests @ weave_properties);
       ("precedence", precedence_tests);
       ("interference", interference_tests);
+      ("incremental", incremental_tests);
     ]
