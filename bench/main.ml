@@ -492,7 +492,7 @@ let e13_tests =
 let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
 
-(* ---- machine-readable snapshot (BENCH_pr7.json) -------------------------- *)
+(* ---- machine-readable snapshot (BENCH_pr8.json) -------------------------- *)
 
 (* One `{experiment, metric, value, unit}` row per measurement, accumulated
    alongside the human-readable table; see EXPERIMENTS.md for the schema. *)
@@ -867,6 +867,137 @@ let run_e16 () =
         ~unit_:"bytes";
       print_newline ()
 
+(* ---- E17: service observability — commit latency and metric overhead ----- *)
+
+(* Two questions about the observability layer itself: what do session
+   commit latencies look like through the Obs.Hist quantile lens as writer
+   contention grows (jobs 1 vs 4 — all writers share one commit mutex),
+   and what does leaving the metric registry on cost against the null-sink
+   default. The quantile rows report in plain "ns", deliberately outside
+   the regression gate's direction map — tail latencies on shared CI
+   runners are too noisy to gate; the per-commit wall rows use "ns/run"
+   and are gated. *)
+let run_e17 () =
+  let experiment = "E17" in
+  match selected_experiments with
+  | Some only when not (List.mem experiment only) -> ()
+  | _ ->
+      Printf.printf
+        "== E17 service observability: commit latency and overhead ==\n%!";
+      let t0 = Obs.Clock.now_ns () in
+      let a0 = Gc.allocated_bytes () in
+      let base = synthetic 25 in
+      let commits = 200 in
+      let fail_svc e = failwith (Repository.Service.error_to_string e) in
+      let serve ~jobs () =
+        let svc = Repository.Service.create (Repository.Repo.init base) in
+        let sessions = List.init jobs Fun.id in
+        List.iter
+          (fun s ->
+            match
+              Repository.Service.create_branch svc (Printf.sprintf "b%d" s)
+            with
+            | Ok _ -> ()
+            | Error e -> fail_svc e)
+          sessions;
+        let session s =
+          let branch = Printf.sprintf "b%d" s in
+          for i = 1 to commits do
+            let view = Repository.Service.snapshot svc in
+            match Repository.Repo.branch_head view branch with
+            | None -> failwith "branch vanished"
+            | Some id -> (
+                let m =
+                  match Repository.Repo.model_at view id with
+                  | Some m -> m
+                  | None -> failwith "head not stored"
+                in
+                let m, _ =
+                  Mof.Builder.add_class m ~owner:(Mof.Model.root m)
+                    ~name:(Printf.sprintf "S%dC%d" s i)
+                in
+                match
+                  Repository.Service.commit svc ~branch ~message:"bench" m
+                with
+                | Ok _ -> ()
+                | Error e -> fail_svc e)
+          done
+        in
+        if jobs > 1 then
+          Par.Pool.with_pool ~jobs (fun p ->
+              ignore (Par.Pool.map p session sessions))
+        else List.iter session sessions
+      in
+      let commit_hist () =
+        List.find_map
+          (function
+            | (name, _), Obs.Metric.Histogram { hist; _ }
+              when String.equal name "repo.session.commit.latency_ns" ->
+                Some hist
+            | _ -> None)
+          (Obs.Metric.dump ())
+      in
+      (* quantiles per contention level; worker shards merge exactly into
+         the submitting domain at pool join, so the histogram covers every
+         session's commits *)
+      List.iter
+        (fun jobs ->
+          Obs.Metric.enable ();
+          serve ~jobs ();
+          (match commit_hist () with
+          | None -> failwith "commit latency histogram not recorded"
+          | Some h ->
+              let s = Obs.Hist.snapshot h in
+              let q name v =
+                let metric =
+                  Printf.sprintf "serve/commit-latency:%s:jobs-%d" name jobs
+                in
+                add_row ~experiment ~metric ~value:v ~unit_:"ns";
+                Printf.printf "  %-55s %12.0f ns\n%!" metric v
+              in
+              q "p50" s.Obs.Hist.s_p50;
+              q "p90" s.Obs.Hist.s_p90;
+              q "p99" s.Obs.Hist.s_p99;
+              q "max" s.Obs.Hist.s_max);
+          Obs.Metric.disable ();
+          Obs.Metric.reset ())
+        [ 1; 4 ];
+      (* metric-registry overhead on the same single-session workload:
+         warmup, best of three, per committed model *)
+      let time f =
+        f ();
+        let best = ref Int64.max_int in
+        for _ = 1 to 3 do
+          let t = Obs.Clock.now_ns () in
+          f ();
+          let d = Int64.sub (Obs.Clock.now_ns ()) t in
+          if d < !best then best := d
+        done;
+        Int64.to_float !best
+      in
+      let per_commit ns = ns /. float_of_int commits in
+      let off_ns = per_commit (time (serve ~jobs:1)) in
+      Obs.Metric.enable ();
+      let on_ns = per_commit (time (serve ~jobs:1)) in
+      Obs.Metric.disable ();
+      Obs.Metric.reset ();
+      let row name v unit_ =
+        add_row ~experiment ~metric:name ~value:v ~unit_;
+        Printf.printf "  %-55s %12.1f %s\n%!" name v unit_
+      in
+      row "serve/commit:obs-off" off_ns "ns/run";
+      row "serve/commit:obs-metrics" on_ns "ns/run";
+      (* informational ratio, not "x": lower is better here and "x" rows
+         gate higher-better *)
+      row "serve/overhead:metrics-vs-off" (on_ns /. off_ns) "ratio";
+      add_row ~experiment ~metric:"group.wall"
+        ~value:(Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9)
+        ~unit_:"s";
+      add_row ~experiment ~metric:"group.alloc"
+        ~value:(Gc.allocated_bytes () -. a0)
+        ~unit_:"bytes";
+      print_newline ()
+
 (* Counter totals from one representative instrumented run (the Fig. 2
    pipeline end to end plus an XMI round trip). Collected *after* the timed
    groups, so metric recording never perturbs the measurements above. *)
@@ -888,7 +1019,7 @@ let collect_counters () =
 
 let () =
   print_endline
-    "mdweave benchmark harness — experiments E1..E16 (see EXPERIMENTS.md; \
+    "mdweave benchmark harness — experiments E1..E17 (see EXPERIMENTS.md; \
      E12 is the fuzz harness, driven by bin/check_cli)";
   print_newline ();
   run_group ~experiment:"E1"
@@ -917,5 +1048,6 @@ let () =
   run_e14 ();
   run_e15 ();
   run_e16 ();
+  run_e17 ();
   collect_counters ();
-  write_snapshot "BENCH_pr7.json"
+  write_snapshot "BENCH_pr8.json"

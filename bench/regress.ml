@@ -1,0 +1,41 @@
+(* Standalone regression gate over two benchmark snapshots — the same
+   engine as `mdweave bench-diff`, kept as its own executable so CI can
+   gate without building the full CLI:
+
+     dune exec bench/regress.exe -- BENCH_pr7.json BENCH_pr8.json 25
+
+   Exit 0 when every gated row is within tolerance, 1 on any regression,
+   2 on usage/parse errors. The optional third argument is the tolerance
+   in percent (default 10). *)
+
+let read path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg ->
+      prerr_endline ("regress: " ^ msg);
+      exit 2
+  | text -> (
+      match Obs.Regress.parse text with
+      | Ok rows -> rows
+      | Error msg ->
+          prerr_endline (Printf.sprintf "regress: %s: %s" path msg);
+          exit 2)
+
+let () =
+  let old_file, new_file, tolerance =
+    match Array.to_list Sys.argv with
+    | [ _; o; n ] -> (o, n, 10.)
+    | [ _; o; n; t ] -> (
+        match float_of_string_opt t with
+        | Some t -> (o, n, t)
+        | None ->
+            prerr_endline ("regress: bad tolerance " ^ t);
+            exit 2)
+    | _ ->
+        prerr_endline "usage: regress OLD.json NEW.json [TOLERANCE_PCT]";
+        exit 2
+  in
+  let entries =
+    Obs.Regress.compare_snapshots ~tolerance (read old_file) (read new_file)
+  in
+  print_string (Obs.Regress.render ~tolerance entries);
+  exit (Obs.Regress.gate entries)

@@ -10,6 +10,10 @@
      codegen   generate code (functional or monolithic) from an XMI model
      build     apply a transformation sequence and emit code + aspects
      batch     refine many independent models concurrently (domain pool)
+     stats     summarize a model, or render a metrics snapshot as a table
+     trace     summarize / slice JSONL traces per request or session
+     bench-diff  gate two benchmark snapshots against a tolerance
+     workflow  middleware-workflow guidance with interference verdicts
      repo      versioned model repository on a content-addressed snapshot *)
 
 open Cmdliner
@@ -35,7 +39,9 @@ let trace_arg =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
-          "Record the run as a Chrome trace-event file (open in \
+          "Record the run as a trace file: $(docv) ending in .jsonl gets \
+           one JSON event per line (sliceable with $(b,mdweave trace)); \
+           any other name gets the Chrome trace-event format (open in \
            chrome://tracing or https://ui.perfetto.dev)")
 
 let metrics_arg =
@@ -47,23 +53,31 @@ let metrics_arg =
           "Record run counters and histograms as JSON rows \
            ({metric, value, unit})")
 
+let jsonl_of_events events =
+  String.concat "" (List.map (fun e -> Obs.Event.to_json e ^ "\n") events)
+
 (* Install the requested sinks around [f]; artifacts are written on normal
-   completion (a run that dies via [or_die] leaves none behind). *)
+   completion (a run that dies via [or_die] leaves none behind). The trace
+   format follows the extension: .jsonl streams raw events (the format
+   `mdweave trace` reads back), anything else renders a Chrome trace. *)
 let with_obs ~trace ~metrics f =
-  let chrome =
+  let capture =
     Option.map
       (fun path ->
-        let sink, render = Obs.Sink.chrome () in
+        let sink, events = Obs.Sink.memory () in
         Obs.set_sink sink;
-        (path, render))
+        (path, events))
       trace
   in
   if Option.is_some metrics then Obs.Metric.enable ();
   let v = f () in
-  (match chrome with
-  | Some (path, render) ->
+  (match capture with
+  | Some (path, events) ->
       Obs.set_sink Obs.Sink.Null;
-      Obs.Sink.write_file path (render ());
+      let events = events () in
+      Obs.Sink.write_file path
+        (if Filename.check_suffix path ".jsonl" then jsonl_of_events events
+         else Obs.Sink.chrome_of_events events);
       Printf.printf "trace written to %s\n" path
   | None -> ());
   (match metrics with
@@ -695,7 +709,36 @@ let replay_cmd =
 
 let stats_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run file steps =
+  (* One command, two inputs, told apart by content: a metrics snapshot
+     (JSON array from `--metrics` or a BENCH_*.json) renders as a table,
+     anything else is an XMI model summarized with its concern spaces. *)
+  let render_snapshot text =
+    let rows = or_die (Obs.Regress.parse text) in
+    let have_experiments =
+      List.exists (fun r -> r.Obs.Regress.experiment <> "") rows
+    in
+    Printf.printf "metrics snapshot: %d row(s)\n" (List.length rows);
+    List.iter
+      (fun (r : Obs.Regress.row) ->
+        if have_experiments then
+          Printf.printf "  %-9s %-56s %14s %s\n" r.experiment r.metric
+            (Obs.Regress.number r.value) r.unit_
+        else
+          Printf.printf "  %-56s %14s %s\n" r.metric
+            (Obs.Regress.number r.value) r.unit_)
+      rows
+  in
+  let looks_like_snapshot text =
+    let rec first i =
+      if i >= String.length text then None
+      else
+        match text.[i] with
+        | ' ' | '\t' | '\n' | '\r' -> first (i + 1)
+        | c -> Some c
+    in
+    match first 0 with Some ('[' | '{') -> true | _ -> false
+  in
+  let model_stats file steps =
     Core.Platform.ensure_registered ();
     let m = or_die (read_model file) in
     let project = refined_project m steps in
@@ -724,8 +767,160 @@ let stats_cmd =
           (Mof.Id.Set.cardinal (Transform.Trace.concern_space trace ~concern)))
       concerns
   in
+  let run file steps =
+    let text =
+      match In_channel.with_open_bin file In_channel.input_all with
+      | exception Sys_error msg -> or_die (Error msg)
+      | text -> text
+    in
+    if looks_like_snapshot text then render_snapshot text
+    else model_stats file steps
+  in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Summarize a model and its concern spaces")
+    (Cmd.info "stats"
+       ~doc:
+         "Summarize a model and its concern spaces, or render a metrics \
+          snapshot (from $(b,--metrics) or a BENCH file) as a table")
+    Term.(const run $ file $ steps_arg)
+
+(* ---- trace ------------------------------------------------------------ *)
+
+let read_text path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> or_die (Error msg)
+  | text -> text
+
+let read_trace path = or_die (Obs.Trace.parse (read_text path))
+
+let trace_file_pos =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.jsonl")
+
+let trace_summarize_cmd =
+  let run file = print_string (Obs.Trace.summarize (read_trace file)) in
+  Cmd.v
+    (Cmd.info "summarize"
+       ~doc:
+         "Roll a JSONL trace up: per-category wall/alloc totals and the \
+          critical path of every request")
+    Term.(const run $ trace_file_pos)
+
+let trace_slice_cmd =
+  let request =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "request" ] ~docv:"ID" ~doc:"Keep events of this request only")
+  in
+  let session =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "session" ] ~docv:"ID" ~doc:"Keep events of this session only")
+  in
+  let run file req sess =
+    if req = None && sess = None then
+      or_die (Error "trace slice: give --request and/or --session");
+    List.iter
+      (fun e -> print_endline (Obs.Event.to_json e))
+      (Obs.Trace.slice ?req ?sess (read_trace file))
+  in
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:
+         "Filter a JSONL trace down to one request or session; output is \
+          again JSONL")
+    Term.(const run $ trace_file_pos $ request $ session)
+
+let trace_cmd =
+  let default = Term.(ret (const (`Help (`Pager, Some "trace")))) in
+  Cmd.group ~default
+    (Cmd.info "trace"
+       ~doc:
+         "Analyze JSONL traces recorded with --trace FILE.jsonl: summarize \
+          or slice per request/session")
+    [ trace_summarize_cmd; trace_slice_cmd ]
+
+(* ---- bench-diff -------------------------------------------------------- *)
+
+let bench_diff_cmd =
+  let old_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json")
+  in
+  let new_pos =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 10.
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Relative drift accepted on gated rows before a row counts as \
+             regressed (percent)")
+  in
+  let run old_file new_file tolerance =
+    let olds = or_die (Obs.Regress.parse (read_text old_file)) in
+    let news = or_die (Obs.Regress.parse (read_text new_file)) in
+    let entries = Obs.Regress.compare_snapshots ~tolerance olds news in
+    print_string (Obs.Regress.render ~tolerance entries);
+    exit (Obs.Regress.gate entries)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two benchmark snapshots; exit 1 when any timed or \
+          throughput row regressed beyond the tolerance (counters and \
+          resource rows are informational)")
+    Term.(const run $ old_pos $ new_pos $ tolerance)
+
+(* ---- workflow ---------------------------------------------------------- *)
+
+let workflow_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file steps =
+    Core.Platform.ensure_registered ();
+    let m = or_die (read_model file) in
+    let project = refined_project m steps in
+    (* replay the applied concerns through the middleware workflow *)
+    let progress =
+      List.fold_left
+        (fun p concern ->
+          match Workflow.State.advance p ~concern with
+          | Ok p -> p
+          | Error msg ->
+              Printf.printf "  note: %s\n" msg;
+              p)
+        (Workflow.State.start Workflow.State.middleware_default)
+        (Transform.Trace.concerns_applied (Core.Project.trace project))
+    in
+    print_endline (Workflow.Guidance.describe progress);
+    (* and say where the order the workflow fixes actually matters *)
+    let artifacts =
+      or_die
+        (Result.map_error Core.Pipeline.error_to_string
+           (Core.Pipeline.build project))
+    in
+    let report = Core.Artifacts.interference artifacts in
+    print_endline
+      (Workflow.Guidance.interference_brief
+         (List.map
+            (fun (p : Weaver.Interference.pair) ->
+              {
+                Workflow.Guidance.pair_left = p.Weaver.Interference.left;
+                pair_right = p.Weaver.Interference.right;
+                pair_conflict =
+                  (match p.Weaver.Interference.verdict with
+                  | Weaver.Interference.Independent -> None
+                  | Weaver.Interference.Conflicting { reason; _ } ->
+                      Some reason);
+              })
+            report.Weaver.Interference.pairs))
+  in
+  Cmd.v
+    (Cmd.info "workflow"
+       ~doc:
+         "Show middleware-workflow guidance for a refinement in progress: \
+          completed steps, admissible next concerns, and which concern \
+          orderings are load-bearing per the interference analysis")
     Term.(const run $ file $ steps_arg)
 
 (* ---- repo ------------------------------------------------------------ *)
@@ -933,8 +1128,20 @@ let repo_serve_cmd =
       value & opt int 3
       & info [ "commits" ] ~docv:"K" ~doc:"Commits per session")
   in
-  let run store jobs commits trace metrics =
+  let stats_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus-style text exposition of the run's \
+             counters and latency histograms to $(docv) ('-' for stdout); \
+             implies metric collection")
+  in
+  let run store jobs commits stats trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
+    if Option.is_some stats then Obs.Metric.enable ();
+    let tracing = Option.is_some trace in
     let repo = or_die (read_repo store) in
     let svc = Repository.Service.create repo in
     let sessions = List.init (max 1 jobs) Fun.id in
@@ -947,39 +1154,58 @@ let repo_serve_cmd =
         | Ok _ -> ()
         | Error e -> or_die (Error (Repository.Service.error_to_string e)))
       sessions;
+    (* Each session is a numbered Obs session; every snapshot+commit round
+       trip is one request, so the trace slices per session (branch) or per
+       request (round trip). Worker domains start on the null sink, so when
+       tracing each session records into its own memory sink and the events
+       are replayed into the main sink after the join. *)
     let session s =
       let branch = Printf.sprintf "sess%d" s in
       let rec go i =
         if i > commits then Ok ()
         else
-          let view = Repository.Service.snapshot svc in
-          match Repository.Repo.branch_head view branch with
-          | None -> Error (branch ^ " vanished")
-          | Some head_id -> (
-              match Repository.Repo.model_at view head_id with
-              | None -> Error (branch ^ " head not stored")
-              | Some base -> (
-                  let m, _ =
-                    Mof.Builder.add_class base ~owner:(Mof.Model.root base)
-                      ~name:(Printf.sprintf "S%dC%d" s i)
-                  in
-                  match
-                    Repository.Service.commit svc ~branch
-                      ~message:(Printf.sprintf "session %d commit %d" s i)
-                      m
-                  with
-                  | Ok _ -> go (i + 1)
-                  | Error e -> Error (Repository.Service.error_to_string e)))
+          let round () =
+            let view = Repository.Service.snapshot svc in
+            match Repository.Repo.branch_head view branch with
+            | None -> Error (branch ^ " vanished")
+            | Some head_id -> (
+                match Repository.Repo.model_at view head_id with
+                | None -> Error (branch ^ " head not stored")
+                | Some base -> (
+                    let m, _ =
+                      Mof.Builder.add_class base ~owner:(Mof.Model.root base)
+                        ~name:(Printf.sprintf "S%dC%d" s i)
+                    in
+                    match
+                      Repository.Service.commit svc ~branch
+                        ~message:(Printf.sprintf "session %d commit %d" s i)
+                        m
+                    with
+                    | Ok _ -> Ok ()
+                    | Error e -> Error (Repository.Service.error_to_string e)))
+          in
+          match Obs.with_request round with
+          | Ok () -> go (i + 1)
+          | Error _ as e -> e
       in
-      go 1
+      Obs.with_session ~id:(s + 1) @@ fun () ->
+      if tracing then
+        let sink, events = Obs.Sink.memory () in
+        let r = Obs.with_sink sink (fun () -> go 1) in
+        (r, events ())
+      else (go 1, [])
     in
     let results =
       if jobs > 1 then
         Par.Pool.with_pool ~jobs (fun pool -> Par.Pool.map pool session sessions)
       else List.map session sessions
     in
+    let main_sink = Obs.sink () in
     List.iter
-      (function Ok () -> () | Error msg -> or_die (Error msg))
+      (fun (_, events) -> List.iter (Obs.Sink.emit main_sink) events)
+      results;
+    List.iter
+      (function Ok (), _ -> () | Error msg, _ -> or_die (Error msg))
       results;
     let final = Repository.Service.snapshot svc in
     write_repo store final;
@@ -998,14 +1224,23 @@ let repo_serve_cmd =
               branch commits elements)
       sessions;
     Printf.printf "served %d session(s): %s\n" (List.length sessions)
-      (repo_stats final)
+      (repo_stats final);
+    match stats with
+    | None -> ()
+    | Some "-" -> print_string (Obs.Expo.render ())
+    | Some path ->
+        Obs.Sink.write_file path (Obs.Expo.render ());
+        Printf.printf "stats written to %s\n" path
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run concurrent sessions against the repository: each commits on \
-          its own branch through the session service")
-    Term.(const run $ store_pos $ jobs $ commits $ trace_arg $ metrics_arg)
+          its own branch through the session service; $(b,--stats) exposes \
+          the run's latency histograms Prometheus-style")
+    Term.(
+      const run $ store_pos $ jobs $ commits $ stats_opt $ trace_arg
+      $ metrics_arg)
 
 let repo_cmd =
   let default = Term.(ret (const (`Help (`Pager, Some "repo")))) in
@@ -1049,5 +1284,8 @@ let () =
             replay_cmd;
             color_cmd;
             stats_cmd;
+            trace_cmd;
+            bench_diff_cmd;
+            workflow_cmd;
             repo_cmd;
           ]))

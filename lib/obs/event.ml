@@ -19,6 +19,8 @@ type t = {
   seq : int;
   ts_ns : int64;
   dom : int;  (** id of the domain that emitted the event *)
+  req : int;  (** request id the event belongs to, 0 = none *)
+  sess : int;  (** session id the event belongs to, 0 = none *)
   depth : int;
   cat : string;
   name : string;
@@ -29,14 +31,17 @@ type t = {
 let phase = function Span_begin -> "B" | Span_end _ -> "E" | Instant -> "i"
 
 (* Strip the fields that vary between identical runs (timestamps, measured
-   durations, allocation counts, and the domain id — which worker of a pool
-   ran an item is a scheduling accident); everything left must replay
-   exactly. *)
+   durations, allocation counts, the domain id — which worker of a pool
+   ran an item is a scheduling accident — and the request/session ids,
+   whose process-wide allocation order depends on that same scheduling);
+   everything left must replay exactly. *)
 let normalize e =
   {
     e with
     ts_ns = 0L;
     dom = 0;
+    req = 0;
+    sess = 0;
     kind =
       (match e.kind with
       | Span_end _ -> Span_end { wall_ns = 0L; alloc_bytes = 0. }
@@ -80,7 +85,9 @@ let args_to_json args =
       (List.map (fun (k, v) -> json_string k ^ ":" ^ value_to_json v) args)
   ^ "}"
 
-(* One flat JSONL object per event (the line-oriented sink format). *)
+(* One flat JSONL object per event (the line-oriented sink format).
+   [req]/[sess] are emitted only when set, so traces without request
+   context render byte-identically to the pre-request format. *)
 let to_json e =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
@@ -89,6 +96,9 @@ let to_json e =
        e.seq e.ts_ns e.dom e.depth
        (json_string (phase e.kind))
        (json_string e.cat) (json_string e.name));
+  if e.req <> 0 then Buffer.add_string buf (Printf.sprintf ",\"req\":%d" e.req);
+  if e.sess <> 0 then
+    Buffer.add_string buf (Printf.sprintf ",\"sess\":%d" e.sess);
   (match e.kind with
   | Span_end { wall_ns; alloc_bytes } ->
       Buffer.add_string buf

@@ -1,0 +1,148 @@
+(* Fixed-layout log-linear latency histogram (HDR-style).
+
+   Values are quantized to non-negative integers (nanoseconds in practice)
+   and land in one of 960 buckets: the first 16 buckets are exact
+   (0..15), and every later power-of-two range is split into 16 linear
+   sub-buckets, so the relative quantization error is bounded by 1/16
+   (6.25%) at any magnitude up to 2^62. The layout is a pure function of
+   the value — no rescaling, no allocation after [create] — which is what
+   makes two histograms recorded on different domains mergeable by
+   element-wise addition ({!merge_into}, the {!Metric.drain}/[absorb]
+   shard protocol) with *exact* counts: merge order can never change a
+   bucket total.
+
+   Quantiles are estimated from the bucket counts: the reported value is
+   the upper bound of the bucket holding the rank, clamped to the true
+   recorded maximum, so a quantile is never below the bucket's real
+   contents and never above anything actually observed. *)
+
+let sub_bits = 4
+let sub = 1 lsl sub_bits (* 16 linear sub-buckets per power-of-two range *)
+let bucket_count = (63 - sub_bits + 1) * sub (* index 959 is the last *)
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  {
+    counts = Array.make bucket_count 0;
+    count = 0;
+    sum = 0.;
+    min = infinity;
+    max = neg_infinity;
+  }
+
+let copy t = { t with counts = Array.copy t.counts }
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = t.min
+let max_value t = t.max
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+(* Position of the most significant bit of [n] (n > 0). *)
+let msb n =
+  let rec go n i = if n = 1 then i else go (n lsr 1) (i + 1) in
+  go n 0
+
+(* Negative and non-finite samples clamp to 0; anything past 2^62 lands in
+   the last bucket. Telemetry must be total. *)
+let index_of_value v =
+  let n =
+    if Float.is_nan v || v <= 0. then 0
+    else if v >= 4.611686018427387904e18 (* 2^62 *) then max_int
+    else int_of_float v
+  in
+  if n < sub then n
+  else
+    let m = msb n in
+    let idx = (((m - sub_bits) + 1) * sub) + ((n lsr (m - sub_bits)) - sub) in
+    if idx >= bucket_count then bucket_count - 1 else idx
+
+(* Smallest value mapping to bucket [idx]; the bucket's upper bound is the
+   next bucket's lower bound minus one quantum. *)
+let lower_bound idx =
+  if idx < sub then float_of_int idx
+  else
+    let g = idx lsr sub_bits in
+    let r = idx land (sub - 1) in
+    Int64.to_float (Int64.shift_left (Int64.of_int (sub + r)) (g - 1))
+
+let upper_bound idx =
+  if idx + 1 >= bucket_count then lower_bound idx *. 2.
+  else lower_bound (idx + 1)
+
+let observe t v =
+  t.counts.(index_of_value v) <- t.counts.(index_of_value v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let merge_into ~into src =
+  Array.iteri
+    (fun i c -> if c <> 0 then into.counts.(i) <- into.counts.(i) + c)
+    src.counts;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min < into.min then into.min <- src.min;
+  if src.max > into.max then into.max <- src.max
+
+(* [quantile t q] for q in [0,1]: the value at rank ceil(q*count), by the
+   nearest-rank definition, up to bucket quantization. *)
+let quantile t q =
+  if t.count = 0 then 0.
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let rec walk idx seen =
+      if idx >= bucket_count then t.max
+      else
+        let seen = seen + t.counts.(idx) in
+        if seen >= rank then
+          let v = upper_bound idx in
+          if v > t.max then t.max else v
+        else walk (idx + 1) seen
+    in
+    walk 0 0
+  end
+
+(* Non-empty buckets, lowest first: (lower, upper, count). The raw layout
+   for exposition and debugging; cumulative counts are the caller's
+   business (Prometheus wants them cumulative, tables want them plain). *)
+let buckets t =
+  let acc = ref [] in
+  for idx = bucket_count - 1 downto 0 do
+    if t.counts.(idx) <> 0 then
+      acc := (lower_bound idx, upper_bound idx, t.counts.(idx)) :: !acc
+  done;
+  !acc
+
+type snapshot = {
+  s_count : int;
+  s_sum : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+}
+
+let snapshot t =
+  {
+    s_count = t.count;
+    s_sum = t.sum;
+    s_min = (if t.count = 0 then 0. else t.min);
+    s_max = (if t.count = 0 then 0. else t.max);
+    s_p50 = quantile t 0.5;
+    s_p90 = quantile t 0.9;
+    s_p99 = quantile t 0.99;
+  }

@@ -2,8 +2,10 @@
 
    Recording is off by default: every entry point checks one atomic flag
    before touching the registry, so uninstrumented runs pay a memory read
-   per call site. Histograms keep count/sum/min/max — enough for the bench
-   snapshot rows — rather than full bucket vectors.
+   per call site. Histograms are full log-linear bucket vectors ({!Hist}):
+   count/sum/min/max plus p50/p90/p99 quantile estimates in the snapshot
+   rows, and the raw buckets for the Prometheus-style exposition
+   ({!Expo}).
 
    The registry is sharded per domain (Domain.DLS): every domain records
    into its own hash table, so instrumented code running on a pool of
@@ -18,17 +20,10 @@
 
 type labels = (string * string) list
 
-type hist = {
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-}
-
 type cell =
   | Counter of { mutable total : float; c_unit : string }
   | Gauge of { mutable value : float; g_unit : string }
-  | Histogram of { hist : hist; o_unit : string }
+  | Histogram of { hist : Hist.t; o_unit : string }
 
 (* The switch is global (an enable in the submitting domain must be seen by
    pool workers it spawns work onto); the data is domain-local. *)
@@ -75,18 +70,9 @@ let observe ?(unit_ = "ns") name labels v =
   if Atomic.get on then
     match
       find_or_add (name, labels) (fun () ->
-          Histogram
-            {
-              hist =
-                { h_count = 0; h_sum = 0.; h_min = infinity; h_max = neg_infinity };
-              o_unit = unit_;
-            })
+          Histogram { hist = Hist.create (); o_unit = unit_ })
     with
-    | Histogram { hist; _ } ->
-        hist.h_count <- hist.h_count + 1;
-        hist.h_sum <- hist.h_sum +. v;
-        if v < hist.h_min then hist.h_min <- v;
-        if v > hist.h_max then hist.h_max <- v
+    | Histogram { hist; _ } -> Hist.observe hist v
     | Counter _ | Gauge _ -> ()
 
 (* ---- shards: drain on the worker, absorb at the join --------------------- *)
@@ -107,12 +93,14 @@ let absorb (shard : shard) =
       | Counter c, Counter { total; _ } -> c.total <- c.total +. total
       | Gauge g, Gauge { value; _ } -> g.value <- value
       | Histogram { hist = h; _ }, Histogram { hist = h'; _ } ->
-          h.h_count <- h.h_count + h'.h_count;
-          h.h_sum <- h.h_sum +. h'.h_sum;
-          if h'.h_min < h.h_min then h.h_min <- h'.h_min;
-          if h'.h_max > h.h_max then h.h_max <- h'.h_max
+          Hist.merge_into ~into:h h'
       | _, _ -> () (* kind clash across shards: drop, as recording does *))
     shard
+
+(* Non-destructive view of the calling domain's registry — what {!Expo}
+   renders. Cells are live; callers must not hold them across records. *)
+let dump () : shard =
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) (registry ()) []
 
 (* ---- snapshots --------------------------------------------------------- *)
 
@@ -138,15 +126,15 @@ let rows () =
             let r suffix value unit_ =
               { metric = q ^ "." ^ suffix; value; unit_ }
             in
-            let mean =
-              if hist.h_count = 0 then 0.
-              else hist.h_sum /. float_of_int hist.h_count
-            in
-            r "count" (float_of_int hist.h_count) "count"
-            :: r "sum" hist.h_sum o_unit
-            :: r "min" hist.h_min o_unit
-            :: r "max" hist.h_max o_unit
-            :: r "mean" mean o_unit
+            let s = Hist.snapshot hist in
+            r "count" (float_of_int s.Hist.s_count) "count"
+            :: r "sum" s.Hist.s_sum o_unit
+            :: r "min" s.Hist.s_min o_unit
+            :: r "max" s.Hist.s_max o_unit
+            :: r "mean" (Hist.mean hist) o_unit
+            :: r "p50" s.Hist.s_p50 o_unit
+            :: r "p90" s.Hist.s_p90 o_unit
+            :: r "p99" s.Hist.s_p99 o_unit
             :: acc)
       (registry ()) []
   in

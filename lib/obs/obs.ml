@@ -20,9 +20,13 @@
 
 module Clock = Clock
 module Event = Event
+module Hist = Hist
 module Metric = Metric
 module Span = Span
 module Sink = Sink
+module Expo = Expo
+module Trace = Trace
+module Regress = Regress
 
 let current : Sink.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Sink.Null)
 
@@ -36,6 +40,7 @@ let enabled () = not (Sink.is_null (Domain.DLS.get current))
 let reset () =
   set_sink Sink.Null;
   Span.reset ();
+  Span.clear_request ();
   Metric.disable ();
   Metric.reset ()
 
@@ -69,3 +74,12 @@ let span ?(cat = "app") ?(args = []) name f =
 let incr ?by ?unit_ name labels = Metric.incr ?by ?unit_ name labels
 let gauge ?unit_ name labels v = Metric.set ?unit_ name labels v
 let observe ?unit_ name labels v = Metric.observe ?unit_ name labels v
+
+(* Request-context shorthands: every event emitted by [f] (on this domain)
+   carries the request/session id, so a JSONL trace can be sliced per
+   request. [with_request] allocates a fresh process-wide id unless given
+   one; both nest and restore the previous context on exit. *)
+let with_request ?id f = Span.with_request ?id f
+let with_session ~id f = Span.with_session ~id f
+let request_id () = Span.request_id ()
+let session_id () = Span.session_id ()

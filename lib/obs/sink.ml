@@ -43,6 +43,9 @@ let chrome_of_events events =
               ("alloc_bytes", Event.V_float alloc_bytes);
             ]
         | Event.Span_begin | Event.Instant -> [])
+        @ (if e.Event.req <> 0 then [ ("req", Event.V_int e.Event.req) ] else [])
+        @ (if e.Event.sess <> 0 then [ ("sess", Event.V_int e.Event.sess) ]
+           else [])
         @ e.Event.args
       in
       Buffer.add_string buf

@@ -8,33 +8,69 @@
 
 type open_span = { name : string; cat : string; t0 : int64; a0 : float }
 
-type state = { mutable seq : int; mutable depth : int }
+type state = {
+  mutable seq : int;
+  mutable depth : int;
+  mutable req : int;  (** current request id, 0 = no request in scope *)
+  mutable sess : int;  (** current session id, 0 = no session in scope *)
+}
 
 let state_key : state Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { seq = 0; depth = 0 })
+  Domain.DLS.new_key (fun () -> { seq = 0; depth = 0; req = 0; sess = 0 })
 
 let state () = Domain.DLS.get state_key
 let seq () = (state ()).seq
 let depth () = (state ()).depth
+let request_id () = (state ()).req
+let session_id () = (state ()).sess
 
+(* [reset] renumbers (seq/depth) only: a scoped capture that restarts
+   numbering must not lose the ambient request context it runs under. *)
 let reset () =
   let st = state () in
   st.seq <- 0;
   st.depth <- 0
 
+let clear_request () =
+  let st = state () in
+  st.req <- 0;
+  st.sess <- 0
+
+(* Request ids are allocated process-wide: two concurrent sessions must
+   never share one, whatever domain runs them. The allocation order under
+   a pool is a scheduling accident, which is why [Event.normalize] zeroes
+   the ids — determinism oracles compare traces modulo request numbering. *)
+let req_counter = Atomic.make 1
+let fresh_request_id () = Atomic.fetch_and_add req_counter 1
+
+let with_context get set v f =
+  let st = state () in
+  let prev = get st in
+  set st v;
+  Fun.protect ~finally:(fun () -> set st prev) f
+
+let with_request ?id f =
+  let id = match id with Some id -> id | None -> fresh_request_id () in
+  with_context (fun st -> st.req) (fun st v -> st.req <- v) id f
+
+let with_session ~id f =
+  with_context (fun st -> st.sess) (fun st v -> st.sess <- v) id f
+
 (* Save/restore of the local counters, so a scoped trace capture (one batch
    item recorded into its own sink) can renumber from zero without
    corrupting the bookkeeping of whatever outer spans are open. *)
-type snapshot = { s_seq : int; s_depth : int }
+type snapshot = { s_seq : int; s_depth : int; s_req : int; s_sess : int }
 
 let save () =
   let st = state () in
-  { s_seq = st.seq; s_depth = st.depth }
+  { s_seq = st.seq; s_depth = st.depth; s_req = st.req; s_sess = st.sess }
 
 let restore snap =
   let st = state () in
   st.seq <- snap.s_seq;
-  st.depth <- snap.s_depth
+  st.depth <- snap.s_depth;
+  st.req <- snap.s_req;
+  st.sess <- snap.s_sess
 
 let next_seq st =
   st.seq <- st.seq + 1;
@@ -48,6 +84,8 @@ let instant ~cat ~name ~args =
     Event.seq = next_seq st;
     ts_ns = Clock.now_ns ();
     dom = dom_id ();
+    req = st.req;
+    sess = st.sess;
     depth = st.depth;
     cat;
     name;
@@ -62,6 +100,8 @@ let enter ~cat ~name ~args emit =
       Event.seq = next_seq st;
       ts_ns = Clock.now_ns ();
       dom = dom_id ();
+      req = st.req;
+      sess = st.sess;
       depth = st.depth;
       cat;
       name;
@@ -84,6 +124,8 @@ let leave sp emit =
       Event.seq = next_seq st;
       ts_ns = now;
       dom = dom_id ();
+      req = st.req;
+      sess = st.sess;
       depth = st.depth;
       cat = sp.cat;
       name = sp.name;

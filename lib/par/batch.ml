@@ -40,6 +40,15 @@ let refine_one ~steps model =
 let run_batch ?pool ~label f models =
   ensure_registry ();
   let jobs = match pool with None -> 1 | Some p -> Pool.jobs p in
+  (* Each item is a session (its 1-based batch position) carrying a fresh
+     request id, established on whichever domain runs it — so every event
+     an item emits can be sliced out of a trace by request or session.
+     Ids are process-wide and allocation order under a pool is racy, which
+     is why Event.normalize zeroes them: the par oracle stays exact. *)
+  let indexed = List.mapi (fun i m -> (i + 1, m)) models in
+  let item (session, m) =
+    Obs.with_session ~id:session (fun () -> Obs.with_request (fun () -> f m))
+  in
   Obs.span ~cat:"par" "batch.run"
     ~args:
       [
@@ -49,8 +58,8 @@ let run_batch ?pool ~label f models =
       ]
   @@ fun () ->
   match pool with
-  | None -> List.map f models
-  | Some p -> Pool.map p f models
+  | None -> List.map item indexed
+  | Some p -> Pool.map p item indexed
 
 let refine_all ?pool ~steps models =
   run_batch ?pool ~label:"refine" (refine_one ~steps) models

@@ -17,9 +17,26 @@ let error_to_string e = Format.asprintf "%a" pp_error e
 
 let create repo = { state = Atomic.make repo; lock = Mutex.create () }
 
+(* Every session op runs in a request context: an ambient id set by the
+   caller (e.g. mdweave's serve loop, via [Obs.with_request]) is kept;
+   otherwise a fresh process-wide id is allocated for the duration of the
+   op. Only when tracing is live — the id exists to slice traces. *)
+let in_request f =
+  if (not (Obs.enabled ())) || Obs.request_id () <> 0 then f ()
+  else Obs.with_request f
+
 let snapshot t =
-  if Obs.Metric.enabled () then Obs.incr "repo.session.reads" [];
-  Atomic.get t.state
+  in_request @@ fun () ->
+  let metrics = Obs.Metric.enabled () in
+  let t0 = if metrics then Obs.Clock.now_ns () else 0L in
+  let v = Atomic.get t.state in
+  if metrics then begin
+    Obs.incr "repo.session.reads" [];
+    Obs.observe ~unit_:"ns" "repo.session.snapshot.latency_ns" []
+      (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0))
+  end;
+  if Obs.enabled () then Obs.event ~cat:"repo" "session.read";
+  v
 
 let stale t view = not (Atomic.get t.state == view)
 
@@ -36,6 +53,12 @@ let update t f =
           Ok v)
 
 let commit t ~branch ?expect_head ?transformation ?concern ~message model =
+  in_request @@ fun () ->
+  Obs.span ~cat:"repo" "session.commit"
+    ~args:[ ("branch", Obs.Event.V_string branch) ]
+  @@ fun () ->
+  let metrics = Obs.Metric.enabled () in
+  let t0 = if metrics then Obs.Clock.now_ns () else 0L in
   let result =
     update t (fun repo ->
         match (expect_head, Repo.branch_head repo branch) with
@@ -49,12 +72,26 @@ let commit t ~branch ?expect_head ?transformation ?concern ~message model =
             | Error e -> Error (Repo_error e)
             | Ok repo -> Ok (repo, (Repo.head repo).Commit.id)))
   in
-  if Obs.Metric.enabled () then
+  if metrics then begin
+    Obs.observe ~unit_:"ns" "repo.session.commit.latency_ns" []
+      (Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0));
     Obs.incr
       (match result with
       | Ok _ -> "repo.session.commits"
       | Error _ -> "repo.session.conflicts")
-      [];
+      []
+  end;
+  (match result with
+  | Error (Stale_parent { branch; expected; actual }) ->
+      if Obs.enabled () then
+        Obs.event ~cat:"repo" "session.stale"
+          ~args:
+            [
+              ("branch", Obs.Event.V_string branch);
+              ("expected", Obs.Event.V_int expected);
+              ("actual", Obs.Event.V_int actual);
+            ]
+  | _ -> ());
   result
 
 let tag t name =

@@ -278,3 +278,81 @@ naive full-copy baseline case by case.
 
   $ check --oracle repo --count 5 --quiet >/dev/null; echo "exit: $?"
   exit: 0
+
+A served store exposes its metrics as a Prometheus-style text document:
+two sessions of two commits each land four samples in the commit-latency
+histogram (`--stats -` writes the exposition to stdout).
+
+  $ mdweave repo init bank.xmi -o obs-store.mdr
+  initialized obs-store.mdr: 1 commit(s), 13 object(s), 244 byte(s) in store
+
+  $ mdweave repo serve obs-store.mdr --jobs 2 --commits 2 --stats - | grep -E "TYPE repo_session_commit_latency_ns |repo_session_commit_latency_ns_count"
+  # TYPE repo_session_commit_latency_ns histogram
+  repo_session_commit_latency_ns_count 4
+
+Tracing a single-domain serve is deterministic modulo timestamps: two
+commit rounds and the final read make three requests, and the slice of
+request 2 is exactly that round's read + commit span.
+
+  $ mdweave repo init bank.xmi -o tr-store.mdr
+  initialized tr-store.mdr: 1 commit(s), 13 object(s), 244 byte(s) in store
+
+  $ mdweave repo serve tr-store.mdr --jobs 1 --commits 2 --trace serve.trace.jsonl
+  branch sess0: 2 commit(s), head model 15 element(s)
+  served 1 session(s): 3 commit(s), 17 object(s), 331 byte(s) in store
+  trace written to serve.trace.jsonl
+
+  $ mdweave trace summarize serve.trace.jsonl | head -1
+  trace: 7 event(s), 1 domain(s), 3 request(s), 1 session(s)
+
+  $ mdweave trace slice serve.trace.jsonl --request 2 | grep -c '"req":2'
+  3
+
+  $ mdweave trace slice serve.trace.jsonl --request 2 | grep -o '"name":"[^"]*"'
+  "name":"session.read"
+  "name":"session.commit"
+  "name":"session.commit"
+
+`mdweave stats` sniffs its input: a JSON snapshot renders as a table
+instead of being parsed as a model.
+
+  $ printf '[{"metric":"batch.items","value":4,"unit":"count"},\n{"metric":"repo.session.commit.latency_ns.p99","value":52000,"unit":"ns"}]\n' > snap.json
+  $ mdweave stats snap.json
+  metrics snapshot: 2 row(s)
+    batch.items                                                           4 count
+    repo.session.commit.latency_ns.p99                                52000 ns
+
+`mdweave bench-diff` compares two snapshots and gates on direction-aware
+regressions: exit 0 inside the tolerance, exit 1 on any regressed row.
+
+  $ printf '[{"experiment":"E1","metric":"weave/full","value":100,"unit":"ns/run"},\n{"experiment":"E1","metric":"speedup","value":4,"unit":"x"}]\n' > bench-old.json
+  $ printf '[{"experiment":"E1","metric":"weave/full","value":105,"unit":"ns/run"},\n{"experiment":"E1","metric":"speedup","value":4.1,"unit":"x"}]\n' > bench-new.json
+  $ mdweave bench-diff bench-old.json bench-new.json --tolerance 10; echo "exit: $?"
+  bench-diff: 2 row(s), tolerance 10%
+    ok        E1         speedup                                                         4 -> 4.1             +2.5% (x)
+    ok        E1         weave/full                                                    100 -> 105             +5.0% (ns/run)
+  summary: 0 regressed, 0 improved, 2 ok, 0 info, 0 added, 0 removed
+  exit: 0
+
+  $ printf '[{"experiment":"E1","metric":"weave/full","value":350,"unit":"ns/run"},\n{"experiment":"E1","metric":"speedup","value":4.1,"unit":"x"}]\n' > bench-slow.json
+  $ mdweave bench-diff bench-old.json bench-slow.json --tolerance 10; echo "exit: $?"
+  bench-diff: 2 row(s), tolerance 10%
+    ok        E1         speedup                                                         4 -> 4.1             +2.5% (x)
+    REGRESSED E1         weave/full                                                    100 -> 350           +250.0% (ns/run)
+  summary: 1 regressed, 0 improved, 1 ok, 0 info, 0 added, 0 removed
+  exit: 1
+
+`mdweave workflow` reports refinement progress against the middleware
+workflow and surfaces the aspect-interference verdicts for the concerns
+applied so far.
+
+  $ mdweave workflow bank.xmi -s "distribution: remote=Account|Teller" -s "transactions: transactional=Account"
+  T.distribution<[Account, Teller], "rmi", "localhost:1099"> [distribution] +37 -0 ~3
+  T.transactions<[Account], "serializable", "required"> [transactions] +8 -0 ~2
+  refinement progress:
+    [x] distribute: distribution
+    [x] make-transactional: transactions
+    [ ] secure: choose one of security
+    remaining concerns: security, concurrency, logging
+  aspect interference: 1 pair(s), 1 order-sensitive
+    [!!] DistributionAspect ~ TransactionAspect: non-commuting advice at a shared join point (DistributionAspect before vs TransactionAspect around) (workflow order is load-bearing)

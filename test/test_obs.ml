@@ -386,6 +386,415 @@ let determinism_tests =
           && List.mem "report.make" (names a)));
   ]
 
+(* ---- hist ---------------------------------------------------------------- *)
+
+(* Deterministic pseudo-random stream (reproducible without qcheck): the
+   48-bit drand48 LCG, high bits used for the modulus. *)
+let lcg seed =
+  let state = ref seed in
+  fun bound ->
+    state := ((!state * 25214903917) + 11) land 0xFFFF_FFFF_FFFF;
+    (!state lsr 16) mod bound
+
+(* Nearest-rank quantile over the actual samples — the ground truth the
+   bucketed estimate must stay within 1/16 of. *)
+let reference_quantile values q =
+  let arr = Array.of_list values in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let rank =
+    let r = int_of_float (ceil (q *. float_of_int n)) in
+    if r < 1 then 1 else if r > n then n else r
+  in
+  arr.(rank - 1)
+
+let hist_tests =
+  [
+    Alcotest.test_case "quantiles track a sorted-array reference" `Quick
+      (fun () ->
+        let next = lcg 7 in
+        (* mixed magnitudes: exact small values through multi-million ns *)
+        let values =
+          List.init 10_000 (fun _ ->
+              match next 3 with
+              | 0 -> float_of_int (next 16)
+              | 1 -> float_of_int (next 10_000)
+              | _ -> float_of_int (next 50_000_000))
+        in
+        let h = Obs.Hist.create () in
+        List.iter (Obs.Hist.observe h) values;
+        List.iter
+          (fun q ->
+            let est = Obs.Hist.quantile h q in
+            let ref_v = reference_quantile values q in
+            Alcotest.(check bool)
+              (Printf.sprintf "q%.2f=%g >= reference %g" q est ref_v)
+              true (est >= ref_v);
+            (* one sub-bucket of relative error, one quantum absolute for
+               the exact range *)
+            let bound = Float.max (ref_v *. (1. +. 1. /. 16.)) (ref_v +. 1.) in
+            Alcotest.(check bool)
+              (Printf.sprintf "q%.2f=%g <= %g" q est bound)
+              true (est <= bound);
+            Alcotest.(check bool)
+              "never above the recorded max" true
+              (est <= Obs.Hist.max_value h))
+          [ 0.5; 0.9; 0.99; 1.0 ])
+    ;
+    Alcotest.test_case "bucket boundaries" `Quick (fun () ->
+        (* exact through 31: identity buckets *)
+        for v = 0 to 31 do
+          Alcotest.(check int)
+            (Printf.sprintf "index of %d" v)
+            v
+            (Obs.Hist.index_of_value (float_of_int v))
+        done;
+        (* every bucket brackets its members and chains to the next *)
+        List.iter
+          (fun v ->
+            let idx = Obs.Hist.index_of_value (float_of_int v) in
+            Alcotest.(check bool)
+              (Printf.sprintf "%d >= lower" v)
+              true
+              (float_of_int v >= Obs.Hist.lower_bound idx);
+            Alcotest.(check bool)
+              (Printf.sprintf "%d < upper" v)
+              true
+              (float_of_int v < Obs.Hist.upper_bound idx))
+          [ 32; 33; 255; 256; 257; 4095; 4096; 1_000_000; 1_000_000_007 ];
+        Alcotest.(check (float 0.))
+          "buckets tile: upper i = lower i+1"
+          (Obs.Hist.upper_bound 100)
+          (Obs.Hist.lower_bound 101);
+        (* totality: garbage lands at the edges instead of raising *)
+        Alcotest.(check int) "negative -> 0" 0 (Obs.Hist.index_of_value (-5.));
+        Alcotest.(check int) "nan -> 0" 0 (Obs.Hist.index_of_value Float.nan);
+        (* beyond 2^62 everything clamps into max_int's bucket *)
+        Alcotest.(check int)
+          "huge -> max_int's bucket"
+          (Obs.Hist.index_of_value (float_of_int max_int))
+          (Obs.Hist.index_of_value 1e19);
+        Alcotest.(check bool)
+          "that bucket is in range" true
+          (Obs.Hist.index_of_value 1e19 < Obs.Hist.bucket_count))
+    ;
+    Alcotest.test_case "merge is exact and order-independent" `Quick (fun () ->
+        let next = lcg 23 in
+        let values = List.init 2_000 (fun _ -> float_of_int (next 1_000_000)) in
+        let whole = Obs.Hist.create () in
+        List.iter (Obs.Hist.observe whole) values;
+        (* shard round-robin over 3 histograms, merge back in two orders *)
+        let shards = Array.init 3 (fun _ -> Obs.Hist.create ()) in
+        List.iteri
+          (fun i v -> Obs.Hist.observe shards.(i mod 3) v)
+          values;
+        let merge order =
+          let into = Obs.Hist.create () in
+          List.iter (fun i -> Obs.Hist.merge_into ~into shards.(i)) order;
+          into
+        in
+        let a = merge [ 0; 1; 2 ] and b = merge [ 2; 0; 1 ] in
+        List.iter
+          (fun (name, m) ->
+            Alcotest.(check int)
+              (name ^ " count") (Obs.Hist.count whole) (Obs.Hist.count m);
+            Alcotest.(check (float 1e-6))
+              (name ^ " sum") (Obs.Hist.sum whole) (Obs.Hist.sum m);
+            Alcotest.(check (float 0.))
+              (name ^ " min") (Obs.Hist.min_value whole) (Obs.Hist.min_value m);
+            Alcotest.(check (float 0.))
+              (name ^ " max") (Obs.Hist.max_value whole) (Obs.Hist.max_value m);
+            Alcotest.(check bool)
+              (name ^ " buckets identical") true
+              (Obs.Hist.buckets whole = Obs.Hist.buckets m))
+          [ ("fwd", a); ("perm", b) ])
+    ;
+  ]
+
+(* ---- exposition ----------------------------------------------------------- *)
+
+let expo_lines () = String.split_on_char '\n' (Obs.Expo.render ())
+
+let expo_tests =
+  [
+    Alcotest.test_case "name sanitization" `Quick (fun () ->
+        Alcotest.(check string)
+          "dots" "repo_session_commit_latency_ns"
+          (Obs.Expo.sanitize "repo.session.commit.latency_ns");
+        Alcotest.(check string)
+          "leading digit" "_9lives" (Obs.Expo.sanitize "9lives");
+        Alcotest.(check string) "empty" "_" (Obs.Expo.sanitize ""))
+    ;
+    Alcotest.test_case "counters, gauges and histogram triples" `Quick
+      (fun () ->
+        Obs.reset ();
+        Obs.Metric.enable ();
+        Fun.protect ~finally:Obs.reset (fun () ->
+            Obs.incr "req.count" [] ~by:3.;
+            Obs.gauge "pool.depth" [] 4.;
+            List.iter (Obs.observe "svc.lat_ns" [] ~unit_:"ns")
+              [ 1.; 2.; 300.; 40_000. ];
+            let text = Obs.Expo.render () in
+            let has l = List.mem l (expo_lines ()) in
+            Alcotest.(check bool) "counter type" true
+              (has "# TYPE req_count counter");
+            Alcotest.(check bool) "counter sample" true (has "req_count 3");
+            Alcotest.(check bool) "gauge sample" true (has "pool_depth 4");
+            Alcotest.(check bool) "histogram type" true
+              (has "# TYPE svc_lat_ns histogram");
+            Alcotest.(check bool) "+Inf bucket" true
+              (has "svc_lat_ns_bucket{le=\"+Inf\"} 4");
+            Alcotest.(check bool) "count" true (has "svc_lat_ns_count 4");
+            Alcotest.(check bool) "sum" true (has "svc_lat_ns_sum 40303");
+            (* bucket counts are cumulative: each le line <= the next *)
+            let bucket_counts =
+              List.filter_map
+                (fun l ->
+                  if
+                    String.length l > 18
+                    && String.sub l 0 18 = "svc_lat_ns_bucket{"
+                  then
+                    String.rindex_opt l ' '
+                    |> Option.map (fun i ->
+                           int_of_string
+                             (String.sub l (i + 1) (String.length l - i - 1)))
+                  else None)
+                (expo_lines ())
+            in
+            Alcotest.(check bool) "several buckets" true
+              (List.length bucket_counts >= 4);
+            Alcotest.(check bool) "cumulative" true
+              (List.for_all2 ( <= )
+                 (List.filteri
+                    (fun i _ -> i < List.length bucket_counts - 1)
+                    bucket_counts)
+                 (List.tl bucket_counts));
+            ignore text))
+    ;
+  ]
+
+(* ---- request context ------------------------------------------------------ *)
+
+let request_tests =
+  [
+    Alcotest.test_case "events carry the ambient request/session ids" `Quick
+      (fun () ->
+        let events =
+          with_memory (fun () ->
+              Obs.with_session ~id:7 (fun () ->
+                  Obs.with_request ~id:42 (fun () -> Obs.event "inside"));
+              Obs.event "outside")
+        in
+        match events with
+        | [ inside; outside ] ->
+            Alcotest.(check int) "req" 42 inside.Obs.Event.req;
+            Alcotest.(check int) "sess" 7 inside.Obs.Event.sess;
+            Alcotest.(check int) "req restored" 0 outside.Obs.Event.req;
+            Alcotest.(check int) "sess restored" 0 outside.Obs.Event.sess
+        | _ -> Alcotest.fail "expected two events")
+    ;
+    Alcotest.test_case "fresh request ids are distinct and increasing" `Quick
+      (fun () ->
+        Obs.reset ();
+        let a = Obs.with_request (fun () -> Obs.request_id ()) in
+        let b = Obs.with_request (fun () -> Obs.request_id ()) in
+        Alcotest.(check bool) "a > 0" true (a > 0);
+        Alcotest.(check bool) "b > a" true (b > a);
+        Alcotest.(check int) "cleared outside" 0 (Obs.request_id ()))
+    ;
+    Alcotest.test_case "normalize zeroes request and session ids" `Quick
+      (fun () ->
+        let events =
+          with_memory (fun () ->
+              Obs.with_session ~id:3 (fun () ->
+                  Obs.with_request (fun () ->
+                      Obs.span "s" (fun () -> Obs.event "e"))))
+        in
+        List.iter
+          (fun e ->
+            let n = Obs.Event.normalize e in
+            Alcotest.(check int) "req zeroed" 0 n.Obs.Event.req;
+            Alcotest.(check int) "sess zeroed" 0 n.Obs.Event.sess;
+            Alcotest.(check bool) "ts zeroed" true (n.Obs.Event.ts_ns = 0L))
+          events)
+    ;
+  ]
+
+(* ---- trace analysis -------------------------------------------------------- *)
+
+let jsonl_of events =
+  String.concat "" (List.map (fun e -> Obs.Event.to_json e ^ "\n") events)
+
+let trace_tests =
+  [
+    Alcotest.test_case "JSONL round-trips through parse" `Quick (fun () ->
+        let events =
+          with_memory (fun () ->
+              Obs.with_session ~id:2 (fun () ->
+                  Obs.with_request ~id:9 (fun () -> workload ())))
+        in
+        match Obs.Trace.parse (jsonl_of events) with
+        | Error msg -> Alcotest.failf "parse failed: %s" msg
+        | Ok parsed ->
+            (* ts_ns exceeds the float mantissa, so compare normalized *)
+            Alcotest.(check bool) "events equal modulo timestamps" true
+              (List.map Obs.Event.normalize parsed
+              = List.map Obs.Event.normalize events);
+            Alcotest.(check bool) "ids survive the round trip" true
+              (List.for_all
+                 (fun (e : Obs.Event.t) ->
+                   e.Obs.Event.req = 9 && e.Obs.Event.sess = 2)
+                 parsed))
+    ;
+    Alcotest.test_case "bad lines fail with their line number" `Quick
+      (fun () ->
+        match Obs.Trace.parse "{\"ph\":\"i\"}\nnot json\n" with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error msg ->
+            Alcotest.(check bool)
+              (Printf.sprintf "mentions line 2: %s" msg)
+              true
+              (String.length msg >= 7 && String.sub msg 0 7 = "line 2:"))
+    ;
+    Alcotest.test_case "summarize counts and critical path" `Quick (fun () ->
+        let events =
+          with_memory (fun () ->
+              Obs.with_session ~id:1 (fun () ->
+                  Obs.with_request ~id:1 (fun () ->
+                      Obs.span ~cat:"repo" "outer" (fun () ->
+                          Obs.span ~cat:"repo" "heavy" (fun () ->
+                              ignore (Sys.opaque_identity (List.init 100 Fun.id)))));
+                  Obs.with_request ~id:2 (fun () ->
+                      Obs.event ~cat:"repo" "ping")))
+        in
+        let text = Obs.Trace.summarize events in
+        let first =
+          match String.split_on_char '\n' text with l :: _ -> l | [] -> ""
+        in
+        Alcotest.(check string)
+          "header" "trace: 5 event(s), 1 domain(s), 2 request(s), 1 session(s)"
+          first;
+        Alcotest.(check bool) "critical path descends" true
+          (let open String in
+           length text > 0
+           &&
+           let rec contains i =
+             i + 13 <= length text
+             && (equal (sub text i 13) "outer > heavy" || contains (i + 1))
+           in
+           contains 0))
+    ;
+    Alcotest.test_case "slice keeps exactly the matching events" `Quick
+      (fun () ->
+        let events =
+          with_memory (fun () ->
+              Obs.with_session ~id:1 (fun () ->
+                  Obs.with_request ~id:1 (fun () -> Obs.event "a");
+                  Obs.with_request ~id:2 (fun () -> Obs.event "b"));
+              Obs.with_session ~id:2 (fun () ->
+                  Obs.with_request ~id:3 (fun () -> Obs.event "c")))
+        in
+        Alcotest.(check sl) "by request" [ "b" ]
+          (names (Obs.Trace.slice ~req:2 events));
+        Alcotest.(check sl) "by session" [ "a"; "b" ]
+          (names (Obs.Trace.slice ~sess:1 events));
+        Alcotest.(check sl) "conjunction" [ "c" ]
+          (names (Obs.Trace.slice ~req:3 ~sess:2 events));
+        Alcotest.(check sl) "empty" []
+          (names (Obs.Trace.slice ~req:1 ~sess:2 events)))
+    ;
+  ]
+
+(* ---- regression gate ------------------------------------------------------- *)
+
+let snapshot_json rows =
+  "[\n"
+  ^ String.concat ",\n"
+      (List.map
+         (fun (e, m, v, u) ->
+           Printf.sprintf
+             "{\"experiment\":\"%s\",\"metric\":\"%s\",\"value\":%g,\"unit\":\"%s\"}"
+             e m v u)
+         rows)
+  ^ "\n]\n"
+
+let regress_tests =
+  [
+    Alcotest.test_case "direction comes from the unit" `Quick (fun () ->
+        let old_rows =
+          snapshot_json
+            [
+              ("E", "t", 100., "ns/run");
+              ("E", "s", 10., "x");
+              ("E", "c", 5., "count");
+            ]
+        in
+        let new_rows =
+          snapshot_json
+            [
+              ("E", "t", 300., "ns/run") (* 3x slower: regression *);
+              ("E", "s", 30., "x") (* 3x more speedup: improvement *);
+              ("E", "c", 50., "count") (* counters are informational *);
+            ]
+        in
+        let parse s =
+          match Obs.Regress.parse s with
+          | Ok r -> r
+          | Error m -> Alcotest.failf "parse: %s" m
+        in
+        let entries =
+          Obs.Regress.compare_snapshots ~tolerance:50. (parse old_rows)
+            (parse new_rows)
+        in
+        let verdict metric =
+          match
+            List.find_opt (fun (e : Obs.Regress.entry) -> snd e.key = metric)
+              entries
+          with
+          | Some e -> e.Obs.Regress.verdict
+          | None -> Alcotest.failf "missing entry %s" metric
+        in
+        Alcotest.(check bool) "ns/run regressed" true
+          (verdict "t" = Obs.Regress.Regressed);
+        Alcotest.(check bool) "x improved" true
+          (verdict "s" = Obs.Regress.Improved);
+        Alcotest.(check bool) "count informational" true
+          (verdict "c" = Obs.Regress.Info);
+        Alcotest.(check int) "gate fails" 1 (Obs.Regress.gate entries))
+    ;
+    Alcotest.test_case "tolerance, added and removed rows never gate" `Quick
+      (fun () ->
+        let parse s =
+          match Obs.Regress.parse s with
+          | Ok r -> r
+          | Error m -> Alcotest.failf "parse: %s" m
+        in
+        let olds =
+          parse
+            (snapshot_json
+               [ ("E", "t", 100., "ns/run"); ("E", "gone", 1., "ns/run") ])
+        in
+        let news =
+          parse
+            (snapshot_json
+               [ ("E", "t", 109., "ns/run"); ("E", "fresh", 1., "ns/run") ])
+        in
+        let entries = Obs.Regress.compare_snapshots ~tolerance:10. olds news in
+        Alcotest.(check int) "within tolerance + churn passes" 0
+          (Obs.Regress.gate entries);
+        Alcotest.(check bool) "added reported" true
+          (List.exists
+             (fun (e : Obs.Regress.entry) ->
+               e.Obs.Regress.verdict = Obs.Regress.Added)
+             entries);
+        Alcotest.(check bool) "removed reported" true
+          (List.exists
+             (fun (e : Obs.Regress.entry) ->
+               e.Obs.Regress.verdict = Obs.Regress.Removed)
+             entries))
+    ;
+  ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -394,4 +803,9 @@ let () =
       ("metric", metric_tests);
       ("format", format_tests);
       ("determinism", determinism_tests);
+      ("hist", hist_tests);
+      ("expo", expo_tests);
+      ("request", request_tests);
+      ("trace", trace_tests);
+      ("regress", regress_tests);
     ]

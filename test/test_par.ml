@@ -203,6 +203,48 @@ let batch_tests =
         check (Alcotest.float 0.0) "batch.ok" 6. ok;
         check (Alcotest.float 0.0) "engine.apply.ok" 12. applies)
     ;
+    Alcotest.test_case "merged histograms are exact across domains" `Quick
+      (fun () ->
+        (* observe a known value set from pool workers; the drained shard
+           must hold the element-wise merge — same buckets, count, sum and
+           extrema as observing the whole set on one domain *)
+        let values = List.init 64 (fun i -> float_of_int ((i * 7919) + 1)) in
+        Obs.Metric.enable ();
+        ignore (Obs.Metric.drain ());
+        Par.Pool.with_pool ~jobs:4 (fun p ->
+            ignore
+              (Par.Pool.map p
+                 (fun v ->
+                   Obs.observe ~unit_:"ns" "par.test.latency_ns" [] v)
+                 values));
+        let shard = Obs.Metric.drain () in
+        Obs.Metric.disable ();
+        let merged =
+          List.find_map
+            (fun ((n, _), cell) ->
+              match (cell : Obs.Metric.cell) with
+              | Obs.Metric.Histogram { hist; _ }
+                when n = "par.test.latency_ns" ->
+                  Some hist
+              | _ -> None)
+            shard
+        in
+        match merged with
+        | None -> Alcotest.fail "histogram cell missing after drain"
+        | Some h ->
+            let whole = Obs.Hist.create () in
+            List.iter (Obs.Hist.observe whole) values;
+            check Alcotest.int "count" (Obs.Hist.count whole)
+              (Obs.Hist.count h);
+            check (Alcotest.float 1e-6) "sum" (Obs.Hist.sum whole)
+              (Obs.Hist.sum h);
+            check (Alcotest.float 0.0) "min" (Obs.Hist.min_value whole)
+              (Obs.Hist.min_value h);
+            check (Alcotest.float 0.0) "max" (Obs.Hist.max_value whole)
+              (Obs.Hist.max_value h);
+            check Alcotest.bool "buckets identical" true
+              (Obs.Hist.buckets whole = Obs.Hist.buckets h))
+    ;
     Alcotest.test_case "per-item traces equal the sequential ones" `Quick
       (fun () ->
         let models = Par.Workload.models ~classes:3 5 in

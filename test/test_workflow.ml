@@ -257,6 +257,38 @@ let guidance_tests =
             Mof.Diff.empty Transform.Trace.empty
         in
         check cb "inconsistent" false (Workflow.Guidance.consistent_with_trace p trace2));
+    Alcotest.test_case "interference_brief with no pairs is reassuring" `Quick
+      (fun () ->
+        let text = Workflow.Guidance.interference_brief [] in
+        check cb "safe-order message" true
+          (contains text "any concern order is safe"));
+    Alcotest.test_case "interference_brief flags order-sensitive pairs" `Quick
+      (fun () ->
+        let pairs =
+          [
+            {
+              Workflow.Guidance.pair_left = "security";
+              pair_right = "logging";
+              pair_conflict = None;
+            };
+            {
+              Workflow.Guidance.pair_left = "transactions";
+              pair_right = "concurrency";
+              pair_conflict = Some "both advise Account.withdraw";
+            };
+          ]
+        in
+        let text = Workflow.Guidance.interference_brief pairs in
+        check cb "counts pairs" true (contains text "2 pair(s)");
+        check cb "counts conflicts" true (contains text "1 order-sensitive");
+        check cb "independent pair marked ok" true
+          (contains text "[ok] security ~ logging");
+        check cb "conflicting pair flagged" true
+          (contains text "[!!] transactions ~ concurrency");
+        check cb "reason surfaced" true
+          (contains text "both advise Account.withdraw");
+        check cb "order called load-bearing" true
+          (contains text "workflow order is load-bearing"));
   ]
 
 (* ---- wizard ------------------------------------------------------------------- *)
