@@ -492,7 +492,7 @@ let e13_tests =
 let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
 
-(* ---- machine-readable snapshot (BENCH_pr8.json) -------------------------- *)
+(* ---- machine-readable snapshot (BENCH_pr9.json) -------------------------- *)
 
 (* One `{experiment, metric, value, unit}` row per measurement, accumulated
    alongside the human-readable table; see EXPERIMENTS.md for the schema. *)
@@ -529,8 +529,17 @@ let selected_experiments =
       | [] -> None
       | only -> Some only)
 
+(* Start every experiment group from a collected heap. Allocation-heavy
+   groups otherwise inherit the previous groups' deferred major-GC debt
+   (floating garbage, not a leak — live heap stays ~15MB across the whole
+   run), and the incremental major collector pays it off inside the timed
+   region: E16's full-weave rows measured 4x slower in the full run than
+   under BENCH_ONLY until the heap was settled here. *)
+let settle_gc () = Gc.compact ()
+
 let run_group_timed ~experiment title tests =
   Printf.printf "== %s ==\n%!" title;
+  settle_gc ();
   let t0 = Obs.Clock.now_ns () in
   let a0 = Gc.allocated_bytes () in
   let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
@@ -580,6 +589,7 @@ let run_e14 () =
   | _ ->
       Printf.printf
         "== E14 parallel batch: domain-pool throughput scaling ==\n%!";
+      settle_gc ();
       let t0 = Obs.Clock.now_ns () in
       let a0 = Gc.allocated_bytes () in
       let models = Par.Workload.models ~classes:50 16 in
@@ -662,6 +672,7 @@ let run_e15 () =
   | _ ->
       Printf.printf
         "== E15 repository: content-addressed store vs full copy ==\n%!";
+      settle_gc ();
       let t0 = Obs.Clock.now_ns () in
       let a0 = Gc.allocated_bytes () in
       let commits = 10_000 in
@@ -766,6 +777,7 @@ let run_e16 () =
   | _ ->
       Printf.printf
         "== E16 weaver: incremental re-weave and joinpoint index ==\n%!";
+      settle_gc ();
       let t0 = Obs.Clock.now_ns () in
       let a0 = Gc.allocated_bytes () in
       let program = Code.Generator.generate (synthetic 100) in
@@ -799,6 +811,11 @@ let run_e16 () =
         ignore (f ());
         let best = ref Int64.max_int in
         for _ = 1 to 3 do
+          (* settle before every rep: these allocation-heavy rows otherwise
+             time whatever major-GC debt and heap growth the surrounding
+             groups left behind, and full-run numbers drift 3-9x above the
+             same row under BENCH_ONLY (and above the gate baseline) *)
+          settle_gc ();
           let t = Obs.Clock.now_ns () in
           ignore (f ());
           let d = Int64.sub (Obs.Clock.now_ns ()) t in
@@ -813,7 +830,15 @@ let run_e16 () =
       let st = Weaver.Weave.initial aspects program in
       let full_ns = time (fun () -> Weaver.Weave.weave aspects edited) in
       row "weave/full-indexed:8-aspects-100-classes" full_ns;
+      let qs0 = Gc.quick_stat () in
       let scan_ns = time (fun () -> Weaver.Weave.weave_scan aspects edited) in
+      let qs1 = Gc.quick_stat () in
+      Printf.printf
+        "  [dbg] metrics=%b majors=%d minors=%d heap_words=%d\n%!"
+        (Obs.Metric.enabled ())
+        (qs1.Gc.major_collections - qs0.Gc.major_collections)
+        (qs1.Gc.minor_collections - qs0.Gc.minor_collections)
+        qs1.Gc.heap_words;
       row "weave/full-scan:no-index-ablation" scan_ns;
       let init_ns = time (fun () -> Weaver.Weave.initial aspects edited) in
       row "weave/initial:cold-incremental-ablation" init_ns;
@@ -859,6 +884,45 @@ let run_e16 () =
       row "weave/full-scan:literal-pointcuts" lit_scan_ns;
       ratio "weave/speedup:indexed-vs-scan:literal"
         (lit_scan_ns /. lit_full_ns);
+      (* per-pointcut-kind matcher breakdown: one compiled/tree pair per
+         kind over the program's full shadow set, so a slowdown in one
+         decider specialization can't hide inside an aggregate row *)
+      let shadows = Weaver.Joinpoint.all_shadows edited in
+      let n_shadows = float_of_int (List.length shadows) in
+      let kind_rows =
+        [
+          ("execution", Aspects.Pointcut.execution "C*" "m*");
+          ("call", Aspects.Pointcut.call "*" "log");
+          ("set", Aspects.Pointcut.set_field "C*" "f");
+          ("within", Aspects.Pointcut.within "C1*");
+          ( "composite",
+            Aspects.Pointcut.And
+              ( Aspects.Pointcut.execution "C*" "*",
+                Aspects.Pointcut.Not (Aspects.Pointcut.within "C9*") ) );
+        ]
+      in
+      List.iter
+        (fun (kind, pc) ->
+          let sweeps = 100. in
+          (* partial application stages the decider-cache lookup (and the
+             tree baseline's no-op staging) once per sweep, like the
+             weaver's own [List.filter (Matcher.matches pc)] call sites *)
+          let sweep matches () =
+            for _ = 1 to 100 do
+              let d = matches pc in
+              List.iter (fun s -> ignore (d s)) shadows
+            done
+          in
+          let dec_ns =
+            time (sweep Weaver.Matcher.decider) /. (sweeps *. n_shadows)
+          in
+          row (Printf.sprintf "match/%s:compiled" kind) dec_ns;
+          let tree_ns =
+            time (sweep Weaver.Matcher.matches_tree) /. (sweeps *. n_shadows)
+          in
+          row (Printf.sprintf "match/%s:tree" kind) tree_ns;
+          ratio (Printf.sprintf "match/speedup:%s" kind) (tree_ns /. dec_ns))
+        kind_rows;
       add_row ~experiment ~metric:"group.wall"
         ~value:(Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9)
         ~unit_:"s";
@@ -884,6 +948,7 @@ let run_e17 () =
   | _ ->
       Printf.printf
         "== E17 service observability: commit latency and overhead ==\n%!";
+      settle_gc ();
       let t0 = Obs.Clock.now_ns () in
       let a0 = Gc.allocated_bytes () in
       let base = synthetic 25 in
@@ -968,6 +1033,7 @@ let run_e17 () =
         f ();
         let best = ref Int64.max_int in
         for _ = 1 to 3 do
+          settle_gc ();
           let t = Obs.Clock.now_ns () in
           f ();
           let d = Int64.sub (Obs.Clock.now_ns ()) t in
@@ -976,6 +1042,9 @@ let run_e17 () =
         Int64.to_float !best
       in
       let per_commit ns = ns /. float_of_int commits in
+      (* the latency phase above just churned 5x200 commits through domain
+         pools; re-settle so the overhead rows don't time its GC debt *)
+      settle_gc ();
       let off_ns = per_commit (time (serve ~jobs:1)) in
       Obs.Metric.enable ();
       let on_ns = per_commit (time (serve ~jobs:1)) in
@@ -1001,6 +1070,206 @@ let run_e17 () =
 (* Counter totals from one representative instrumented run (the Fig. 2
    pipeline end to end plus an XMI round trip). Collected *after* the timed
    groups, so metric recording never perturbs the measurements above. *)
+(* ---- E18: bytecode execution layer — compiled vs tree-walking ------------- *)
+
+(* The PR-9 ablation: every row is a [Vm.with_vm true]/[false] pair over
+   the same warm state, so the delta is purely execute-compiled vs
+   walk-the-tree — parse, planner and extent caches are shared by both
+   arms. OCL rows mirror E3/E13 shapes (the acceptance criterion is >= 2x
+   on at least one of them), the matcher row covers the decider tier, the
+   interp rows cover compiled method bodies (loop-heavy and call-heavy),
+   and the pipeline row is E2's end-to-end build under both engines.
+   Direct best-of-three timing over an iteration batch, like E14-E16. *)
+let run_e18 () =
+  let experiment = "E18" in
+  match selected_experiments with
+  | Some only when not (List.mem experiment only) -> ()
+  | _ ->
+      Printf.printf
+        "== E18 bytecode execution layer: compiled vs tree-walking ==\n%!";
+      settle_gc ();
+      let t0 = Obs.Clock.now_ns () in
+      let a0 = Gc.allocated_bytes () in
+      let time f =
+        ignore (f ());
+        let best = ref Int64.max_int in
+        for _ = 1 to 3 do
+          (* settle before every rep: these allocation-heavy rows otherwise
+             time whatever major-GC debt and heap growth the surrounding
+             groups left behind, and full-run numbers drift 3-9x above the
+             same row under BENCH_ONLY (and above the gate baseline) *)
+          settle_gc ();
+          let t = Obs.Clock.now_ns () in
+          ignore (f ());
+          let d = Int64.sub (Obs.Clock.now_ns ()) t in
+          if d < !best then best := d
+        done;
+        Int64.to_float !best
+      in
+      let row name ns =
+        add_row ~experiment ~metric:name ~value:ns ~unit_:"ns/run";
+        Printf.printf "  %-55s %12.1f ns/run\n%!" name ns
+      in
+      let ratio name v =
+        add_row ~experiment ~metric:name ~value:v ~unit_:"x";
+        Printf.printf "  %-55s %12.1fx\n%!" name v
+      in
+      (* one compiled/tree pair per workload; tree first so the compiled
+         arm cannot be the one paying any residual warmup *)
+      let arms name ~iters f =
+        let batch () =
+          for _ = 1 to iters do
+            f ()
+          done
+        in
+        let per = float_of_int iters in
+        let tree_ns = Vm.with_vm false (fun () -> time batch) /. per in
+        row (name ^ ":tree") tree_ns;
+        let vm_ns = Vm.with_vm true (fun () -> time batch) /. per in
+        row (name ^ ":vm") vm_ns;
+        ratio ("speedup:" ^ name) (tree_ns /. vm_ns)
+      in
+      (* OCL tier: E3's eval shapes plus E13's walk, all on the 100-class
+         model, plus a collection/arithmetic body whose cost is pure
+         interpretation *)
+      let m = synthetic 100 in
+      let precondition =
+        Ocl.Constraint_.make ~name:"fresh"
+          "Set{'C0', 'C1'}->forAll(n | Class.allInstances()->exists(c | \
+           c.name = n))"
+      in
+      let heavy =
+        Ocl.Constraint_.make ~name:"heavy"
+          "Class.allInstances()->forAll(c | c.operations->forAll(o | \
+           o.parameters->forAll(p | p.type <> '')))"
+      in
+      let iterate =
+        Ocl.Constraint_.make ~name:"iterate"
+          "Sequence{1, 2, 3, 4, 5, 6, 7, 8}->iterate(n; a : Integer = 0 | a \
+           + n * n) = 204 and Sequence{1, 2, 3, 4}->collect(n | n * 2)->sum() \
+           = 20"
+      in
+      arms "ocl/eval:precondition:100-classes" ~iters:200 (fun () ->
+          ignore (Ocl.Constraint_.check m precondition));
+      arms "ocl/eval:nested-forall:100-classes" ~iters:50 (fun () ->
+          ignore (Ocl.Constraint_.check m heavy));
+      arms "ocl/eval:iterate-arith" ~iters:2000 (fun () ->
+          ignore (Ocl.Constraint_.check m iterate));
+      (* the environment-bound shape: let-bound thresholds consulted from
+         an iterator body. The walker pays an assoc-list walk (generic
+         equality per entry) for every variable access plus two env
+         allocations per iteration; the compiled form reads slots. *)
+      let deep_env =
+        Ocl.Constraint_.make ~name:"deep-env"
+          "let lo : Integer = 1 in let hi : Integer = 9 in let scale : \
+           Integer = 2 in let bias : Integer = 3 in let cap : Integer = 100 \
+           in Sequence{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, \
+           16}->iterate(n; a : Integer = 0 | a + ((n * scale + bias - lo) * \
+           hi)) < cap * 100"
+      in
+      arms "ocl/eval:let-iterate:deep-env" ~iters:2000 (fun () ->
+          ignore (Ocl.Constraint_.check m deep_env));
+      (* matcher tier: a composite pointcut over the full shadow set *)
+      let program = Code.Generator.generate m in
+      let shadows = Weaver.Joinpoint.all_shadows program in
+      let pc =
+        Aspects.Pointcut.Or
+          ( Aspects.Pointcut.execution "C*" "m*",
+            Aspects.Pointcut.And
+              ( Aspects.Pointcut.call "*" "*0",
+                Aspects.Pointcut.Not (Aspects.Pointcut.within "C1*") ) )
+      in
+      arms "match/all-shadows:composite" ~iters:200 (fun () ->
+          let d = Weaver.Matcher.matches pc in
+          List.iter (fun s -> ignore (d s)) shadows);
+      (* interp tier: a loop-and-call-heavy method executed end to end —
+         the body cache is warm in both arms, the walker just re-walks *)
+      let bench_program =
+        let mk_method ?(params = []) name body =
+          {
+            Code.Jdecl.method_name = name;
+            method_mods = [ Code.Jdecl.M_public ];
+            return_type = Code.Jtype.T_int;
+            params;
+            throws = [];
+            body = Some body;
+          }
+        in
+        let e n = Code.Jexpr.E_name n in
+        let num n = Code.Jexpr.E_int n in
+        let bin op a b = Code.Jexpr.E_binary (op, a, b) in
+        let set name v = Code.Jstmt.S_expr (Code.Jexpr.E_assign (e name, v)) in
+        [
+          Code.Junit.unit_ ~package:"bench"
+            [
+              Code.Jdecl.Class
+                {
+                  Code.Jdecl.class_name = "Bench";
+                  class_mods = [ Code.Jdecl.M_public ];
+                  extends = None;
+                  implements = [];
+                  fields =
+                    [
+                      {
+                        Code.Jdecl.field_name = "f";
+                        field_type = Code.Jtype.T_int;
+                        field_mods = [ Code.Jdecl.M_private ];
+                        field_init = None;
+                      };
+                    ];
+                  methods =
+                    [
+                      mk_method "step"
+                        [
+                          Code.Jstmt.S_local
+                            (Code.Jtype.T_int, "x", Some (num 1));
+                          Code.Jstmt.S_return (Some (bin "+" (e "x") (num 1)));
+                        ];
+                      mk_method "run"
+                        ~params:
+                          [
+                            {
+                              Code.Jdecl.param_name = "n";
+                              param_type = Code.Jtype.T_int;
+                            };
+                          ]
+                        [
+                          set "f" (num 0);
+                          Code.Jstmt.S_while
+                            ( bin "<" (e "f") (e "n"),
+                              [
+                                set "f"
+                                  (bin "+" (e "f")
+                                     (Code.Jexpr.E_call
+                                        (Some Code.Jexpr.E_this, "step", [])));
+                              ] );
+                          Code.Jstmt.S_return (Some (e "f"));
+                        ];
+                    ];
+                };
+            ];
+        ]
+      in
+      arms "interp/loop-calls:1000-iterations" ~iters:20 (fun () ->
+          ignore
+            (Interp.Machine.run ~args:[ Interp.Rvalue.V_int 2000 ]
+               bench_program ~class_name:"Bench" ~method_name:"run"));
+      (* E2's end-to-end pipeline under both engines: weaving and
+         constraint checking ride the compiled paths, everything else is
+         shared, so the win here is diluted but must not be a loss *)
+      arms "fig2/pipeline:end-to-end" ~iters:10 (fun () ->
+          let project = fig2_project () in
+          match Core.Pipeline.build project with
+          | Ok a -> ignore a
+          | Error e -> failwith (Core.Pipeline.error_to_string e));
+      add_row ~experiment ~metric:"group.wall"
+        ~value:(Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t0) /. 1e9)
+        ~unit_:"s";
+      add_row ~experiment ~metric:"group.alloc"
+        ~value:(Gc.allocated_bytes () -. a0)
+        ~unit_:"bytes";
+      print_newline ()
+
 let collect_counters () =
   Obs.Metric.enable ();
   let project = fig2_project () in
@@ -1019,7 +1288,7 @@ let collect_counters () =
 
 let () =
   print_endline
-    "mdweave benchmark harness — experiments E1..E17 (see EXPERIMENTS.md; \
+    "mdweave benchmark harness — experiments E1..E18 (see EXPERIMENTS.md; \
      E12 is the fuzz harness, driven by bin/check_cli)";
   print_newline ();
   run_group ~experiment:"E1"
@@ -1049,5 +1318,6 @@ let () =
   run_e15 ();
   run_e16 ();
   run_e17 ();
+  run_e18 ();
   collect_counters ();
-  write_snapshot "BENCH_pr8.json"
+  write_snapshot "BENCH_pr9.json"

@@ -126,6 +126,36 @@ let () =
             (o, Check.Harness.run o ~seed:seed64 ~count:!count))
           selected)
     |> List.iter (fun (o, r) -> report o r);
+  (* The [vm] oracle's guarantee is only as strong as the opcodes the fuzz
+     cases actually reach, so assert full opcode coverage whenever it ran
+     with enough cases to make full coverage a fair demand (the CI smoke
+     battery runs 500). Totals aggregate across all pool domains. *)
+  let vm_ran =
+    List.exists (fun (o : Check.Oracle.t) -> o.name = "vm") selected
+  in
+  if vm_ran && !count >= 500 then begin
+    let missing = ref [] in
+    let parts =
+      List.map
+        (fun p ->
+          let counts = Vm.Profile.counts p in
+          let zero = List.filter (fun (_, n) -> n = 0) counts in
+          List.iter
+            (fun (nm, _) ->
+              missing := (Vm.Profile.prefix p ^ "." ^ nm) :: !missing)
+            zero;
+          Printf.sprintf "%s %d/%d" (Vm.Profile.prefix p)
+            (List.length counts - List.length zero)
+            (List.length counts))
+        (Vm.Profile.all ())
+    in
+    Printf.printf "vm coverage: %s\n" (String.concat ", " parts);
+    if !missing <> [] then begin
+      Printf.printf "vm coverage FAILED, opcodes never executed: %s\n"
+        (String.concat ", " (List.rev !missing));
+      failed := true
+    end
+  end;
   (match chrome with
   | Some (path, render) ->
       Obs.set_sink Obs.Sink.Null;

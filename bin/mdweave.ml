@@ -53,14 +53,39 @@ let metrics_arg =
           "Record run counters and histograms as JSON rows \
            ({metric, value, unit})")
 
+let expo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats" ] ~docv:"FILE"
+        ~doc:
+          "Write a Prometheus-style text exposition of the run's counters \
+           and latency histograms — including the bytecode tier's \
+           vm_compile_* and vm_exec_* counters — to $(docv) ('-' for \
+           stdout); implies metric collection")
+
+let no_vm_arg =
+  Arg.(
+    value & flag
+    & info [ "no-vm" ]
+        ~doc:
+          "Ablation: evaluate OCL constraints, pointcut matches and \
+           interpreted method bodies with the tree-walking baselines \
+           instead of the compiled bytecode tiers (see DESIGN.md, §12)")
+
 let jsonl_of_events events =
   String.concat "" (List.map (fun e -> Obs.Event.to_json e ^ "\n") events)
 
 (* Install the requested sinks around [f]; artifacts are written on normal
    completion (a run that dies via [or_die] leaves none behind). The trace
    format follows the extension: .jsonl streams raw events (the format
-   `mdweave trace` reads back), anything else renders a Chrome trace. *)
-let with_obs ~trace ~metrics f =
+   `mdweave trace` reads back), anything else renders a Chrome trace.
+   [no_vm] flips the process-wide ablation default before any worker
+   domain spawns; the VM opcode profiles are flushed into the metric
+   registry before either artifact is rendered, so [--metrics] rows and
+   the [--stats] exposition both carry the vm.* counters. *)
+let with_obs ~trace ~metrics ~stats ~no_vm f =
+  if no_vm then Vm.set_default false;
   let capture =
     Option.map
       (fun path ->
@@ -69,7 +94,7 @@ let with_obs ~trace ~metrics f =
         (path, events))
       trace
   in
-  if Option.is_some metrics then Obs.Metric.enable ();
+  if Option.is_some metrics || Option.is_some stats then Obs.Metric.enable ();
   let v = f () in
   (match capture with
   | Some (path, events) ->
@@ -80,6 +105,13 @@ let with_obs ~trace ~metrics f =
          else Obs.Sink.chrome_of_events events);
       Printf.printf "trace written to %s\n" path
   | None -> ());
+  Vm.Profile.publish_all ();
+  (match stats with
+  | None -> ()
+  | Some "-" -> print_string (Obs.Expo.render ())
+  | Some path ->
+      Obs.Sink.write_file path (Obs.Expo.render ());
+      Printf.printf "stats written to %s\n" path);
   (match metrics with
   | Some path ->
       Obs.Metric.disable ();
@@ -217,9 +249,9 @@ let resolve_cmt concern params =
 
 let apply_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run file concern params out trace metrics =
+  let run file concern params out trace metrics stats no_vm =
     Core.Platform.ensure_registered ();
-    with_obs ~trace ~metrics @@ fun () ->
+    with_obs ~trace ~metrics ~stats ~no_vm @@ fun () ->
     let m = or_die (read_model file) in
     let cmt, _ = or_die (resolve_cmt concern params) in
     match Transform.Engine.apply cmt m with
@@ -235,7 +267,7 @@ let apply_cmd =
     (Cmd.info "apply" ~doc:"Apply one concern transformation to an XMI model")
     Term.(
       const run $ file $ concern_arg $ param_args $ out_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ expo_arg $ no_vm_arg)
 
 (* ---- check ----------------------------------------------------------- *)
 
@@ -362,9 +394,9 @@ let build_cmd =
              join point and, for every aspect pair, whether their weaves \
              provably commute")
   in
-  let run file steps outdir explain trace metrics =
+  let run file steps outdir explain trace metrics stats no_vm =
     Core.Platform.ensure_registered ();
-    with_obs ~trace ~metrics @@ fun () ->
+    with_obs ~trace ~metrics ~stats ~no_vm @@ fun () ->
     let m = or_die (read_model file) in
     let project = refined_project m steps in
     let artifacts =
@@ -389,7 +421,7 @@ let build_cmd =
              output")
     Term.(
       const run $ file $ steps $ outdir $ explain_interference $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ expo_arg $ no_vm_arg)
 
 (* ---- batch ------------------------------------------------------------ *)
 
@@ -424,10 +456,10 @@ let batch_cmd =
       & info [ "o"; "output" ] ~docv:"DIR"
           ~doc:"Write each refined model as DIR/NAME.xmi")
   in
-  let run files synthetic classes jobs steps outdir trace metrics =
+  let run files synthetic classes jobs steps outdir trace metrics stats no_vm =
     Core.Platform.ensure_registered ();
     let failures =
-      with_obs ~trace ~metrics @@ fun () ->
+      with_obs ~trace ~metrics ~stats ~no_vm @@ fun () ->
       let steps =
         List.map
           (fun text ->
@@ -504,7 +536,7 @@ let batch_cmd =
           item never poisons the rest")
     Term.(
       const run $ files $ synthetic $ classes $ jobs $ steps_arg $ outdir
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ expo_arg $ no_vm_arg)
 
 (* ---- joinpoints -------------------------------------------------------- *)
 
@@ -567,9 +599,10 @@ let run_cmd =
       & info [ "fault" ] ~docv:"CLASS.METHOD"
           ~doc:"Inject a RuntimeException on entering this method (repeatable)")
   in
-  let run file steps class_name method_name fault_specs trace metrics =
+  let run file steps class_name method_name fault_specs trace metrics stats
+      no_vm =
     Core.Platform.ensure_registered ();
-    with_obs ~trace ~metrics @@ fun () ->
+    with_obs ~trace ~metrics ~stats ~no_vm @@ fun () ->
     let m = or_die (read_model file) in
     let project = refined_project m steps in
     let artifacts =
@@ -626,7 +659,7 @@ let run_cmd =
           middleware runtime")
     Term.(
       const run $ file $ steps_arg $ class_name $ method_name $ faults
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ expo_arg $ no_vm_arg)
 
 (* ---- color ----------------------------------------------------------------- *)
 
@@ -994,8 +1027,8 @@ let repo_commit_cmd =
       & opt (some string) None
       & info [ "concern" ] ~docv:"KEY" ~doc:"Concern to record on the commit")
   in
-  let run store model message branch concern trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
+  let run store model message branch concern trace metrics stats no_vm =
+    with_obs ~trace ~metrics ~stats ~no_vm @@ fun () ->
     let repo = or_die (read_repo store) in
     let m = or_die (read_model model) in
     let repo =
@@ -1015,7 +1048,7 @@ let repo_commit_cmd =
     (Cmd.info "commit" ~doc:"Commit an XMI model as a new version")
     Term.(
       const run $ store_pos $ model $ message $ branch $ concern $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ expo_arg $ no_vm_arg)
 
 let repo_log_cmd =
   let run store =
@@ -1128,19 +1161,8 @@ let repo_serve_cmd =
       value & opt int 3
       & info [ "commits" ] ~docv:"K" ~doc:"Commits per session")
   in
-  let stats_opt =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "stats" ] ~docv:"FILE"
-          ~doc:
-            "Write a Prometheus-style text exposition of the run's \
-             counters and latency histograms to $(docv) ('-' for stdout); \
-             implies metric collection")
-  in
-  let run store jobs commits stats trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
-    if Option.is_some stats then Obs.Metric.enable ();
+  let run store jobs commits stats trace metrics no_vm =
+    with_obs ~trace ~metrics ~stats ~no_vm @@ fun () ->
     let tracing = Option.is_some trace in
     let repo = or_die (read_repo store) in
     let svc = Repository.Service.create repo in
@@ -1224,13 +1246,7 @@ let repo_serve_cmd =
               branch commits elements)
       sessions;
     Printf.printf "served %d session(s): %s\n" (List.length sessions)
-      (repo_stats final);
-    match stats with
-    | None -> ()
-    | Some "-" -> print_string (Obs.Expo.render ())
-    | Some path ->
-        Obs.Sink.write_file path (Obs.Expo.render ());
-        Printf.printf "stats written to %s\n" path
+      (repo_stats final)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1239,8 +1255,8 @@ let repo_serve_cmd =
           its own branch through the session service; $(b,--stats) exposes \
           the run's latency histograms Prometheus-style")
     Term.(
-      const run $ store_pos $ jobs $ commits $ stats_opt $ trace_arg
-      $ metrics_arg)
+      const run $ store_pos $ jobs $ commits $ expo_arg $ trace_arg
+      $ metrics_arg $ no_vm_arg)
 
 let repo_cmd =
   let default = Term.(ret (const (`Help (`Pager, Some "repo")))) in

@@ -407,7 +407,7 @@ let class_names = [ "C0"; "C1"; "C2"; "Account" ]
 
 let random_body rng cls =
   let stmt i =
-    match Prng.int rng 6 with
+    match Prng.int rng 9 with
     | 0 ->
         Code.Jstmt.S_local
           (Code.Jtype.T_int, Printf.sprintf "v%d" i, Some (Code.Jexpr.E_int i))
@@ -431,7 +431,7 @@ let random_body rng cls =
              ( Some (Code.Jexpr.E_name "mystery"),
                Prng.choose rng method_names,
                [] ))
-    | _ ->
+    | 5 ->
         Code.Jstmt.S_if
           ( Code.Jexpr.E_binary
               ("<", Code.Jexpr.E_name "f", Code.Jexpr.E_int 10),
@@ -440,6 +440,47 @@ let random_body rng cls =
                 (Code.Jexpr.E_call (None, Prng.choose rng method_names, []));
             ],
             [] )
+    | 6 ->
+        (* shadows under try/catch/finally: a call in the handler and a
+           field set in the finally block *)
+        Code.Jstmt.S_try
+          ( [ Code.Jstmt.S_throw (Code.Jexpr.E_new ("RuntimeException", [])) ],
+            [
+              ( Code.Jtype.T_named "RuntimeException",
+                "e",
+                [
+                  Code.Jstmt.S_expr
+                    (Code.Jexpr.E_call (None, Prng.choose rng method_names, []));
+                ] );
+            ],
+            [
+              Code.Jstmt.S_expr
+                (Code.Jexpr.E_assign
+                   ( Code.Jexpr.E_field (Code.Jexpr.E_this, "f"),
+                     Code.Jexpr.E_int 0 ));
+            ] )
+    | 7 ->
+        Code.Jstmt.S_while
+          ( Code.Jexpr.E_binary
+              ("<", Code.Jexpr.E_name "f", Code.Jexpr.E_int 3),
+            [
+              Code.Jstmt.S_expr
+                (Code.Jexpr.E_assign
+                   ( Code.Jexpr.E_field (Code.Jexpr.E_this, "f"),
+                     Code.Jexpr.E_binary
+                       ("+", Code.Jexpr.E_name "f", Code.Jexpr.E_int 1) ));
+            ] )
+    | _ ->
+        Code.Jstmt.S_sync
+          ( Code.Jexpr.E_this,
+            [
+              Code.Jstmt.S_block
+                [
+                  Code.Jstmt.S_expr
+                    (Code.Jexpr.E_call
+                       (Some Code.Jexpr.E_this, Prng.choose rng method_names, []));
+                ];
+            ] )
   in
   let n = Prng.range rng 1 4 in
   let body = List.init n stmt in
@@ -485,9 +526,13 @@ let random_class rng name =
     methods;
   }
 
+(* Shapes chosen to land in every decider pattern specialization:
+   literal, bare "*", prefix, suffix, infix ("*..*") and the generic
+   multi-star DP fallback ("m*t", "*e*0"). *)
 let pattern_pool =
   [
     "C0"; "C1"; "C*"; "Account"; "Acc*"; "*"; "*0"; "m0"; "m*"; "de*"; "deposit";
+    "*epos*"; "*0*"; "m*t"; "*e*0"; "d*p*t";
   ]
 
 let random_pointcut rng =
@@ -504,12 +549,18 @@ let random_pointcut rng =
     | 4 -> Aspects.Pointcut.set_field "*" "f"
     | _ -> Aspects.Pointcut.execution (pat ()) "*"
   in
-  match Prng.int rng 8 with
+  match Prng.int rng 10 with
   | 0 -> Aspects.Pointcut.And (leaf (), Aspects.Pointcut.within (pat ()))
   | 1 -> Aspects.Pointcut.Or (leaf (), leaf ())
   | 2 ->
       Aspects.Pointcut.And
         (leaf (), Aspects.Pointcut.Not (Aspects.Pointcut.within (pat ())))
+  | 3 ->
+      (* negation directly over every leaf kind, not just [within]: the
+         compiled-decider oracle needs [Not] observed against execution,
+         call and set shadows alike *)
+      Aspects.Pointcut.Not (leaf ())
+  | 4 -> Aspects.Pointcut.Or (Aspects.Pointcut.Not (leaf ()), leaf ())
   | _ -> leaf ()
 
 let log_call text =
@@ -699,6 +750,326 @@ let program_edit rng (program : Code.Junit.program) =
               { c with Code.Jdecl.class_name = name })
       | None -> program)
 
+(* ---- runnable programs for the vm oracle ---------------------------------- *)
+
+(* [weave_case] programs may recurse unboundedly (m0 freely calls m0) —
+   fine for structural oracles, fatal for executing them. The interpreter
+   differential of the [vm] oracle instead draws from this generator:
+   every loop counts an own-purpose local upward, recursion decreases an
+   explicit argument, and methods otherwise call only strictly-later
+   methods, so every run terminates. The statement templates are chosen to
+   reach every compiled node kind — locals and both field fallbacks, all
+   operators, try/throw/catch/finally, while, synchronized, nested blocks,
+   builtin and object receivers, null dereference and division by zero,
+   casts, instanceof, doubles, strings, and bounded recursion. *)
+
+module E = Code.Jexpr
+module S = Code.Jstmt
+module T = Code.Jtype
+
+type interp_case = {
+  ip_program : Code.Junit.program;
+  ip_entry : string * string;  (* class, method *)
+  ip_args : Interp.Rvalue.t list;
+  ip_faults : (string * string) list;
+}
+
+let jmethod ?(params = []) name body =
+  {
+    Code.Jdecl.method_name = name;
+    method_mods = [ Code.Jdecl.M_public ];
+    return_type = T.T_int;
+    params;
+    throws = [];
+    body = Some body;
+  }
+
+let jfield name =
+  {
+    Code.Jdecl.field_name = name;
+    field_type = T.T_int;
+    field_mods = [ Code.Jdecl.M_private ];
+    field_init = None;
+  }
+
+let jclass ?extends name ~fields ~methods =
+  {
+    Code.Jdecl.class_name = name;
+    class_mods = [ Code.Jdecl.M_public ];
+    extends;
+    implements = [];
+    fields;
+    methods;
+  }
+
+let interp_helper_class =
+  jclass "Helper" ~fields:[ jfield "c" ]
+    ~methods:
+      [
+        jmethod "inc"
+          [
+            S.S_expr
+              (E.E_assign (E.E_name "c", E.E_binary ("+", E.E_name "c", E.E_int 1)));
+            S.S_return (Some (E.E_name "c"));
+          ];
+        jmethod "get" [ S.S_return (Some (E.E_field (E.E_this, "c"))) ];
+      ]
+
+let interp_base_class =
+  jclass "Base" ~fields:[]
+    ~methods:[ jmethod "base" [ S.S_return (Some (E.E_int 7)) ] ]
+
+(* rec(n): n bounded recursive self-calls through [this]. *)
+let interp_rec_method =
+  jmethod "rec"
+    ~params:[ { Code.Jdecl.param_name = "n"; param_type = T.T_int } ]
+    [
+      S.S_if
+        ( E.E_binary ("<", E.E_int 0, E.E_name "n"),
+          [
+            S.S_expr
+              (E.E_call
+                 (Some E.E_this, "rec", [ E.E_binary ("-", E.E_name "n", E.E_int 1) ]));
+            S.S_expr
+              (E.E_assign (E.E_name "f", E.E_binary ("+", E.E_name "f", E.E_int 1)));
+          ],
+          [] );
+      S.S_return (Some (E.E_name "f"));
+    ]
+
+let bump_f by = S.S_expr (E.E_assign (E.E_name "f", E.E_binary ("+", E.E_name "f", by)))
+
+let logger args = S.S_expr (E.E_call (Some (E.E_name "Logger"), "log", args))
+
+let rec interp_stmts rng ~midx ~depth ~fresh : S.t list =
+  incr fresh;
+  let v = Printf.sprintf "x%d" !fresh in
+  let ev = Printf.sprintf "e%d" !fresh in
+  let sub () =
+    if depth > 0 then interp_stmts rng ~midx ~depth:(depth - 1) ~fresh
+    else [ bump_f (E.E_int 1) ]
+  in
+  match Prng.int rng 17 with
+  | 0 ->
+      [
+        S.S_local (T.T_int, v, Some (E.E_binary ("+", E.E_name "f", E.E_int !fresh)));
+        S.S_expr (E.E_assign (E.E_name v, E.E_binary ("*", E.E_name v, E.E_int 2)));
+        S.S_expr (E.E_assign (E.E_name "f", E.E_name v));
+      ]
+  | 1 ->
+      [
+        S.S_expr
+          (E.E_assign
+             ( E.E_field (E.E_this, "f"),
+               E.E_binary ("+", E.E_field (E.E_this, "f"), E.E_int 1) ));
+      ]
+  | 2 -> [ bump_f (E.E_int (-1)) ]
+  | 3 ->
+      [
+        S.S_if
+          ( E.E_binary
+              ( "&&",
+                E.E_binary ("<", E.E_name "f", E.E_int 40),
+                E.E_unary ("!", E.E_binary ("==", E.E_name "f", E.E_int 9999)) ),
+            sub (), sub () );
+      ]
+  | 4 ->
+      [
+        S.S_local (T.T_int, v, Some (E.E_int 0));
+        S.S_while
+          ( E.E_binary ("<", E.E_name v, E.E_int 2),
+            S.S_expr (E.E_assign (E.E_name v, E.E_binary ("+", E.E_name v, E.E_int 1)))
+            :: sub () );
+      ]
+  | 5 ->
+      [
+        S.S_try
+          ( [
+              S.S_if
+                ( E.E_binary ("<", E.E_name "f", E.E_int 100000),
+                  [ S.S_throw (E.E_new ("RuntimeException", [])) ],
+                  [] );
+            ],
+            [
+              ( T.T_named "Exception",
+                ev,
+                [
+                  logger
+                    [
+                      E.E_binary
+                        ("+", E.E_string "i", E.E_instanceof (E.E_name ev, "Throwable"));
+                    ];
+                ] );
+            ],
+            [ bump_f (E.E_int 1) ] );
+      ]
+  | 6 ->
+      [
+        S.S_local (T.T_int, v, Some (E.E_int 0));
+        S.S_try
+          ( [ S.S_expr (E.E_assign (E.E_name v, E.E_binary ("/", E.E_int 1, E.E_name v))) ],
+            [ (T.T_named "RuntimeException", ev, [ logger [ E.E_string "div" ] ]) ],
+            [] );
+      ]
+  | 7 ->
+      [
+        S.S_sync
+          ((if Prng.bool rng then E.E_this else E.E_new ("Helper", [])), sub ());
+      ]
+  | 8 -> [ S.S_block (sub ()) ]
+  | 9 ->
+      [
+        S.S_local (T.T_named "Helper", v, Some (E.E_new ("Helper", [ E.E_int 1 ])));
+        S.S_expr (E.E_call (Some (E.E_name v), "inc", []));
+        bump_f (E.E_call (Some (E.E_name v), "get", []));
+      ]
+  | 10 ->
+      [
+        S.S_local (T.T_named "Helper", v, Some E.E_null);
+        S.S_try
+          ( [ S.S_expr (E.E_call (Some (E.E_name v), "get", [])) ],
+            [ (T.T_named "RuntimeException", ev, [ bump_f (E.E_int 2) ]) ],
+            [] );
+      ]
+  | 11 ->
+      let callee =
+        if midx < 3 then Printf.sprintf "m%d" (midx + 1 + Prng.int rng (3 - midx))
+        else "base"
+      in
+      if Prng.bool rng then [ S.S_expr (E.E_call (None, callee, [])) ]
+      else [ bump_f (E.E_call (Some E.E_this, callee, [])) ]
+  | 12 -> [ bump_f (E.E_call (Some E.E_this, "rec", [ E.E_int (Prng.range rng 1 3) ])) ]
+  | 13 ->
+      [
+        S.S_local (T.T_double, v, Some (E.E_double 1.5));
+        S.S_expr
+          (E.E_assign
+             ( E.E_name v,
+               E.E_binary
+                 ( "-",
+                   E.E_binary ("*", E.E_name v, E.E_double 2.0),
+                   E.E_unary ("-", E.E_double 1.0) ) ));
+        S.S_expr (E.E_cast (T.T_int, E.E_name v));
+      ]
+  | 14 ->
+      [
+        S.S_local (T.T_string, v, Some (E.E_string "a"));
+        S.S_expr (E.E_assign (E.E_name v, E.E_binary ("+", E.E_name v, E.E_name "f")));
+        S.S_if
+          ( E.E_binary
+              ( "||",
+                E.E_binary ("==", E.E_name v, E.E_string "a0"),
+                E.E_binary ("!=", E.E_name "f", E.E_int (-1)) ),
+            [ logger [ E.E_name v ] ], [] );
+      ]
+  | 15 -> (
+      match Prng.int rng 6 with
+      | 0 ->
+          [
+            S.S_expr
+              (E.E_call
+                 ( Some (E.E_call (Some (E.E_name "TransactionManager"), "current", [])),
+                   "begin", [] ));
+            S.S_expr
+              (E.E_call
+                 ( Some (E.E_call (Some (E.E_name "TransactionManager"), "current", [])),
+                   "commit", [] ));
+          ]
+      | 1 ->
+          [
+            S.S_expr
+              (E.E_call
+                 ( Some (E.E_call (Some (E.E_name "LockManager"), "of", [ E.E_string "x" ])),
+                   "acquire", [] ));
+          ]
+      | 2 ->
+          [ S.S_expr (E.E_call (Some (E.E_name "AccessController"), "check", [ E.E_bool true ])) ]
+      | 3 ->
+          [
+            S.S_local
+              ( T.T_string, v,
+                Some (E.E_call (Some (E.E_name "NamingService"), "lookup", [ E.E_string "n" ])) );
+          ]
+      | 4 ->
+          [ S.S_expr (E.E_call (Some (E.E_name "MessageQueue"), "publish", [ E.E_name "f" ])) ]
+      | _ ->
+          [ S.S_expr (E.E_call (Some (E.E_name "SecurityContext"), "currentPrincipal", [])) ])
+  | _ ->
+      [
+        S.S_local (T.T_boolean, v, Some (E.E_bool false));
+        S.S_if (E.E_unary ("!", E.E_name v), [ logger [ E.E_null ] ], []);
+      ]
+
+let interp_body rng ~midx =
+  let fresh = ref 0 in
+  let n = Prng.range rng 2 4 in
+  List.concat (List.init n (fun _ -> interp_stmts rng ~midx ~depth:1 ~fresh))
+  @ [ S.S_return (Some (E.E_name "f")) ]
+
+let interp_case rng =
+  let methods =
+    List.init 4 (fun i ->
+        let body = interp_body rng ~midx:i in
+        let body =
+          if i = 0 then S.S_expr (E.E_assign (E.E_name "f", E.E_name "p")) :: body
+          else body
+        in
+        let params =
+          if i = 0 then [ { Code.Jdecl.param_name = "p"; param_type = T.T_int } ]
+          else []
+        in
+        jmethod ~params (Printf.sprintf "m%d" i) body)
+    @ [ interp_rec_method ]
+  in
+  let main = jclass "Main" ~extends:"Base" ~fields:[ jfield "f" ] ~methods in
+  let program =
+    [
+      Code.Junit.unit_ ~package:"vmfuzz"
+        [
+          Code.Jdecl.Class interp_base_class;
+          Code.Jdecl.Class interp_helper_class;
+          Code.Jdecl.Class main;
+        ];
+    ]
+  in
+  let ip_faults =
+    if Prng.chance rng 1 3 then
+      [ ("Main", Printf.sprintf "m%d" (1 + Prng.int rng 3)) ]
+    else []
+  in
+  let ip_args =
+    (* occasionally no argument at all: the arity-mismatch error path must
+       agree between compiled and tree-walked invocation too *)
+    if Prng.chance rng 1 8 then []
+    else [ Interp.Rvalue.V_int (Prng.int rng 5) ]
+  in
+  { ip_program = program; ip_entry = ("Main", "m0"); ip_args; ip_faults }
+
+(* Aspects whose advice bodies are runnable (the [Logger] builtin rather
+   than the structural oracles' unresolvable [log(thisJoinPoint, ...)]),
+   so woven programs execute end to end and advice effects land in the
+   event trace both execution engines must reproduce. *)
+let runnable_aspects rng =
+  List.init (Prng.range rng 1 2) (fun i ->
+      let time =
+        Prng.choose rng Aspects.Advice.[ Before; After; After_returning; Around ]
+      in
+      let tag = Printf.sprintf "vmadv%d" i in
+      let body =
+        match time with
+        | Aspects.Advice.Around ->
+            [ logger [ E.E_string tag ]; Aspects.Advice.proceed ]
+        | _ -> [ logger [ E.E_string tag ] ]
+      in
+      let advice = Aspects.Advice.make ~name:tag time (random_pointcut rng) body in
+      {
+        Aspects.Generator.aspect =
+          Aspects.Aspect.make ~advices:[ advice ] ~name:(Printf.sprintf "V%d" i)
+            ~concern:"fuzz" ();
+        from_transformation = Printf.sprintf "VT%d" i;
+        seq = i;
+      })
+
 (* ---- character-reference armoring ---------------------------------------- *)
 
 (* Decode one UTF-8 scalar starting at [i]; [None] for malformed bytes. *)
@@ -832,7 +1203,7 @@ let ocl_constraint rng ~names i =
   let mc () = Prng.choose rng ocl_metaclasses in
   let lit () = Printf.sprintf "'%s'" (name ()) in
   let cname = Printf.sprintf "c%d" i in
-  let template = Prng.int rng 15 in
+  let template = Prng.int rng 25 in
   let body, context =
     match template with
     | 0 ->
@@ -889,9 +1260,70 @@ let ocl_constraint rng ~names i =
         (Printf.sprintf
            "%s.allInstances()->forAll(x | Set{x.name, %s}->includes(x.name) implies x.name.size() >= 0)"
            (mc ()) (lit ()), None)
-    | _ ->
+    | 14 ->
         (Printf.sprintf "%s.allInstances()->exists(x | x.name = %s.concat('%d'))"
            (mc ()) (lit ()) (Prng.int rng 2), None)
+    (* 15.. exist for the [vm] oracle: together with 0-14 they reach every
+       bytecode opcode — if/not/neg/xor, iterate, every iterator form, the
+       type ops, string and numeric calls, Bag literals, and the arithmetic
+       operators — so compiled and tree-walked evaluation are compared over
+       the whole instruction set, not just the planner shapes. *)
+    | 15 ->
+        (Printf.sprintf
+           "(if not (%s.allInstances()->isEmpty()) then - 1 < 0 else 1 < 0 \
+            endif) xor %d = 2"
+           (mc ()) (Prng.int rng 3), None)
+    | 16 ->
+        (Printf.sprintf
+           "%s.allInstances()->iterate(x; acc : Integer = 0 | acc + 1) = \
+            %s.allInstances()->size() and (3 * 4 + 10) mod 5 = 2 and 7 div 2 \
+            = 3 and 9 - 2 = 7"
+           (mc ()) (mc ()), None)
+    | 17 ->
+        (Printf.sprintf
+           "%s.allInstances()->sortedBy(x | x.name)->collect(x | \
+            x.name.size())->sum() >= 0"
+           (mc ()), None)
+    | 18 ->
+        (Printf.sprintf
+           "%s.allInstances()->isUnique(x | x.name) or \
+            %s.allInstances()->one(x | x.name = %s) or \
+            %s.allInstances()->reject(x | true)->isEmpty()"
+           (mc ()) (mc ()) (lit ()) (mc ()), None)
+    | 19 ->
+        (Printf.sprintf
+           "%s.allInstances()->select(x | x.oclIsKindOf(Class))->forAll(x | \
+            x.oclAsType(Element).oclIsTypeOf(Class) or true) and \
+            %s.allInstances()->any(x | x.name = %s).oclIsUndefined() = \
+            %s.allInstances()->select(x | x.name = %s)->isEmpty()"
+           (mc ()) (mc ()) (lit ()) (mc ()) (lit ()), None)
+    | 20 ->
+        (Printf.sprintf
+           "Sequence{Sequence{1, 2}, Sequence{%d}}->flatten()->reverse()->at(1) \
+            >= 0 and Set{1, 2}->union(Set{3})->including(%d)->size() >= 3"
+           (Prng.int rng 4) (Prng.int rng 6), None)
+    | 21 ->
+        (Printf.sprintf
+           "%s.toUpper().toLower().size() >= 0 and (0 - %d).abs() >= 0 and \
+            (2.5).floor() = 2 and %s.substring(1, 1).size() = 1"
+           (lit ()) (Prng.int rng 5) (lit ()), None)
+    | 22 ->
+        (Printf.sprintf
+           "%s.allInstances()->forAll(x, y | x.name = y.name implies y.name = \
+            x.name) and Sequence{1, 2, 3}->iterate(n; a : Integer = 1 | a * \
+            n) = 6"
+           (mc ()), None)
+    | 23 ->
+        (Printf.sprintf
+           "Bag{1, 2, 2}->count(2) = 2 and Bag{1, %d}->excludes(9) and \
+            Sequence{1, %d}->max() >= 1 and Sequence{2}->min() = 2"
+           (Prng.int rng 4) (Prng.int rng 4), None)
+    | _ ->
+        (Printf.sprintf
+           "%s.allInstances()->closure(x | Sequence{})->size() >= 0 and \
+            Sequence{1}->prepend(0)->append(%d)->last() >= 0 and \
+            Sequence{5, 6}->first() = 5"
+           (mc ()) (Prng.int rng 7), None)
   in
   Ocl.Constraint_.make ?context ~name:cname body
 

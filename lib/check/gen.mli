@@ -32,6 +32,30 @@ val weave_case : Prng.t -> weave_case
 
 val pp_weave_case : Format.formatter -> weave_case -> unit
 
+val random_pointcut : Prng.t -> Aspects.Pointcut.t
+(** One random pointcut over the generator's pattern vocabulary: every
+    leaf kind, [And]/[Or] combinations, and [Not] over each leaf. Drives
+    the matcher differential of the [vm] oracle. *)
+
+(** A runnable interpreter case for the [vm] oracle: a terminating
+    program (counted loops, recursion only on an explicitly decreasing
+    argument, inter-method calls only to strictly-later methods) whose
+    statement templates collectively reach every compiled node kind of
+    {!Interp.Machine}. *)
+type interp_case = {
+  ip_program : Code.Junit.program;
+  ip_entry : string * string;  (** class, method *)
+  ip_args : Interp.Rvalue.t list;
+  ip_faults : (string * string) list;
+}
+
+val interp_case : Prng.t -> interp_case
+
+val runnable_aspects : Prng.t -> Aspects.Generator.generated list
+(** Aspects whose advice bodies execute end to end (they log through the
+    [Logger] builtin rather than calling unresolvable helpers), for
+    differentials that run woven programs. *)
+
 val program_edit : Prng.t -> Code.Junit.program -> Code.Junit.program
 (** One random structural edit: replace a method body, add/remove a
     method, add a field, add/remove/rename a class. Declarations the edit

@@ -383,10 +383,15 @@ let check_weave_inc ~aux (wc : Gen.weave_case) =
 (* Pools are cached per size, so a long differential run drives every case
    through the *same* worker domains — exactly the situation in which leaked
    domain-local state (parse cache, extent cache, span counters) between
-   batches would surface as a divergence. *)
-let pools : (int, Par.Pool.t) Hashtbl.t = Hashtbl.create 4
+   batches would surface as a divergence. The cache is domain-local: the
+   check driver may run the [par] and [repo] oracles concurrently on
+   different pool workers, and Par.Pool rejects two in-flight maps on one
+   pool (the shared table itself would race, too). *)
+let pools_key : (int, Par.Pool.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
 
 let pool jobs =
+  let pools = Domain.DLS.get pools_key in
   match Hashtbl.find_opt pools jobs with
   | Some p -> p
   | None ->
@@ -407,7 +412,7 @@ let counter_totals (shard : Obs.Metric.shard) =
               (fun p ->
                 String.length name >= String.length p
                 && String.sub name 0 (String.length p) = p)
-              [ "ocl.parse."; "ocl.extent." ]
+              [ "ocl.parse."; "ocl.extent."; "vm.compile." ]
           in
           if warmth then None else Some ((name, labels), total)
       | _ -> None)
@@ -763,6 +768,129 @@ let check_repo ~aux ~base ~edits =
   let* () = repo_check_sharing cas in
   repo_check_sessions cas
 
+(* ---- R10: compiled execution ≡ tree-walking execution --------------------- *)
+
+(* Pins all three tiers of the bytecode layer to their tree-walking
+   baselines on identical inputs: pointcut deciders vs the pointcut AST
+   walk (every shadow of the case program × every pointcut in sight),
+   compiled method bodies vs the statement walker (raw and woven runnable
+   programs — results AND middleware event traces must agree), and
+   VM-compiled OCL constraints vs the one-pass naive evaluator. *)
+
+let vm_interp_arm ~compiled (ic : Gen.interp_case) ~aspects =
+  let program =
+    match aspects with
+    | [] -> ic.Gen.ip_program
+    | _ -> (Weaver.Weave.weave aspects ic.Gen.ip_program).Weaver.Weave.program
+  in
+  let class_name, method_name = ic.Gen.ip_entry in
+  Vm.with_vm compiled (fun () ->
+      try
+        let o =
+          Interp.Machine.run ~faults:ic.Gen.ip_faults ~args:ic.Gen.ip_args
+            program ~class_name ~method_name
+        in
+        (o.Interp.Machine.result, o.Interp.Machine.events)
+      with
+      | Interp.Machine.Runtime_error msg -> (Error ("runtime: " ^ msg), [])
+      | Invalid_argument msg -> (Error ("invalid: " ^ msg), []))
+
+let vm_outcome_to_string (result, events) =
+  let r =
+    match result with
+    | Ok v -> "ok " ^ Interp.Rvalue.to_string v
+    | Error e -> "error " ^ e
+  in
+  r ^ " / " ^ String.concat "; " (List.map Interp.Event.to_string events)
+
+let check_vm ~aux (wc : Gen.weave_case) =
+  let rng = Prng.make aux in
+  (* matcher tier: decider ≡ tree walk *)
+  let shadows = Weaver.Joinpoint.all_shadows wc.program in
+  let pointcuts =
+    List.concat_map
+      (fun (g : Aspects.Generator.generated) ->
+        List.map
+          (fun (a : Aspects.Advice.t) -> a.Aspects.Advice.pointcut)
+          g.Aspects.Generator.aspect.Aspects.Aspect.advices)
+      wc.aspects
+    @ List.init 4 (fun _ -> Gen.random_pointcut rng)
+  in
+  let matcher_mismatch =
+    List.find_map
+      (fun pc ->
+        List.find_map
+          (fun shadow ->
+            let compiled = Weaver.Matcher.decider pc shadow in
+            let tree = Weaver.Matcher.matches_tree pc shadow in
+            if compiled = tree then None
+            else
+              Some
+                (Printf.sprintf
+                   "[vm] matcher decider disagrees with tree walk: %s (decider \
+                    %b, tree %b)"
+                   (Aspects.Pointcut.to_string pc) compiled tree))
+          shadows)
+      pointcuts
+  in
+  match matcher_mismatch with
+  | Some msg -> Error msg
+  | None -> (
+      (* interpreter tier: compiled bodies ≡ statement walker, on the raw
+         program and on a woven one (so advice bodies and re-woven shapes
+         go through compilation too) *)
+      let ic = Gen.interp_case rng in
+      let aspect_arms = [ []; Gen.runnable_aspects rng ] in
+      let interp_mismatch =
+        List.find_map
+          (fun aspects ->
+            let walked = vm_interp_arm ~compiled:false ic ~aspects in
+            let compiled = vm_interp_arm ~compiled:true ic ~aspects in
+            if walked = compiled then None
+            else
+              Some
+                (Printf.sprintf
+                   "[vm] compiled body disagrees with walker (%s)\n\
+                   \  walker:   %s\n\
+                   \  compiled: %s"
+                   (if aspects = [] then "raw program" else "woven program")
+                   (vm_outcome_to_string walked)
+                   (vm_outcome_to_string compiled)))
+          aspect_arms
+      in
+      match interp_mismatch with
+      | Some msg -> Error msg
+      | None ->
+          (* OCL tier: bytecode ≡ naive evaluator over fresh models *)
+          let base = Gen.base_script rng in
+          let edits = Gen.edit_script rng ~base in
+          let base_m, m' = build ~base ~edits in
+          let constraints = Gen.ocl_constraints rng ~base ~edits in
+          let pp_outcome = Ocl.Constraint_.pp_outcome in
+          let compare_on which m (c : Ocl.Constraint_.t) =
+            let bytecode = Vm.with_vm true (fun () -> Ocl.Constraint_.check m c) in
+            let naive = Vm.with_vm false (fun () -> Ocl.Constraint_.check m c) in
+            if bytecode = naive then None
+            else
+              Some
+                (Format.asprintf
+                   "[vm] OCL bytecode disagrees with tree walk on the %s \
+                    model@.constraint %s: %s@.  bytecode: %a@.  tree:     %a"
+                   which c.Ocl.Constraint_.name c.Ocl.Constraint_.body
+                   pp_outcome bytecode pp_outcome naive)
+          in
+          let rec first_mismatch = function
+            | [] -> Ok ()
+            | c :: rest -> (
+                match compare_on "base" base_m c with
+                | Some msg -> Error msg
+                | None -> (
+                    match compare_on "edited" m' c with
+                    | Some msg -> Error msg
+                    | None -> first_mismatch rest))
+          in
+          first_mismatch constraints)
+
 let all =
   [
     { name = "diff"; check = Model_check check_diff };
@@ -774,6 +902,7 @@ let all =
     { name = "weave-inc"; check = Weave_check check_weave_inc };
     { name = "par"; check = Model_check check_par };
     { name = "repo"; check = Model_check check_repo };
+    { name = "vm"; check = Weave_check check_vm };
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

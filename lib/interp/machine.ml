@@ -233,6 +233,148 @@ let compare_num op a b =
     | ">=" -> x >= y
     | _ -> assert false)
 
+(* ---- compiled method bodies ---------------------------------------------- *)
+
+(* Method bodies are closure-compiled on first call: every name that any
+   declaration site in the method could bind (parameters, [S_local]s
+   anywhere in the body, catch variables) gets a fixed slot in a per-call
+   frame, and each AST node becomes a closure over pre-resolved slots and
+   pre-dispatched operators. A slot holds [None] until its declaration
+   actually executes — Java declaration is dynamic here (an [S_local]
+   inside an untaken branch never runs), and an undeclared name falls back
+   to field-on-this exactly like the tree walker's Hashtbl miss. Since the
+   walker's method scope is flat ([declare] is [Hashtbl.replace] — one
+   binding per name, never popped), slot-per-name is an exact model, not
+   an approximation.
+
+   The tree walker below stays verbatim as the differential baseline: the
+   [vm] oracle runs both under [Vm.with_vm] and compares outcome and event
+   trace, and [--no-vm] routes production back to it. *)
+
+type frame = {
+  slots : Rvalue.t ref option array;
+  self : Rvalue.t;
+  prof : int array;
+}
+
+(* Per-node-kind execution counters ([vm.exec.interp.<op>]); the check
+   driver's coverage assertion requires every one reachable from the
+   generator's method-body templates. *)
+let op_names =
+  [
+    "const";
+    "this";
+    "local";
+    "field_this";
+    "field";
+    "call_builtin";
+    "call";
+    "call_this";
+    "new";
+    "and";
+    "or";
+    "eq";
+    "cmp";
+    "arith";
+    "not";
+    "neg";
+    "assign_local";
+    "assign_field";
+    "cast";
+    "instanceof";
+    "s_expr";
+    "s_local";
+    "s_return";
+    "s_if";
+    "s_while";
+    "s_throw";
+    "s_try";
+    "s_sync";
+    "s_block";
+  ]
+
+let profile = Vm.Profile.create ~prefix:"interp" op_names
+
+let o_const = 0
+let o_this = 1
+let o_local = 2
+let o_field_this = 3
+let o_field = 4
+let o_call_builtin = 5
+let o_call = 6
+let o_call_this = 7
+let o_new = 8
+let o_and = 9
+let o_or = 10
+let o_eq = 11
+let o_cmp = 12
+let o_arith = 13
+let o_not = 14
+let o_neg = 15
+let o_assign_local = 16
+let o_assign_field = 17
+let o_cast = 18
+let o_instanceof = 19
+let o_s_expr = 20
+let o_s_local = 21
+let o_s_return = 22
+let o_s_if = 23
+let o_s_while = 24
+let o_s_throw = 25
+let o_s_try = 26
+let o_s_sync = 27
+let o_s_block = 28
+
+(* The walker's [E_name] / assignment fallback for names with no live
+   local binding: unqualified field access on [this]. Error messages match
+   the walker character for character. *)
+let read_name_fallback st fr n =
+  match fr.self with
+  | Rvalue.V_object r -> (
+      let o = heap_obj st r in
+      match Hashtbl.find_opt o.fields n with
+      | Some v -> v
+      | None -> error "unknown variable or field %s" n)
+  | _ -> error "unknown variable %s" n
+
+let write_name_fallback st fr n v =
+  match fr.self with
+  | Rvalue.V_object r ->
+      let o = heap_obj st r in
+      Hashtbl.replace o.fields n v;
+      v
+  | _ -> error "assignment to unknown variable %s" n
+
+type cmethod = {
+  cm_params : int array; (* slot per parameter, in declaration order *)
+  cm_nslots : int;
+  cm_body : t -> frame -> unit;
+}
+
+(* Bodies are cached per *physical* method record, domain-locally.
+   Incremental re-weave rebuilds only the classes an aspect touched and
+   shares the rest of the program structurally, so physical keying
+   invalidates exactly the rewoven methods and keeps everything else
+   warm. A structural key would be wrong the other way: two woven
+   variants of one method are structurally distinct but a method equal
+   across weaves must not recompile. *)
+module Mtbl = Hashtbl.Make (struct
+  type t = Code.Jdecl.method_
+
+  let equal = ( == )
+
+  (* Hash only the name: [Hashtbl.hash] on the whole record walks the
+     body AST on every lookup, which shows up on hot invoke paths.
+     Collisions between same-named methods of different classes are
+     resolved by the physical-equality check. *)
+  let hash m = Hashtbl.hash m.Code.Jdecl.method_name
+end)
+
+let body_cache_capacity = 4096
+
+let body_cache_key : cmethod Mtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Mtbl.create 64)
+
 let rec eval st env (e : Code.Jexpr.t) : Rvalue.t =
   match e with
   | Code.Jexpr.E_null -> Rvalue.V_null
@@ -354,6 +496,8 @@ and invoke st this class_name method_name arg_values =
       end;
       match m.Code.Jdecl.body with
       | None -> Rvalue.default_of m.Code.Jdecl.return_type
+      | Some _ when Vm.enabled () ->
+          invoke_compiled st this class_name method_name m arg_values
       | Some body -> (
           let env = { vars = Hashtbl.create 8; this } in
           (try
@@ -427,6 +571,430 @@ and exec st env (stmt : Code.Jstmt.t) =
         (fun () -> exec_block st env body)
   | Code.Jstmt.S_comment _ -> ()
   | Code.Jstmt.S_block stmts -> exec_block st env stmts
+
+(* ---- compilation ------------------------------------------------------------ *)
+
+and invoke_compiled st this class_name method_name m arg_values =
+  let cm = compiled_method m in
+  let fr =
+    {
+      slots = Array.make (max cm.cm_nslots 1) None;
+      self = this;
+      prof = Vm.Profile.shard profile;
+    }
+  in
+  if Array.length cm.cm_params <> List.length arg_values then
+    error "arity mismatch calling %s.%s" class_name method_name;
+  List.iteri
+    (fun i v -> fr.slots.(cm.cm_params.(i)) <- Some (ref v))
+    arg_values;
+  try
+    cm.cm_body st fr;
+    Rvalue.default_of m.Code.Jdecl.return_type
+  with Java_return v -> v
+
+and compiled_method m =
+  let table = Domain.DLS.get body_cache_key in
+  match Mtbl.find_opt table m with
+  | Some cm -> cm
+  | None ->
+      Obs.incr "vm.compile.interp" [];
+      let cm = compile_method m in
+      if Mtbl.length table >= body_cache_capacity then Mtbl.reset table;
+      Mtbl.add table m cm;
+      cm
+
+and compile_method (m : Code.Jdecl.method_) : cmethod =
+  let body = match m.Code.Jdecl.body with Some b -> b | None -> [] in
+  (* Slot assignment: first-occurrence order over every possible
+     declaration site. Duplicate names share a slot, like the walker's
+     single Hashtbl binding. *)
+  let slots : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let nslots = ref 0 in
+  let bind name =
+    if not (Hashtbl.mem slots name) then begin
+      Hashtbl.add slots name !nslots;
+      incr nslots
+    end
+  in
+  List.iter
+    (fun (p : Code.Jdecl.param) -> bind p.Code.Jdecl.param_name)
+    m.Code.Jdecl.params;
+  let rec scan (s : Code.Jstmt.t) =
+    match s with
+    | Code.Jstmt.S_local (_, name, _) -> bind name
+    | Code.Jstmt.S_if (_, then_, else_) ->
+        List.iter scan then_;
+        List.iter scan else_
+    | Code.Jstmt.S_while (_, b) -> List.iter scan b
+    | Code.Jstmt.S_try (b, catches, finally) ->
+        List.iter scan b;
+        List.iter
+          (fun (_, var, hb) ->
+            bind var;
+            List.iter scan hb)
+          catches;
+        List.iter scan finally
+    | Code.Jstmt.S_sync (_, b) -> List.iter scan b
+    | Code.Jstmt.S_block b -> List.iter scan b
+    | Code.Jstmt.S_expr _ | Code.Jstmt.S_return _ | Code.Jstmt.S_throw _
+    | Code.Jstmt.S_comment _ ->
+        ()
+  in
+  List.iter scan body;
+  let slot name = Hashtbl.find_opt slots name in
+  let rec cexpr (e : Code.Jexpr.t) : t -> frame -> Rvalue.t =
+    match e with
+    | Code.Jexpr.E_null ->
+        fun _ fr ->
+          Vm.Profile.hit fr.prof o_const;
+          Rvalue.V_null
+    | Code.Jexpr.E_bool b ->
+        let v = Rvalue.V_bool b in
+        fun _ fr ->
+          Vm.Profile.hit fr.prof o_const;
+          v
+    | Code.Jexpr.E_int n ->
+        let v = Rvalue.V_int n in
+        fun _ fr ->
+          Vm.Profile.hit fr.prof o_const;
+          v
+    | Code.Jexpr.E_double f ->
+        let v = Rvalue.V_double f in
+        fun _ fr ->
+          Vm.Profile.hit fr.prof o_const;
+          v
+    | Code.Jexpr.E_string s ->
+        let v = Rvalue.V_string s in
+        fun _ fr ->
+          Vm.Profile.hit fr.prof o_const;
+          v
+    | Code.Jexpr.E_this ->
+        fun _ fr ->
+          Vm.Profile.hit fr.prof o_this;
+          fr.self
+    | Code.Jexpr.E_name n -> (
+        match slot n with
+        | Some i ->
+            fun st fr -> (
+              match fr.slots.(i) with
+              | Some r ->
+                  Vm.Profile.hit fr.prof o_local;
+                  !r
+              | None ->
+                  Vm.Profile.hit fr.prof o_field_this;
+                  read_name_fallback st fr n)
+        | None ->
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_field_this;
+              read_name_fallback st fr n)
+    | Code.Jexpr.E_field (recv, f) -> (
+        let crecv = cexpr recv in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_field;
+          match crecv st fr with
+          | Rvalue.V_object r -> (
+              let o = heap_obj st r in
+              match Hashtbl.find_opt o.fields f with
+              | Some v -> v
+              | None -> error "class %s has no field %s" o.obj_class f)
+          | Rvalue.V_null ->
+              raise (Java_throw (Rvalue.V_null, "RuntimeException"))
+          | v -> error "field access .%s on %s" f (Rvalue.to_string v))
+    | Code.Jexpr.E_call (recv, name, args) -> ccall recv name args
+    | Code.Jexpr.E_new (cls, args) ->
+        let cargs = List.map cexpr args in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_new;
+          List.iter (fun c -> ignore (c st fr)) cargs;
+          new_object st cls
+    | Code.Jexpr.E_binary (op, a, b) -> (
+        match op with
+        | "&&" ->
+            let ca = cexpr a and cb = cexpr b in
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_and;
+              if Rvalue.truthy (ca st fr) then cb st fr else Rvalue.V_bool false
+        | "||" ->
+            let ca = cexpr a and cb = cexpr b in
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_or;
+              if Rvalue.truthy (ca st fr) then Rvalue.V_bool true else cb st fr
+        (* The strict operators below evaluate the RIGHT operand first:
+           the walker passes both operand evaluations as arguments to
+           [Rvalue.equal]/[compare_num]/[arith], and OCaml evaluates
+           function arguments right-to-left. Side effects in operands
+           (method calls mutating fields) make the order observable, and
+           the compiled path must reproduce it exactly. *)
+        | "==" ->
+            let ca = cexpr a and cb = cexpr b in
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_eq;
+              let vb = cb st fr in
+              let va = ca st fr in
+              Rvalue.V_bool (Rvalue.equal va vb)
+        | "!=" ->
+            let ca = cexpr a and cb = cexpr b in
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_eq;
+              let vb = cb st fr in
+              let va = ca st fr in
+              Rvalue.V_bool (not (Rvalue.equal va vb))
+        | "<" | ">" | "<=" | ">=" ->
+            let ca = cexpr a and cb = cexpr b in
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_cmp;
+              let vb = cb st fr in
+              let va = ca st fr in
+              compare_num op va vb
+        | "+" | "-" | "*" | "/" ->
+            let ca = cexpr a and cb = cexpr b in
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_arith;
+              let vb = cb st fr in
+              let va = ca st fr in
+              arith op va vb
+        | op -> fun _ _ -> error "unsupported operator %s" op)
+    | Code.Jexpr.E_unary (op, a) -> (
+        let ca = cexpr a in
+        match op with
+        | "!" -> (
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_not;
+              match ca st fr with
+              | Rvalue.V_bool b -> Rvalue.V_bool (not b)
+              | v -> error "unsupported unary ! on %s" (Rvalue.to_string v))
+        | "-" -> (
+            fun st fr ->
+              Vm.Profile.hit fr.prof o_neg;
+              match ca st fr with
+              | Rvalue.V_int n -> Rvalue.V_int (-n)
+              | Rvalue.V_double f -> Rvalue.V_double (-.f)
+              | v -> error "unsupported unary - on %s" (Rvalue.to_string v))
+        | op ->
+            fun st fr ->
+              let v = ca st fr in
+              error "unsupported unary %s on %s" op (Rvalue.to_string v))
+    | Code.Jexpr.E_assign (lhs, rhs) -> (
+        let crhs = cexpr rhs in
+        match lhs with
+        | Code.Jexpr.E_name n -> (
+            match slot n with
+            | Some i ->
+                fun st fr -> (
+                  let v = crhs st fr in
+                  match fr.slots.(i) with
+                  | Some r ->
+                      Vm.Profile.hit fr.prof o_assign_local;
+                      r := v;
+                      v
+                  | None ->
+                      Vm.Profile.hit fr.prof o_assign_field;
+                      write_name_fallback st fr n v)
+            | None ->
+                fun st fr ->
+                  let v = crhs st fr in
+                  Vm.Profile.hit fr.prof o_assign_field;
+                  write_name_fallback st fr n v)
+        | Code.Jexpr.E_field (recv, f) -> (
+            let crecv = cexpr recv in
+            fun st fr ->
+              let v = crhs st fr in
+              Vm.Profile.hit fr.prof o_assign_field;
+              match crecv st fr with
+              | Rvalue.V_object r ->
+                  let o = heap_obj st r in
+                  Hashtbl.replace o.fields f v;
+                  v
+              | Rvalue.V_null ->
+                  raise (Java_throw (Rvalue.V_null, "RuntimeException"))
+              | other ->
+                  error "assignment to field of %s" (Rvalue.to_string other))
+        | _ ->
+            fun st fr ->
+              ignore (crhs st fr);
+              error "unsupported assignment target")
+    | Code.Jexpr.E_cast (_, a) ->
+        let ca = cexpr a in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_cast;
+          ca st fr
+    | Code.Jexpr.E_instanceof (a, cls) -> (
+        let ca = cexpr a in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_instanceof;
+          match ca st fr with
+          | Rvalue.V_object r ->
+              Rvalue.V_bool (conforms_to st (heap_obj st r).obj_class cls)
+          | Rvalue.V_null -> Rvalue.V_bool false
+          | _ -> Rvalue.V_bool false)
+  and ccall recv name args =
+    let cargs = List.map cexpr args in
+    let eval_args st fr = List.map (fun c -> c st fr) cargs in
+    match recv with
+    | Some (Code.Jexpr.E_name cls) when is_builtin_receiver cls -> (
+        (* The walker's builtin-receiver test is purely syntactic (a local
+           named [Logger] does not shadow the builtin), so it moves to
+           compile time. *)
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_call_builtin;
+          let arg_values = eval_args st fr in
+          match builtin_static st cls name arg_values with
+          | Some v -> v
+          | None -> error "builtin %s has no method %s" cls name)
+    | Some recv_expr -> (
+        let crecv = cexpr recv_expr in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_call;
+          let recv_value = crecv st fr in
+          let arg_values = eval_args st fr in
+          match recv_value with
+          | Rvalue.V_object r -> (
+              let o = heap_obj st r in
+              match builtin_instance st o.obj_class name arg_values with
+              | Some v -> v
+              | None -> invoke st recv_value o.obj_class name arg_values)
+          | Rvalue.V_null ->
+              raise (Java_throw (Rvalue.V_null, "RuntimeException"))
+          | v -> error "method call .%s on %s" name (Rvalue.to_string v))
+    | None -> (
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_call_this;
+          let arg_values = eval_args st fr in
+          match fr.self with
+          | Rvalue.V_object r ->
+              invoke st fr.self (heap_obj st r).obj_class name arg_values
+          | _ -> error "unqualified call %s with no this" name)
+  and cstmt (s : Code.Jstmt.t) : t -> frame -> unit =
+    match s with
+    | Code.Jstmt.S_expr e ->
+        let ce = cexpr e in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_expr;
+          ignore (ce st fr)
+    | Code.Jstmt.S_local (_, name, init) ->
+        let i =
+          match slot name with Some i -> i | None -> assert false
+          (* scanned above *)
+        in
+        let cinit =
+          match init with
+          | Some e -> cexpr e
+          | None -> fun _ _ -> Rvalue.V_null
+        in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_local;
+          let v = cinit st fr in
+          fr.slots.(i) <- Some (ref v)
+    | Code.Jstmt.S_return None ->
+        fun _ fr ->
+          Vm.Profile.hit fr.prof o_s_return;
+          raise (Java_return Rvalue.V_null)
+    | Code.Jstmt.S_return (Some e) ->
+        let ce = cexpr e in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_return;
+          raise (Java_return (ce st fr))
+    | Code.Jstmt.S_if (cond, then_, else_) ->
+        let ccond = cexpr cond in
+        let cthen = cblock then_ and celse = cblock else_ in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_if;
+          if Rvalue.truthy (ccond st fr) then cthen st fr else celse st fr
+    | Code.Jstmt.S_while (cond, body) ->
+        let ccond = cexpr cond in
+        let cbody = cblock body in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_while;
+          while Rvalue.truthy (ccond st fr) do
+            cbody st fr
+          done
+    | Code.Jstmt.S_throw e -> (
+        let ce = cexpr e in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_throw;
+          match ce st fr with
+          | Rvalue.V_object r as v ->
+              raise (Java_throw (v, (heap_obj st r).obj_class))
+          | v -> raise (Java_throw (v, "RuntimeException")))
+    | Code.Jstmt.S_try (body, catches, finally) -> (
+        let cbody = cblock body in
+        let ccatches =
+          List.map
+            (fun (ty, var, hb) ->
+              let i =
+                match slot var with Some i -> i | None -> assert false
+              in
+              (ty, i, cblock hb))
+            catches
+        in
+        let cfin = cblock finally in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_try;
+          let run_finally () = cfin st fr in
+          match cbody st fr with
+          | () -> run_finally ()
+          | exception Java_throw (v, cls) -> (
+              let handler =
+                List.find_opt
+                  (fun (ty, _, _) ->
+                    match ty with
+                    | Code.Jtype.T_named catch_cls ->
+                        conforms_to st cls catch_cls
+                    | _ -> false)
+                  ccatches
+              in
+              match handler with
+              | Some (_, var_slot, chandler) -> (
+                  fr.slots.(var_slot) <- Some (ref v);
+                  match chandler st fr with
+                  | () -> run_finally ()
+                  | exception e ->
+                      run_finally ();
+                      raise e)
+              | None ->
+                  run_finally ();
+                  raise (Java_throw (v, cls)))
+          | exception e ->
+              run_finally ();
+              raise e)
+    | Code.Jstmt.S_sync (lock, body) ->
+        let clock = cexpr lock in
+        let cbody = cblock body in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_sync;
+          let v = clock st fr in
+          record st ~source:"Monitor" ~action:"enter"
+            ~detail:(class_of_value st v);
+          Fun.protect
+            ~finally:(fun () ->
+              record st ~source:"Monitor" ~action:"exit"
+                ~detail:(class_of_value st v))
+            (fun () -> cbody st fr)
+    | Code.Jstmt.S_comment _ -> fun _ _ -> ()
+    | Code.Jstmt.S_block stmts ->
+        let cb = cblock stmts in
+        fun st fr ->
+          Vm.Profile.hit fr.prof o_s_block;
+          cb st fr
+  and cblock stmts =
+    let arr = Array.of_list (List.map cstmt stmts) in
+    let n = Array.length arr in
+    fun st fr ->
+      for i = 0 to n - 1 do
+        (Array.unsafe_get arr i) st fr
+      done
+  in
+  {
+    cm_params =
+      Array.of_list
+        (List.map
+           (fun (p : Code.Jdecl.param) ->
+             Hashtbl.find slots p.Code.Jdecl.param_name)
+           m.Code.Jdecl.params);
+    cm_nslots = !nslots;
+    cm_body = cblock body;
+  }
 
 (* ---- public API ------------------------------------------------------------- *)
 

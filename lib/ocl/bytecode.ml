@@ -1,0 +1,385 @@
+(* The OCL bytecode layer: a pure-data compilation of a planned AST into
+   flat instruction blocks executed by a small stack machine.
+
+   Shape of a program: [blocks] is an array of instruction arrays —
+   block 0 is the entry, and every lazily-evaluated subtree (an [if]
+   arm, the rhs of a short-circuiting connective, a collection-op
+   argument, an iterator body, a probe's original form) gets its own
+   block referenced by index. There are no intra-block jumps: a block
+   runs start to end and leaves exactly one value on the shared operand
+   stack. Variables are slot-addressed — every binder in the program
+   gets a unique slot in one flat frame, assigned at compile time, so
+   lookups are array reads instead of assoc-list walks. Constants live
+   in a structurally-deduplicated pool.
+
+   Compilation is a pure function of the AST (no timestamps, no
+   hashing-order dependence): same tree, same program — the determinism
+   property the QCheck test pins across domains. Free variables compile
+   to [I_global] lookups against the caller's base environment, and the
+   planner's probe nodes keep their dynamic guards: a probe whose
+   classifier is *statically* shadowed compiles to its original form,
+   one that is not carries both the probe and the original as blocks and
+   decides per run ([Prim.no_planner] / base-env shadowing), exactly as
+   the tree-walker does. *)
+
+type instr =
+  | I_const of int  (** push pool constant *)
+  | I_self
+  | I_load of int  (** push slot *)
+  | I_store of int  (** pop into slot *)
+  | I_global of string  (** base-environment lookup *)
+  | I_collection of Ast.collection_kind * int  (** pop n items *)
+  | I_if of int * int  (** then-block, else-block *)
+  | I_and of int  (** rhs block, lazily executed *)
+  | I_or of int
+  | I_implies of int
+  | I_binop of Ast.binop  (** strict: xor, =, <>, <, >, <=, >=, arith *)
+  | I_not
+  | I_neg
+  | I_prop of string
+  | I_call of string * int  (** name, arg count (args above receiver) *)
+  | I_type_op of string * string  (** oclIsKindOf/oclIsTypeOf/oclAsType, type *)
+  | I_all_instances of string
+  | I_coll_op of string * int array  (** name, argument blocks *)
+  | I_iter of string * int array * int  (** name, var slots, body block *)
+  | I_iterate of int * int * int * int
+      (** var slot, acc slot, init block, body block *)
+  | I_probe_exists of string * int * int  (** classifier, rhs blk, orig blk *)
+  | I_probe_select of string * int * int
+  | I_probe_forall of string * string list * int * int * int
+      (** classifier, guard names, var slot, body blk, orig blk *)
+
+type program = {
+  blocks : instr array array;  (** block 0 is the entry *)
+  pool : Value.t array;
+  nslots : int;
+}
+
+(* ---- opcode profile ------------------------------------------------------ *)
+
+let op_names =
+  [
+    "const";
+    "self";
+    "load";
+    "store";
+    "global";
+    "collection";
+    "if";
+    "and";
+    "or";
+    "implies";
+    "binop";
+    "not";
+    "neg";
+    "prop";
+    "call";
+    "type_op";
+    "all_instances";
+    "coll_op";
+    "iter";
+    "iterate";
+    "probe_exists";
+    "probe_select";
+    "probe_forall";
+  ]
+
+let op_index = function
+  | I_const _ -> 0
+  | I_self -> 1
+  | I_load _ -> 2
+  | I_store _ -> 3
+  | I_global _ -> 4
+  | I_collection _ -> 5
+  | I_if _ -> 6
+  | I_and _ -> 7
+  | I_or _ -> 8
+  | I_implies _ -> 9
+  | I_binop _ -> 10
+  | I_not -> 11
+  | I_neg -> 12
+  | I_prop _ -> 13
+  | I_call _ -> 14
+  | I_type_op _ -> 15
+  | I_all_instances _ -> 16
+  | I_coll_op _ -> 17
+  | I_iter _ -> 18
+  | I_iterate _ -> 19
+  | I_probe_exists _ -> 20
+  | I_probe_select _ -> 21
+  | I_probe_forall _ -> 22
+
+let profile = Vm.Profile.create ~prefix:"ocl" op_names
+
+(* ---- compiler ------------------------------------------------------------ *)
+
+let compile ast =
+  let pool = Vm.Pool.create () in
+  let scope = Vm.Scope.create () in
+  let blocks : (int, instr array) Hashtbl.t = Hashtbl.create 16 in
+  let next_block = ref 0 in
+  let alloc_block () =
+    let id = !next_block in
+    incr next_block;
+    id
+  in
+  let define id rev_instrs = Hashtbl.replace blocks id (Array.of_list (List.rev rev_instrs)) in
+  let const v acc = I_const (Vm.Pool.intern pool v) :: acc in
+  let rec emit acc e =
+    match e with
+    | Ast.E_int n -> const (Value.V_int n) acc
+    | Ast.E_real f -> const (Value.V_real f) acc
+    | Ast.E_string s -> const (Value.V_string s) acc
+    | Ast.E_bool b -> const (Value.V_bool b) acc
+    | Ast.E_self -> I_self :: acc
+    | Ast.E_var v -> (
+        match Vm.Scope.lookup scope v with
+        | Some slot -> I_load slot :: acc
+        | None -> I_global v :: acc)
+    | Ast.E_collection (kind, items) ->
+        let acc = List.fold_left emit acc items in
+        I_collection (kind, List.length items) :: acc
+    | Ast.E_if (c, t, f) ->
+        let acc = emit acc c in
+        I_if (block t, block f) :: acc
+    | Ast.E_let (v, bound, body) ->
+        let acc = emit acc bound in
+        let slot = Vm.Scope.bind scope v in
+        let acc = emit (I_store slot :: acc) body in
+        Vm.Scope.unbind scope 1;
+        acc
+    | Ast.E_not e' -> I_not :: emit acc e'
+    | Ast.E_neg e' -> I_neg :: emit acc e'
+    | Ast.E_binop (op, a, b) -> (
+        let acc = emit acc a in
+        match op with
+        | Ast.Op_and -> I_and (block b) :: acc
+        | Ast.Op_or -> I_or (block b) :: acc
+        | Ast.Op_implies -> I_implies (block b) :: acc
+        | _ -> I_binop op :: emit acc b)
+    | Ast.E_prop (recv, name) -> I_prop name :: emit acc recv
+    | Ast.E_call (Ast.E_var c, "allInstances", [])
+      when Vm.Scope.lookup scope c = None ->
+        (* same syntactic shape the walker special-cases; whether [c] is
+           shadowed by the *base* environment is re-checked per run *)
+        I_all_instances c :: acc
+    | Ast.E_call (recv, (("oclIsKindOf" | "oclIsTypeOf" | "oclAsType") as name), [ Ast.E_var ty ])
+      ->
+        (* the type argument is syntactic, never evaluated *)
+        I_type_op (name, ty) :: emit acc recv
+    | Ast.E_call (recv, name, args) ->
+        let acc = emit acc recv in
+        let acc = List.fold_left emit acc args in
+        I_call (name, List.length args) :: acc
+    | Ast.E_coll_op (recv, name, args) ->
+        let acc = emit acc recv in
+        I_coll_op (name, Array.of_list (List.map block args)) :: acc
+    | Ast.E_iter (recv, name, vars, body) ->
+        let acc = emit acc recv in
+        let slots = List.map (Vm.Scope.bind scope) vars in
+        let body_block = block body in
+        Vm.Scope.unbind scope (List.length vars);
+        I_iter (name, Array.of_list slots, body_block) :: acc
+    | Ast.E_iterate (recv, v, acc_var, init, body) ->
+        let acc = emit acc recv in
+        let init_block = block init in
+        let acc_slot = Vm.Scope.bind scope acc_var in
+        let v_slot = Vm.Scope.bind scope v in
+        let body_block = block body in
+        Vm.Scope.unbind scope 2;
+        I_iterate (v_slot, acc_slot, init_block, body_block) :: acc
+    | Ast.E_probe_exists_name (classifier, rhs, orig) ->
+        if Vm.Scope.lookup scope classifier <> None then emit acc orig
+        else I_probe_exists (classifier, block rhs, block orig) :: acc
+    | Ast.E_probe_select_name (classifier, rhs, orig) ->
+        if Vm.Scope.lookup scope classifier <> None then emit acc orig
+        else I_probe_select (classifier, block rhs, block orig) :: acc
+    | Ast.E_probe_forall_guard (classifier, names, var, body, orig) ->
+        if Vm.Scope.lookup scope classifier <> None then emit acc orig
+        else begin
+          let orig_block = block orig in
+          let var_slot = Vm.Scope.bind scope var in
+          let body_block = block body in
+          Vm.Scope.unbind scope 1;
+          I_probe_forall (classifier, names, var_slot, body_block, orig_block)
+          :: acc
+        end
+  and block e =
+    let id = alloc_block () in
+    define id (emit [] e);
+    id
+  in
+  let entry = alloc_block () in
+  define entry (emit [] ast);
+  Obs.incr "vm.compile.ocl" [];
+  {
+    blocks = Array.init !next_block (fun i -> Hashtbl.find blocks i);
+    pool = Vm.Pool.to_array pool;
+    nslots = Vm.Scope.nslots scope;
+  }
+
+(* ---- executor ------------------------------------------------------------ *)
+
+(* The operand stack lives as raw fields of the state rather than behind
+   {!Vm.Stack}: without flambda a cross-module call per operand push/pop
+   costs more than cheap opcodes like [I_load] execute, so the dispatch
+   loop uses the [@inline] helpers below. Popped slots are not cleared —
+   the stack is short-lived and bounded by expression depth, so the
+   retained values are gone at the next push or the end of the run. *)
+type state = {
+  blocks : instr array array;
+  pool : Value.t array;
+  slots : Value.t array;
+  mutable ops : Value.t array;
+  mutable sp : int;
+  base : Env.t;
+  m : Mof.Model.t;
+  prof : int array;
+}
+
+let grow st =
+  let n = Array.length st.ops in
+  let bigger = Array.make (2 * n) Value.V_undefined in
+  Array.blit st.ops 0 bigger 0 n;
+  st.ops <- bigger
+
+let[@inline] push st v =
+  if st.sp >= Array.length st.ops then grow st;
+  Array.unsafe_set st.ops st.sp v;
+  st.sp <- st.sp + 1
+
+(* the safe read turns a stack-discipline compiler bug into
+   [Invalid_argument] instead of undefined behaviour *)
+let[@inline] pop st =
+  let sp = st.sp - 1 in
+  st.sp <- sp;
+  st.ops.(sp)
+
+(* pop [n] values into a list, restoring push order *)
+let rec pop_list st n acc =
+  if n = 0 then acc else pop_list st (n - 1) (pop st :: acc)
+let rec exec st b =
+  let code = st.blocks.(b) in
+  for i = 0 to Array.length code - 1 do
+    step st (Array.unsafe_get code i)
+  done
+
+and exec_value st b =
+  exec st b;
+  pop st
+
+and step st instr =
+  Vm.Profile.hit st.prof (op_index instr);
+  match instr with
+  | I_const i -> push st (Array.unsafe_get st.pool i)
+  | I_self -> (
+      match Env.self st.base with
+      | Some v -> push st v
+      | None -> Prim.error "self is not bound in this context")
+  | I_load slot -> push st (Array.unsafe_get st.slots slot)
+  | I_store slot -> Array.unsafe_set st.slots slot (pop st)
+  | I_global v -> (
+      match Env.lookup v st.base with
+      | Some value -> push st value
+      | None -> Prim.error "unknown variable %s" v)
+  | I_collection (kind, n) -> (
+      let values = pop_list st n [] in
+      match kind with
+      | Ast.Ck_set -> push st (Value.set values)
+      | Ast.Ck_sequence -> push st (Value.seq values)
+      | Ast.Ck_bag -> push st (Value.bag values))
+  | I_if (tb, eb) ->
+      let c = pop st in
+      push st
+        (Prim.if3 c
+           ~then_:(fun () -> exec_value st tb)
+           ~else_:(fun () -> exec_value st eb))
+  | I_and b ->
+      let va = pop st in
+      push st (Prim.and_step va ~rhs:(fun () -> exec_value st b))
+  | I_or b ->
+      let va = pop st in
+      push st (Prim.or_step va ~rhs:(fun () -> exec_value st b))
+  | I_implies b ->
+      let va = pop st in
+      push st
+        (Prim.implies_step va ~rhs:(fun () -> exec_value st b))
+  | I_binop op ->
+      let vb = pop st in
+      let va = pop st in
+      push st (Prim.strict_binop op va vb)
+  | I_not -> push st (Prim.not3 (pop st))
+  | I_neg -> push st (Prim.neg (pop st))
+  | I_prop name ->
+      push st (Prim.prop st.m (pop st) name)
+  | I_call (name, n) ->
+      let args = pop_list st n [] in
+      let v = pop st in
+      push st (Prim.call st.m v name args)
+  | I_type_op (name, ty) ->
+      push st (Prim.type_op st.m name ty (pop st))
+  | I_all_instances c -> (
+      (* the walker's runtime check: a base-env binding shadows the
+         classifier and turns this back into an ordinary call *)
+      match Env.lookup c st.base with
+      | Some v -> push st (Prim.call st.m v "allInstances" [])
+      | None -> push st (Prim.all_instances st.m c))
+  | I_coll_op (name, arg_blocks) ->
+      let v = pop st in
+      push st
+        (Prim.coll_op name v ~args:(fun () ->
+             List.map (exec_value st) (Array.to_list arg_blocks)))
+  | I_iter (name, var_slots, body) ->
+      let v = pop st in
+      let eval_one item =
+        Array.unsafe_set st.slots (Array.unsafe_get var_slots 0) item;
+        exec_value st body
+      in
+      let eval_tuple tuple =
+        List.iteri (fun i item -> st.slots.(var_slots.(i)) <- item) tuple;
+        exec_value st body
+      in
+      push st
+        (Prim.iter name v ~nvars:(Array.length var_slots) ~eval_one ~eval_tuple)
+  | I_iterate (v_slot, acc_slot, init_block, body_block) ->
+      let recv = pop st in
+      push st
+        (Prim.iterate recv
+           ~init:(fun () -> exec_value st init_block)
+           ~step:(fun acc_value item ->
+             st.slots.(acc_slot) <- acc_value;
+             st.slots.(v_slot) <- item;
+             exec_value st body_block))
+  | I_probe_exists (classifier, rhs_b, orig_b) ->
+      push st
+        (if Prim.no_planner () || Env.lookup classifier st.base <> None then
+           exec_value st orig_b
+         else Prim.probe_exists st.m classifier ~rhs:(fun () -> exec_value st rhs_b))
+  | I_probe_select (classifier, rhs_b, orig_b) ->
+      push st
+        (if Prim.no_planner () || Env.lookup classifier st.base <> None then
+           exec_value st orig_b
+         else Prim.probe_select st.m classifier ~rhs:(fun () -> exec_value st rhs_b))
+  | I_probe_forall (classifier, names, var_slot, body_b, orig_b) ->
+      push st
+        (if Prim.no_planner () || Env.lookup classifier st.base <> None then
+           exec_value st orig_b
+         else
+           Prim.probe_forall st.m classifier names ~body:(fun id ->
+               st.slots.(var_slot) <- Value.V_elem id;
+               exec_value st body_b))
+
+let run m env (prog : program) =
+  let st =
+    {
+      blocks = prog.blocks;
+      pool = prog.pool;
+      slots = Array.make (max prog.nslots 1) Value.V_undefined;
+      ops = Array.make 16 Value.V_undefined;
+      sp = 0;
+      base = env;
+      m;
+      prof = Vm.Profile.shard profile;
+    }
+  in
+  exec_value st 0

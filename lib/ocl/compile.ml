@@ -11,7 +11,19 @@
    ill-formed body does not defeat the cache, and callers observe the
    exact exception an uncached parse would have raised. *)
 
-type t = { src : string; ast : Ast.t; planned : Ast.t; probes : int }
+type t = {
+  src : string;
+  ast : Ast.t;
+  planned : Ast.t;
+  probes : int;
+  code : Bytecode.program Lazy.t;
+}
+
+(* Bytecode is compiled on first execution, not at parse time: the
+   typecheck/diagnostic paths that only look at [ast]/[planned] never
+   pay for it, and the lazy cell memoizes inside the cached handle so a
+   body is compiled once per domain, like the parse itself. *)
+let code t = Lazy.force t.code
 
 let capacity = 1024
 
@@ -32,7 +44,7 @@ let compile_uncached src =
   match Parser.parse src with
   | ast ->
       let planned, probes = Plan.optimize_count ast in
-      Ok { src; ast; planned; probes }
+      Ok { src; ast; planned; probes; code = lazy (Bytecode.compile planned) }
   | exception ((Parser.Parse_error _ | Lexer.Lexical_error _) as e) -> Error e
 
 let compile_exn src =

@@ -12,7 +12,12 @@ type t = {
   ast : Ast.t;  (** parser output, untouched *)
   planned : Ast.t;  (** after {!Plan.optimize} *)
   probes : int;  (** probe sites the planner rewrote *)
+  code : Bytecode.program Lazy.t;
+      (** bytecode for [planned], compiled on first force — use {!code} *)
 }
+
+val code : t -> Bytecode.program
+(** The handle's bytecode, compiling (once) on first use. *)
 
 val compile : string -> (t, string) result
 (** Memoized compile; error messages are identical to

@@ -55,14 +55,14 @@ type outcome =
   | Fails of string list
   | Ill_formed of string
 
-(* Outcome of evaluating an already-compiled body; shared by the cached
-   path ([check], planned AST, warm extents) and the naive baseline
-   ([check_naive], raw AST, cold extents) so the two can only differ
-   through the caches and planner under test. *)
-let outcome_of m c expr =
+(* Outcome of evaluating a body; [eval_in] closes over how (compiled
+   handle on the VM for [check], raw-AST tree walk for [check_naive]) so
+   the two paths can only differ through the caches, planner and
+   execution layer under test. *)
+let outcome_of m c eval_in =
   match c.context with
       | None -> (
-          match Eval.eval m Env.empty expr with
+          match eval_in Env.empty with
           | Value.V_bool true -> Holds
           | Value.V_bool false | Value.V_undefined -> Fails []
           | v ->
@@ -87,7 +87,7 @@ let outcome_of m c expr =
                     match v with
                     | Value.V_elem id -> (
                         let env = Env.with_self v Env.empty in
-                        match Eval.eval m env expr with
+                        match eval_in env with
                         | Value.V_bool true -> None
                         | _ -> Some (Mof.Query.qualified_name m id))
                     | _ -> None)
@@ -104,7 +104,7 @@ let outcome_of m c expr =
 let check m c =
   match Compile.compile c.body with
   | Error msg -> Ill_formed (Printf.sprintf "%s: %s" c.name msg)
-  | Ok compiled -> outcome_of m c compiled.Compile.planned
+  | Ok compiled -> outcome_of m c (fun env -> Eval.eval_parsed m env compiled)
 
 (* The baseline the [ocl] differential oracle compares against: a fresh
    parse (no memo table), the raw unplanned AST, and extents recomputed
@@ -113,7 +113,7 @@ let check_naive m c =
   Meta.with_extent_cache false @@ fun () ->
   match Parser.parse_opt c.body with
   | Error msg -> Ill_formed (Printf.sprintf "%s: %s" c.name msg)
-  | Ok expr -> outcome_of m c expr
+  | Ok expr -> outcome_of m c (fun env -> Eval.eval m env expr)
 
 let check m c =
   Obs.span ~cat:"ocl" "ocl.check"

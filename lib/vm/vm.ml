@@ -1,0 +1,199 @@
+(* The shared execution-layer substrate: an ablation switch that routes
+   the three compiled paths (OCL bytecode, pointcut deciders, interpreter
+   method bodies) back to their tree-walking baselines, plus the small
+   pieces every compiler needs — an operand stack, a deduplicating
+   constant pool, a compile-time slot allocator, and an always-on opcode
+   profiler whose totals survive domain pools.
+
+   The flag is domain-local for the same reason the OCL caches are: a
+   pool worker toggling the ablation for a differential run must not
+   flip the production path of its siblings. Each domain starts from the
+   process default, which the CLI's [--no-vm] sets before any worker
+   domain spawns. *)
+
+let default_enabled = Atomic.make true
+let enabled_key = Domain.DLS.new_key (fun () -> ref (Atomic.get default_enabled))
+let enabled () = !(Domain.DLS.get enabled_key)
+let set_enabled b = Domain.DLS.get enabled_key := b
+
+(* Sets the default for domains spawned from now on, and the calling
+   domain's own flag. Domains already running keep theirs. *)
+let set_default b =
+  Atomic.set default_enabled b;
+  set_enabled b
+
+let with_vm b f =
+  let flag = Domain.DLS.get enabled_key in
+  let prev = !flag in
+  flag := b;
+  Fun.protect ~finally:(fun () -> flag := prev) f
+
+(* ---- operand stack ------------------------------------------------------ *)
+
+(* A growable array the executors share across nested blocks: pushing is
+   a bounds check and two stores, no per-value allocation. [dummy] fills
+   popped cells so the stack never pins dead values for the GC. *)
+module Stack = struct
+  type 'a t = { mutable buf : 'a array; mutable len : int; dummy : 'a }
+
+  let create ~dummy n = { buf = Array.make (max n 1) dummy; len = 0; dummy }
+
+  let push t v =
+    let cap = Array.length t.buf in
+    if t.len = cap then begin
+      let buf = Array.make (2 * cap) t.dummy in
+      Array.blit t.buf 0 buf 0 cap;
+      t.buf <- buf
+    end;
+    Array.unsafe_set t.buf t.len v;
+    t.len <- t.len + 1
+
+  let pop t =
+    let i = t.len - 1 in
+    if i < 0 then invalid_arg "Vm.Stack.pop: empty";
+    let v = Array.unsafe_get t.buf i in
+    Array.unsafe_set t.buf i t.dummy;
+    t.len <- i;
+    v
+
+  let depth t = t.len
+end
+
+(* ---- constant pool ------------------------------------------------------ *)
+
+(* Structural dedup so compilation is a pure function of the AST: two
+   compiles of the same tree intern constants in the same discovery
+   order and produce identical pools (the determinism property locked
+   by the QCheck test). *)
+module Pool = struct
+  type 'a t = { mutable rev : 'a list; mutable n : int; index : ('a, int) Hashtbl.t }
+
+  let create () = { rev = []; n = 0; index = Hashtbl.create 16 }
+
+  let intern t v =
+    match Hashtbl.find_opt t.index v with
+    | Some i -> i
+    | None ->
+        let i = t.n in
+        t.rev <- v :: t.rev;
+        t.n <- i + 1;
+        Hashtbl.add t.index v i;
+        i
+
+  let to_array t = Array.of_list (List.rev t.rev)
+end
+
+(* ---- compile-time scopes ------------------------------------------------ *)
+
+(* Slot allocation for binders: every binder in a program gets a fresh
+   slot (never reused, so shadowing is just innermost-first lookup), and
+   [nslots] sizes the one flat frame the executor allocates per run. *)
+module Scope = struct
+  type t = { mutable next : int; mutable stack : (string * int) list }
+
+  let create () = { next = 0; stack = [] }
+
+  let bind t name =
+    let slot = t.next in
+    t.next <- slot + 1;
+    t.stack <- (name, slot) :: t.stack;
+    slot
+
+  let unbind t n =
+    let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+    t.stack <- drop n t.stack
+
+  let lookup t name = List.assoc_opt name t.stack
+  let nslots t = t.next
+end
+
+(* ---- opcode profiler ---------------------------------------------------- *)
+
+(* Always-on per-opcode counters cheap enough for the dispatch loop: one
+   plain int-array shard per domain, registered in a global list at
+   first touch so [totals] can sum across a Par.Pool's workers after the
+   fact. [publish] flushes the deltas since the last publish into the
+   Obs metric registry as vm.exec.<prefix>.<op> counters — called from
+   the stats/exposition paths, never from the hot loop. *)
+module Profile = struct
+  type t = {
+    prefix : string;
+    names : string array;
+    lock : Mutex.t;
+    shards : int array list ref;
+    key : int array Domain.DLS.key;
+    published : int array; (* cumulative totals already flushed to Obs *)
+  }
+
+  let registry : t list ref = ref []
+  let registry_lock = Mutex.create ()
+
+  let create ~prefix names =
+    let names = Array.of_list names in
+    let lock = Mutex.create () in
+    let shards = ref [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let shard = Array.make (Array.length names) 0 in
+          Mutex.lock lock;
+          shards := shard :: !shards;
+          Mutex.unlock lock;
+          shard)
+    in
+    let t =
+      { prefix; names; lock; shards; key; published = Array.make (Array.length names) 0 }
+    in
+    Mutex.lock registry_lock;
+    registry := t :: !registry;
+    Mutex.unlock registry_lock;
+    t
+
+  (* The dispatch loop calls [shard] once per run and hits the returned
+     array directly, so per-instruction cost is one increment. *)
+  let shard t = Domain.DLS.get t.key
+
+  let hit shard i = Array.unsafe_set shard i (Array.unsafe_get shard i + 1)
+
+  let totals t =
+    Mutex.lock t.lock;
+    let shards = !(t.shards) in
+    Mutex.unlock t.lock;
+    let acc = Array.make (Array.length t.names) 0 in
+    List.iter
+      (fun s -> Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) s)
+      shards;
+    acc
+
+  let names t = t.names
+  let prefix t = t.prefix
+
+  (* (name, total) pairs, the shape the coverage assertion consumes *)
+  let counts t =
+    let tot = totals t in
+    Array.to_list (Array.mapi (fun i n -> (n, tot.(i))) t.names)
+
+  let publish t =
+    if Obs.Metric.enabled () then begin
+      let tot = totals t in
+      Mutex.lock t.lock;
+      Array.iteri
+        (fun i total ->
+          let delta = total - t.published.(i) in
+          if delta > 0 then begin
+            t.published.(i) <- total;
+            Obs.incr ~by:(float_of_int delta)
+              (Printf.sprintf "vm.exec.%s.%s" t.prefix t.names.(i))
+              []
+          end)
+        tot;
+      Mutex.unlock t.lock
+    end
+
+  let all () =
+    Mutex.lock registry_lock;
+    let l = !registry in
+    Mutex.unlock registry_lock;
+    List.rev l
+
+  let publish_all () = List.iter publish (all ())
+end

@@ -11,7 +11,14 @@ let rec kinds = function
       (ex || ey, st || sy)
   | Aspects.Pointcut.Not x -> kinds x
 
-let rec matches pc shadow =
+(* ---- tree-walking baseline ----------------------------------------------- *)
+
+(* The original interpreter over the pointcut AST: re-examines the node
+   structure and runs the generic wildcard DP at every shadow. Kept verbatim
+   as the differential baseline for the compiled deciders below (the [vm]
+   oracle checks decider ≡ tree on random pointcut × shadow pairs) and as
+   the [Vm.with_vm false] ablation arm. *)
+let rec matches_tree pc shadow =
   match (pc, shadow) with
   | Aspects.Pointcut.Execution mp, Joinpoint.Sh_execution { class_name; method_name } ->
       Aspects.Pattern.matches_method mp ~class_name ~method_name
@@ -31,11 +38,167 @@ let rec matches pc shadow =
       && Aspects.Pattern.matches field_pat field_name
   | Aspects.Pointcut.Within cls_pat, shadow ->
       Aspects.Pattern.matches cls_pat (Joinpoint.enclosing_class shadow)
-  | Aspects.Pointcut.And (a, b), shadow -> matches a shadow && matches b shadow
-  | Aspects.Pointcut.Or (a, b), shadow -> matches a shadow || matches b shadow
-  | Aspects.Pointcut.Not a, shadow -> not (matches a shadow)
+  | Aspects.Pointcut.And (a, b), shadow ->
+      matches_tree a shadow && matches_tree b shadow
+  | Aspects.Pointcut.Or (a, b), shadow ->
+      matches_tree a shadow || matches_tree b shadow
+  | Aspects.Pointcut.Not a, shadow -> not (matches_tree a shadow)
   | Aspects.Pointcut.Execution _, (Joinpoint.Sh_call _ | Joinpoint.Sh_field_set _)
   | Aspects.Pointcut.Call _, (Joinpoint.Sh_execution _ | Joinpoint.Sh_field_set _)
   | Aspects.Pointcut.Set_field _, (Joinpoint.Sh_execution _ | Joinpoint.Sh_call _)
     ->
       false
+
+(* ---- compiled deciders --------------------------------------------------- *)
+
+(* Per-node-kind execution counters ([vm.exec.matcher.<op>]), shared with
+   the coverage assertion in the check driver. *)
+let op_names =
+  [
+    "exec";
+    "call";
+    "set";
+    "within";
+    "and";
+    "or";
+    "not";
+    "pat_lit";
+    "pat_any";
+    "pat_prefix";
+    "pat_suffix";
+    "pat_infix";
+    "pat_generic";
+  ]
+
+let profile = Vm.Profile.create ~prefix:"matcher" op_names
+
+(* Pattern specialization: the generic '*'-substring DP allocates a
+   position array and scans it per pattern character; almost every
+   pattern the concern library produces is one of five cheap shapes.
+   Each compiled pattern is a [string -> bool] with the DP's exact
+   semantics ('*' matches any substring, including empty).
+
+   Compiled closures capture the profile shard [sh] of the compiling
+   domain directly — one DLS fetch per compile instead of one per node
+   hit. Sound because the decider cache is domain-local, so a closure
+   only ever runs on the domain that compiled it. *)
+let contains_sub s needle =
+  let n = String.length needle and len = String.length s in
+  if n = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i + n <= len do
+      if String.sub s !i n = needle then found := true else incr i
+    done;
+    !found
+  end
+
+let compile_pattern sh p =
+  let len = String.length p in
+  let star_free s = not (String.contains s '*') in
+  if star_free p then fun name ->
+    Vm.Profile.hit sh 7;
+    String.equal p name
+  else if String.equal p "*" then fun _ ->
+    Vm.Profile.hit sh 8;
+    true
+  else if p.[0] = '*' && star_free (String.sub p 1 (len - 1)) then
+    let suffix = String.sub p 1 (len - 1) in
+    fun name ->
+      Vm.Profile.hit sh 10;
+      String.ends_with ~suffix name
+  else if p.[len - 1] = '*' && star_free (String.sub p 0 (len - 1)) then
+    let prefix = String.sub p 0 (len - 1) in
+    fun name ->
+      Vm.Profile.hit sh 9;
+      String.starts_with ~prefix name
+  else if len >= 2 && p.[0] = '*' && p.[len - 1] = '*'
+          && star_free (String.sub p 1 (len - 2)) then
+    let core = String.sub p 1 (len - 2) in
+    fun name ->
+      Vm.Profile.hit sh 11;
+      contains_sub name core
+  else fun name ->
+    Vm.Profile.hit sh 12;
+    Aspects.Pattern.matches p name
+
+let rec compile sh pc =
+  match pc with
+  | Aspects.Pointcut.Execution mp ->
+      let cls = compile_pattern sh mp.Aspects.Pattern.mp_class in
+      let meth = compile_pattern sh mp.Aspects.Pattern.mp_method in
+      fun shadow ->
+        Vm.Profile.hit sh 0;
+        (match shadow with
+        | Joinpoint.Sh_execution { class_name; method_name } ->
+            cls class_name && meth method_name
+        | _ -> false)
+  | Aspects.Pointcut.Call mp ->
+      let cls = compile_pattern sh mp.Aspects.Pattern.mp_class in
+      let meth = compile_pattern sh mp.Aspects.Pattern.mp_method in
+      fun shadow ->
+        Vm.Profile.hit sh 1;
+        (match shadow with
+        | Joinpoint.Sh_call { receiver_class; method_name; _ } -> (
+            match receiver_class with
+            | Some class_name -> cls class_name && meth method_name
+            | None -> meth method_name)
+        | _ -> false)
+  | Aspects.Pointcut.Set_field (cls_pat, field_pat) ->
+      let cls = compile_pattern sh cls_pat in
+      let field = compile_pattern sh field_pat in
+      fun shadow ->
+        Vm.Profile.hit sh 2;
+        (match shadow with
+        | Joinpoint.Sh_field_set { target_class; field_name; _ } ->
+            cls target_class && field field_name
+        | _ -> false)
+  | Aspects.Pointcut.Within cls_pat ->
+      let cls = compile_pattern sh cls_pat in
+      fun shadow ->
+        Vm.Profile.hit sh 3;
+        cls (Joinpoint.enclosing_class shadow)
+  | Aspects.Pointcut.And (a, b) ->
+      let da = compile sh a and db = compile sh b in
+      fun shadow ->
+        Vm.Profile.hit sh 4;
+        da shadow && db shadow
+  | Aspects.Pointcut.Or (a, b) ->
+      let da = compile sh a and db = compile sh b in
+      fun shadow ->
+        Vm.Profile.hit sh 5;
+        da shadow || db shadow
+  | Aspects.Pointcut.Not a ->
+      let da = compile sh a in
+      fun shadow ->
+        Vm.Profile.hit sh 6;
+        not (da shadow)
+
+(* Deciders are cached per pointcut value, domain-locally (a shared table
+   would race under Par.Pool): one compile per distinct pointcut per
+   domain, then every weave/index probe reuses the closure. The table is
+   dropped wholesale on pathological churn, like the OCL parse cache. *)
+let capacity = 512
+
+let cache_key : (Aspects.Pointcut.t, Joinpoint.shadow -> bool) Hashtbl.t Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let decider pc =
+  let table = Domain.DLS.get cache_key in
+  match Hashtbl.find_opt table pc with
+  | Some d -> d
+  | None ->
+      Obs.incr "vm.compile.matcher" [];
+      let d = compile (Vm.Profile.shard profile) pc in
+      if Hashtbl.length table >= capacity then Hashtbl.reset table;
+      Hashtbl.add table pc d;
+      d
+
+(* Staged on the pointcut: [matches pc] pays the decider-cache lookup (a
+   structural hash of the pointcut AST) once, and the returned closure is
+   applied per shadow. The weaver's [List.filter (Matcher.matches pc)]
+   call sites stage automatically. *)
+let matches pc =
+  if Vm.enabled () then decider pc else matches_tree pc

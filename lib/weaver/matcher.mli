@@ -12,7 +12,23 @@ val matches : Aspects.Pointcut.t -> Joinpoint.shadow -> bool
     pattern and silently dropped every other pattern at unresolved
     receivers.) Combine with [within(...)] to narrow where an optimistic
     match is too broad. Calls with a resolved receiver match the class
-    pattern against that class, as before. *)
+    pattern against that class, as before.
+
+    Production dispatch: a closure-compiled decider (cached per pointcut,
+    per domain) unless the {!Vm} ablation flag routes back to
+    {!matches_tree}. Staged: [matches pc] performs the cache lookup once
+    and returns the decider closure, so partially apply it outside loops
+    over shadows. *)
+
+val matches_tree : Aspects.Pointcut.t -> Joinpoint.shadow -> bool
+(** The tree-walking baseline: same semantics as {!matches}, bypassing
+    decider compilation and the cache. The [vm] oracle's reference arm. *)
+
+val decider : Aspects.Pointcut.t -> Joinpoint.shadow -> bool
+(** The compiled decider for [pc] (compiling and caching on first use):
+    pattern-specialized closures — literal, ["*"], prefix, suffix and
+    infix patterns skip the generic wildcard DP. Counters:
+    [vm.compile.matcher] on compile, [vm.exec.matcher.*] per node. *)
 
 val kinds : Aspects.Pointcut.t -> bool * bool
 (** [(wants_exec, wants_stmt)]: which shadow domains advice on this

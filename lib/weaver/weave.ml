@@ -83,9 +83,12 @@ let weave_execution_advice (a : Aspects.Advice.t) shadow body =
       | _ -> body @ advice_body)
   | Aspects.Advice.Around -> splice_proceed body advice_body
 
-(* Wrap individual statements that contain matching call/set shadows. *)
-let weave_statement_advice (a : Aspects.Advice.t) scope ~within_method record body
-    =
+(* Wrap individual statements that contain matching call/set shadows.
+   [decide] is the staged [Matcher.matches a.pointcut] — resolved once per
+   (class, advice) by the caller so the rewrite recursion below never pays
+   the decider-cache lookup per statement group. *)
+let weave_statement_advice (a : Aspects.Advice.t) decide scope ~within_method
+    record body =
   let rec rewrite stmts =
     List.map
       (fun stmt ->
@@ -105,9 +108,7 @@ let weave_statement_advice (a : Aspects.Advice.t) scope ~within_method record bo
         (* only direct expressions of this statement, not nested ones —
            nested statements were handled by the recursion above *)
         let shadows = Joinpoint.statement_shadows scope ~within_method nested in
-        let matching =
-          List.filter (Matcher.matches a.Aspects.Advice.pointcut) shadows
-        in
+        let matching = List.filter decide shadows in
         match matching with
         | [] -> nested
         | shadow :: _ ->
@@ -158,6 +159,17 @@ let apply_intertypes (aspect : Aspects.Aspect.t) program =
    per-class weaving is a pure function of (class, aspect). *)
 let weave_class_with (aspect : Aspects.Aspect.t) record (c : Code.Jdecl.class_)
     =
+  (* Stage each advice's decider once per class: [Matcher.matches pc] pays
+     the decider-cache lookup (a structural hash of the pointcut AST) at
+     partial application, so resolving it here keeps the per-method and
+     per-statement loops below lookup-free. *)
+  let advices =
+    List.map
+      (fun (a : Aspects.Advice.t) ->
+        let wants_exec, wants_stmt = is_execution_advice a in
+        (a, wants_exec, wants_stmt, Matcher.matches a.Aspects.Advice.pointcut))
+      aspect.Aspects.Aspect.advices
+  in
   Code.Jdecl.map_methods
     (fun m ->
       match m.Code.Jdecl.body with
@@ -174,24 +186,21 @@ let weave_class_with (aspect : Aspects.Aspect.t) record (c : Code.Jdecl.class_)
           in
           let body =
             List.fold_left
-              (fun body (a : Aspects.Advice.t) ->
-                let wants_exec, wants_stmt = is_execution_advice a in
+              (fun body ((a : Aspects.Advice.t), wants_exec, wants_stmt, decide)
+                 ->
                 let body =
                   if wants_stmt then
-                    weave_statement_advice a scope ~within_method
+                    weave_statement_advice a decide scope ~within_method
                       (record a.Aspects.Advice.advice_name)
                       body
                   else body
                 in
-                if
-                  wants_exec
-                  && Matcher.matches a.Aspects.Advice.pointcut exec_shadow
-                then begin
+                if wants_exec && decide exec_shadow then begin
                   record a.Aspects.Advice.advice_name exec_shadow;
                   weave_execution_advice a exec_shadow body
                 end
                 else body)
-              body aspect.Aspects.Aspect.advices
+              body advices
           in
           { m with Code.Jdecl.body = Some body })
     c

@@ -139,6 +139,27 @@ hit alongside the planner's index probes.
   $ grep -o '"metric":"ocl.plan.index_probe","value":[0-9.]*' ocl.metrics.json
   "metric":"ocl.plan.index_probe","value":1
 
+The bytecode tier rides the same exposition: --stats carries the
+vm_compile_* / vm_exec_* counters (messaging's preconditions compile four
+constraint bodies), and --no-vm ablates to the tree-walking baselines, so
+no vm_* counter moves at all.
+
+  $ mdweave apply bank.xmi -c messaging -p async=Account.deposit -o bank4.xmi --stats vm.stats.txt
+  T.messaging<[Account.deposit], "default-queue"> [messaging] +8 -0 ~2
+  -> bank4.xmi
+  stats written to vm.stats.txt
+
+  $ grep '^vm_compile_ocl ' vm.stats.txt
+  vm_compile_ocl 4
+
+  $ mdweave apply bank.xmi -c messaging -p async=Account.deposit -o bank5.xmi --no-vm --stats novm.stats.txt
+  T.messaging<[Account.deposit], "default-queue"> [messaging] +8 -0 ~2
+  -> bank5.xmi
+  stats written to novm.stats.txt
+
+  $ grep '^vm_' novm.stats.txt | wc -l
+  0
+
 The check driver exits 0 on a clean run and 1 when an oracle fails; the
 hidden selftest-fail oracle forces the failure path deterministically.
 

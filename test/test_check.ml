@@ -103,11 +103,11 @@ let oracle_tests =
         check Alcotest.string "tagged" "[xmi]"
           (Check.Oracle.tag_of "[xmi] something broke");
         check Alcotest.string "untagged" "plain" (Check.Oracle.tag_of "plain"));
-    Alcotest.test_case "all nine oracles are registered" `Quick (fun () ->
+    Alcotest.test_case "all ten oracles are registered" `Quick (fun () ->
         check (Alcotest.list Alcotest.string) "names"
           [
             "diff"; "wf"; "xmi"; "query"; "ocl"; "weave"; "weave-inc"; "par";
-            "repo";
+            "repo"; "vm";
           ]
           (List.map (fun (o : Check.Oracle.t) -> o.name) Check.Oracle.all));
     Alcotest.test_case "armored rendering parses back to the plain tree" `Quick

@@ -1,0 +1,154 @@
+(* Tests for the bytecode execution layer: the shared Vm substrate
+   (stack, pool, scopes, ablation flag), the Ocl.Compile failure cache,
+   and determinism of VM compilation. The semantic guarantees of the
+   compiled paths themselves (compiled ≡ tree-walked) are pinned by the
+   [vm] oracle in the check harness; these tests cover the plumbing the
+   oracle cannot see. *)
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+(* ---- substrate ----------------------------------------------------------- *)
+
+let substrate_tests =
+  [
+    Alcotest.test_case "stack is LIFO and grows past its initial size" `Quick
+      (fun () ->
+        let s = Vm.Stack.create ~dummy:0 2 in
+        for i = 1 to 100 do
+          Vm.Stack.push s i
+        done;
+        check ci "depth" 100 (Vm.Stack.depth s);
+        for i = 100 downto 1 do
+          check ci "pop" i (Vm.Stack.pop s)
+        done;
+        check ci "empty" 0 (Vm.Stack.depth s);
+        check cb "pop on empty raises" true
+          (try
+             ignore (Vm.Stack.pop s);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "pool dedups and preserves discovery order" `Quick
+      (fun () ->
+        let p = Vm.Pool.create () in
+        check ci "first" 0 (Vm.Pool.intern p "a");
+        check ci "second" 1 (Vm.Pool.intern p "b");
+        check ci "dup" 0 (Vm.Pool.intern p "a");
+        check (Alcotest.array cs) "order" [| "a"; "b" |] (Vm.Pool.to_array p));
+    Alcotest.test_case "scope shadowing resolves innermost-first" `Quick
+      (fun () ->
+        let sc = Vm.Scope.create () in
+        let outer = Vm.Scope.bind sc "x" in
+        let inner = Vm.Scope.bind sc "x" in
+        check cb "fresh slots" true (outer <> inner);
+        check (Alcotest.option ci) "inner wins" (Some inner)
+          (Vm.Scope.lookup sc "x");
+        Vm.Scope.unbind sc 1;
+        check (Alcotest.option ci) "outer restored" (Some outer)
+          (Vm.Scope.lookup sc "x");
+        check ci "nslots counts every binder" 2 (Vm.Scope.nslots sc));
+    Alcotest.test_case "with_vm scopes the flag and survives exceptions" `Quick
+      (fun () ->
+        let initial = Vm.enabled () in
+        Vm.with_vm false (fun () ->
+            check cb "off inside" false (Vm.enabled ());
+            Vm.with_vm true (fun () -> check cb "nested on" true (Vm.enabled ()));
+            check cb "still off after nested" false (Vm.enabled ()));
+        check cb "restored" initial (Vm.enabled ());
+        (try Vm.with_vm false (fun () -> failwith "boom") with Failure _ -> ());
+        check cb "restored after exception" initial (Vm.enabled ()));
+  ]
+
+(* ---- Ocl.Compile failure caching ------------------------------------------ *)
+
+(* Distinctive source strings so these entries cannot have been populated
+   by other tests sharing the domain-local cache. *)
+let bad_src = "self.test_vm_poison ->"
+let fixed_src = "self.test_vm_poison->isEmpty()"
+
+let exn_of src = try Ok (Ocl.Compile.compile_exn src) with e -> Error e
+
+let failure_cache_tests =
+  [
+    Alcotest.test_case "a cached parse failure re-raises the original exception"
+      `Quick (fun () ->
+        let first = exn_of bad_src in
+        let second = exn_of bad_src in
+        (match first with
+        | Error (Ocl.Parser.Parse_error _) -> ()
+        | Error e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e)
+        | Ok _ -> Alcotest.fail "ill-formed body compiled");
+        check cb "cache hit raises the identical exception" true (first = second);
+        (* the Result-returning face renders the same message both times *)
+        match (Ocl.Compile.compile bad_src, Ocl.Compile.compile bad_src) with
+        | Error m1, Error m2 -> check cs "same message" m1 m2
+        | _ -> Alcotest.fail "expected Error from compile");
+    Alcotest.test_case "a corrected body is not poisoned by the stale failure"
+      `Quick (fun () ->
+        (match exn_of bad_src with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "ill-formed body compiled");
+        (match Ocl.Compile.compile fixed_src with
+        | Ok c ->
+            check cs "handle keeps its own source" fixed_src c.Ocl.Compile.src
+        | Error m -> Alcotest.fail ("corrected body failed to compile: " ^ m));
+        (* and the failure entry is still intact alongside the fix *)
+        match exn_of bad_src with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "stale failure entry was dropped");
+    Alcotest.test_case "uncached and cached compiles raise alike" `Quick
+      (fun () ->
+        let uncached = Ocl.Compile.with_cache false (fun () -> exn_of bad_src) in
+        let cached = exn_of bad_src in
+        check cb "same exception" true (uncached = cached));
+  ]
+
+(* ---- compilation determinism ---------------------------------------------- *)
+
+(* Same AST, same bytecode — across separate compiles and across domains.
+   The bytecode program is pure data (instruction arrays + value pool),
+   so structural equality is the right notion of "same". *)
+
+let det_srcs =
+  [
+    "1 + 2 * 3 = 7";
+    "Sequence{1, 2, 3}->iterate(n; a : Integer = 0 | a + n) > 0";
+    "Account.allInstances()->exists(a | a.name = 'x')";
+    "self.name.size() >= 0 and not (1 > 2) or 1 = 1 xor false";
+    "if Set{1}->includes(1) then - 1 else 2 endif < 3";
+    "Class.allInstances()->select(c | c.oclIsKindOf(Element))->isEmpty()";
+    "let x : Integer = 4 in x * x = 16";
+    "Bag{1, 2, 2}->count(2) = 2 implies 'a'.toUpper() = 'A'";
+  ]
+
+let compile_planned src =
+  match Ocl.Parser.parse src with
+  | exception _ -> Alcotest.fail ("determinism source failed to parse: " ^ src)
+  | ast ->
+      let planned, _ = Ocl.Plan.optimize_count ast in
+      (planned, Ocl.Bytecode.compile planned)
+
+let determinism_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"compilation is deterministic across domains"
+        ~count:40
+        (QCheck2.Gen.oneofl det_srcs)
+        (fun src ->
+          let planned, here = compile_planned src in
+          let again = Ocl.Bytecode.compile planned in
+          let elsewhere =
+            Domain.join (Domain.spawn (fun () -> Ocl.Bytecode.compile planned))
+          in
+          here = again && here = elsewhere);
+    ]
+
+let () =
+  Alcotest.run "vm"
+    [
+      ("substrate", substrate_tests);
+      ("compile-cache", failure_cache_tests);
+      ("determinism", determinism_tests);
+    ]
